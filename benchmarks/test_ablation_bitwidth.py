@@ -1,0 +1,66 @@
+"""Ablation: datapath bit-width vs output accuracy.
+
+The fixed-point width is a generator parameter ("the input bit-width ...
+for the DeepBurning hardware generator to decide", paper §3.2).  This
+sweep quantifies accuracy of the trained jpeg approximator across
+8/12/16/24-bit datapaths.
+"""
+
+import numpy as np
+
+from repro.apps.jpeg import block_dataset
+from repro.apps.metrics import relative_accuracy
+from repro.errors import QuantizationError
+from repro.experiments.training import trained_ann1
+from repro.fixedpoint.format import QFormat
+from repro.frontend.shapes import infer_shapes
+from repro.nn.reference import ReferenceNetwork
+from repro.sim.quantized import QuantizedExecutor
+
+WIDTHS = (8, 12, 16, 24)
+
+
+def run_sweep():
+    graph, weights = trained_ann1()
+    shapes = infer_shapes(graph)
+    test_inputs, golden = block_dataset(25, seed=77)
+    accuracies = {}
+    for width in WIDTHS:
+        data_fmt = QFormat(3, width - 4)
+        weight_fmt = QFormat(3, width - 4)
+        executor = QuantizedExecutor(
+            graph=graph, weights=weights,
+            blob_formats={blob: data_fmt for blob in shapes},
+            weight_format=weight_fmt,
+        )
+        outputs = np.array([executor.output(x) for x in test_inputs])
+        accuracies[width] = relative_accuracy(outputs, golden)
+    float_net = ReferenceNetwork(graph, weights)
+    outputs = np.array([float_net.output(x) for x in test_inputs])
+    accuracies["float"] = relative_accuracy(outputs, golden)
+    return accuracies
+
+
+def test_bitwidth_sweep(benchmark):
+    accuracies = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # Wider datapaths approach the float software NN.
+    assert accuracies[24] >= accuracies[16] - 0.5
+    assert accuracies[16] >= accuracies[8] - 0.5
+    assert abs(accuracies[16] - accuracies["float"]) < 2.0
+    assert abs(accuracies[24] - accuracies["float"]) < 0.5
+    # 8-bit visibly degrades on this workload (why the default is 16).
+    assert accuracies[8] < accuracies["float"]
+    for width in WIDTHS:
+        benchmark.extra_info[f"acc_{width}b"] = round(accuracies[width], 3)
+    benchmark.extra_info["acc_float"] = round(accuracies["float"], 3)
+
+
+def test_too_narrow_format_rejected(check):
+    def body():
+        try:
+            QFormat(3, -2)
+        except QuantizationError:
+            return
+        raise AssertionError("expected QuantizationError")
+    check(body)

@@ -1,0 +1,59 @@
+"""Ablation: resource budget vs folding depth vs performance.
+
+Sweeps the budget fraction for the MNIST accelerator and records how
+spatial folding (fold-phase count) trades area for forward-propagation
+time — the mechanism behind the DB-S / DB / DB-L spread.
+"""
+
+from repro.compiler import DeepBurningCompiler
+from repro.devices import Z7045, budget_fraction
+from repro.nngen import NNGen
+from repro.sim import AcceleratorSimulator
+from repro.zoo import mnist
+
+FRACTIONS = (0.05, 0.12, 0.30, 0.60, 0.90)
+
+
+def run_sweep():
+    graph = mnist()
+    points = []
+    for fraction in FRACTIONS:
+        design = NNGen().generate(graph, budget_fraction(Z7045, fraction))
+        program = DeepBurningCompiler().compile(design)
+        result = AcceleratorSimulator(program).run(functional=False)
+        points.append({
+            "fraction": fraction,
+            "multipliers": design.datapath.multipliers,
+            "folds": len(design.folding),
+            "time_s": result.time_s,
+            "dsp": design.resource_report().dsp,
+        })
+    return points
+
+
+def test_budget_sweep(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # Bigger budgets never hurt: multipliers monotonically non-decreasing,
+    # runtime monotonically non-increasing.
+    for small, large in zip(points, points[1:]):
+        assert large["multipliers"] >= small["multipliers"]
+        assert large["time_s"] <= small["time_s"] * 1.02
+    # Small budgets fold more.
+    assert points[0]["folds"] >= points[-1]["folds"]
+    # The spread covers the paper's DB-S..DB-L dynamic range.
+    assert points[0]["time_s"] / points[-1]["time_s"] > 2.0
+    benchmark.extra_info["speed_range"] = round(
+        points[0]["time_s"] / points[-1]["time_s"], 2)
+
+
+def test_folding_preserves_work(check):
+    def body():
+        graph = mnist()
+        totals = set()
+        for fraction in (0.05, 0.60):
+            design = NNGen().generate(graph, budget_fraction(Z7045, fraction))
+            totals.add(design.folding.total_macs)
+        # Folding re-partitions work but never changes the MAC total.
+        assert len(totals) == 1
+    check(body)

@@ -1,0 +1,56 @@
+"""Ablation: Approx LUT entry count vs function accuracy.
+
+The compiler picks the LUT size from the accuracy requirement (paper
+§3.3); this sweep shows the error/BRAM trade-off for sigmoid and tanh.
+"""
+
+import numpy as np
+
+from repro.compiler.lut import KNOWN_FUNCTIONS, build_lut
+
+
+def run_sweep(function: str, low: float, high: float):
+    reference = KNOWN_FUNCTIONS[function]
+    errors = {}
+    for entries in (8, 16, 32, 64, 128, 256, 512, 1024):
+        lut = build_lut(function, low, high, entries)
+        errors[entries] = lut.max_error(reference)
+    return errors
+
+
+def test_sigmoid_lut_error_sweep(benchmark):
+    errors = benchmark.pedantic(lambda: run_sweep("sigmoid", -8, 8),
+                                rounds=1, iterations=1)
+    sizes = sorted(errors)
+    # Error decreases monotonically with table size ...
+    for small, large in zip(sizes, sizes[1:]):
+        assert errors[large] <= errors[small] + 1e-12
+    # ... and linear interpolation converges quadratically: 4x entries
+    # should cut the error by well over 4x in the smooth regime.
+    assert errors[1024] < errors[64] / 16
+    # 256 entries (the default) are plenty for 16-bit data.
+    assert errors[256] < 1e-3
+    benchmark.extra_info["error_at_256"] = float(errors[256])
+
+
+def test_tanh_lut_error_sweep(check):
+    def body():
+        errors = run_sweep("tanh", -4, 4)
+        assert errors[256] < 1e-3
+        assert errors[8] > errors[256]
+    check(body)
+
+
+def test_interpolation_beats_nearest_lookup(check):
+    def body():
+        reference = KNOWN_FUNCTIONS["sigmoid"]
+        lut = build_lut("sigmoid", -8, 8, 64)
+        grid = np.linspace(-8, 8, 2000)
+        interpolated = lut.evaluate(grid)
+        # Nearest-entry lookup (what a plain table would return).
+        idx = np.clip(np.rint((grid + 8) / lut.step), 0, lut.entries - 1)
+        nearest = lut.values[idx.astype(int)]
+        err_interp = np.max(np.abs(interpolated - reference(grid)))
+        err_nearest = np.max(np.abs(nearest - reference(grid)))
+        assert err_interp < err_nearest / 5
+    check(body)

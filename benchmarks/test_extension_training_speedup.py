@@ -1,0 +1,36 @@
+"""Extension: FPGA-accelerated model selection and training (paper §1)."""
+
+from repro.experiments import training_speedup
+
+
+def test_search_speedup(benchmark):
+    points = benchmark.pedantic(training_speedup.run, rounds=1, iterations=1)
+    for point in points:
+        # Training-scale searches inherit the forward-pass speedup.
+        assert point.speedup > 1.5, point
+        benchmark.extra_info[f"{point.benchmark}_speedup"] = round(
+            point.speedup, 2)
+
+
+def test_crossover_small_searches(check):
+    def body():
+        # Even a single candidate amortises the 0.25 s reconfiguration
+        # over 600k training inferences for these workloads.
+        for name in ("mnist", "cifar"):
+            crossover = training_speedup.crossover_candidates(name)
+            assert 1 <= crossover <= 3, (name, crossover)
+    check(body)
+
+
+def test_speedup_tracks_inference_ratio(check):
+    def body():
+        from repro.experiments.runner import simulate_scheme
+        from repro.baselines.cpu import XEON_2_4GHZ
+        from repro.experiments.config import benchmark_case
+        point = training_speedup.search_cost("mnist", candidates=50)
+        graph = benchmark_case("mnist").graph()
+        inference_ratio = (XEON_2_4GHZ.forward_time_s(graph)
+                           / simulate_scheme("mnist", "DB").time_s)
+        # With many candidates the reconfiguration cost washes out.
+        assert abs(point.speedup - inference_ratio) / inference_ratio < 0.05
+    check(body)

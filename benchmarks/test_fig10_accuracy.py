@@ -1,0 +1,79 @@
+"""Fig. 10: accuracy — CPU software NN vs the generated accelerator.
+
+Training is cached per session; the benchmark measures one quantized
+evaluation pass, and the assertions check every Fig. 10 pair.
+"""
+
+import pytest
+
+from repro.experiments import fig10_accuracy
+
+
+@pytest.fixture(scope="module")
+def records():
+    return {name: fig10_accuracy.record_for(name)
+            for name in fig10_accuracy.RECORD_BUILDERS}
+
+
+def test_fig10_quantized_pass_cost(benchmark, records):
+    # Measure a fixed-point forward pass through the compiled flow for
+    # the trained MNIST model (training itself is already cached).
+    import numpy as np
+    from repro.experiments.training import trained_mnist_small
+    from repro.experiments.fig10_accuracy import quantized_from_trained
+
+    graph, weights, test_x, _ = trained_mnist_small()
+    executor = quantized_from_trained(graph, weights, [test_x[0]])
+    result = benchmark.pedantic(
+        lambda: executor.output(test_x[0]), rounds=5, iterations=1)
+    assert result.shape == (10,)
+
+
+def test_fig10_all_benchmarks_covered(check, records):
+    def body():
+        assert set(records) == {"ann0", "ann1", "ann2", "cmac", "hopfield",
+                                "mnist", "cifar", "nin"}
+    check(body)
+
+
+def test_fig10_mean_variation_within_paper_band(check, records):
+    def body():
+        variation = fig10_accuracy.mean_variation(list(records.values()))
+        # Paper: ~1.5% average variation between CPU NN and DeepBurning.
+        assert variation <= 3.0
+    check(body)
+
+
+def test_fig10_each_benchmark_tracks_cpu(check, records):
+    def body():
+        for name, record in records.items():
+            assert record.variation <= 6.0, (name, record)
+    check(body)
+
+
+def test_fig10_classifiers_accurate_in_both_modes(check, records):
+    def body():
+        for name in ("mnist", "cifar", "nin"):
+            record = records[name]
+            assert record.cpu_accuracy > 85.0, record
+            assert record.db_accuracy > 85.0, record
+    check(body)
+
+
+def test_fig10_approximators_usable(check, records):
+    def body():
+        for name in ("ann0", "ann1", "cmac", "hopfield"):
+            record = records[name]
+            assert record.cpu_accuracy > 70.0, record
+            assert record.db_accuracy > 70.0, record
+    check(body)
+
+
+def test_fig10_sometimes_db_beats_cpu(check, records):
+    def body():
+        # "For some models, it is even more accurate than software NN on CPU
+        # since the approximation techniques sometimes randomly eliminate
+        # the noises" — at least the possibility must be observable: the DB
+        # column is not uniformly worse.
+        assert any(r.db_accuracy >= r.cpu_accuracy for r in records.values())
+    check(body)

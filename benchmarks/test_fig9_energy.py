@@ -1,0 +1,60 @@
+"""Fig. 9: energy comparison across schemes."""
+
+from repro.experiments import fig9_energy
+from repro.experiments.runner import simulate_scheme
+
+
+def _uncached_cifar_db():
+    return simulate_scheme.__wrapped__("cifar", "DB")
+
+
+def test_fig9_pipeline_cost(benchmark):
+    record = benchmark.pedantic(_uncached_cifar_db, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_mJ"] = record.energy_j * 1e3
+    assert record.energy_j > 0
+
+
+def test_fig9_cpu_energy_many_times_db(check, fig9_records):
+    def body():
+        ratio = fig9_energy.cpu_over_db(fig9_records)
+        # Paper: ~58x on average; same order of magnitude required, and the
+        # conclusion's "over 90% energy saving" must hold.
+        assert 25.0 <= ratio <= 250.0
+        assert (1.0 - 1.0 / ratio) > 0.90
+    check(body)
+
+
+def test_fig9_db_costs_more_than_custom(check, fig9_records):
+    def body():
+        ratio = fig9_energy.db_over_custom(fig9_records)
+        assert 1.0 < ratio < 2.5  # paper: 1.8x
+    check(body)
+
+
+def test_fig9_dbl_less_energy_than_db_on_big_nets(check, fig9_records):
+    def body():
+        # "Though DB-L has a higher power consumption rate than DB ... it
+        # completes the tasks faster, and so eventually dissipates less
+        # energy than DB."
+        for name in ("alexnet", "nin", "cifar", "mnist"):
+            per = fig9_records[name]
+            assert per["DB-L"].energy_j < per["DB"].energy_j, name
+            assert per["DB-L"].power_w > per["DB"].power_w, name
+    check(body)
+
+
+def test_fig9_zhang_costs_more_than_dbl_and_dbs(check, fig9_records):
+    def body():
+        per = fig9_records["alexnet"]
+        assert per["[7]"].energy_j > per["DB-L"].energy_j
+        assert per["[7]"].energy_j > per["DB-S"].energy_j
+        assert 0.2 < per["[7]"].energy_j < 0.9  # paper: ~0.5 J
+    check(body)
+
+
+def test_fig9_every_fpga_scheme_beats_cpu(check, fig9_records):
+    def body():
+        for name, per in fig9_records.items():
+            for scheme in ("Custom", "DB", "DB-L", "DB-S"):
+                assert per[scheme].energy_j < per["CPU"].energy_j, (name, scheme)
+    check(body)

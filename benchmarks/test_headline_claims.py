@@ -1,0 +1,25 @@
+"""The abstract/conclusion headline claims, recomputed end to end."""
+
+from repro.experiments import claims
+
+
+def test_headline_claims(benchmark):
+    measured = benchmark.pedantic(claims.run, rounds=1, iterations=1)
+
+    # "it shows a significant 4.7x performance speedup ..."
+    assert 3.0 <= measured.max_db_speedup_vs_cpu <= 6.5
+    # "DB-L is 3.5x faster than DB on average."
+    assert 2.5 <= measured.mean_dbl_speedup_vs_db <= 5.0
+    # "... and over 90% energy saving on average in contrast to the
+    # software solutions on CPU."
+    assert measured.energy_saving_vs_cpu_percent > 90.0
+    # "CPU consumes about 58x more energy than DB on average." — same
+    # order of magnitude.
+    assert 25.0 <= measured.mean_cpu_energy_over_db <= 250.0
+    # "DB consumes 1.8x more energy than Custom" — direction + regime.
+    assert 1.0 < measured.mean_db_energy_over_custom < 2.5
+
+    for field_name, paper_value in measured.PAPER.items():
+        benchmark.extra_info[field_name] = round(
+            getattr(measured, field_name), 2)
+        benchmark.extra_info[f"paper_{field_name}"] = paper_value

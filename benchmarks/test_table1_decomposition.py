@@ -1,0 +1,40 @@
+"""Table 1: layer-type decomposition of typical NNs."""
+
+from repro.experiments import table1_decomposition
+
+
+def test_table1_decomposition(benchmark):
+    table = benchmark(table1_decomposition.run)
+
+    # Paper Table 1 shapes (recomputed from the zoo graphs).
+    assert not table["MLP"]["Conv. Layer"]
+    assert table["MLP"]["FC Layer"]
+    assert table["MLP"]["Act-Func"]
+    assert not table["MLP"]["Pooling"]
+
+    assert table["Hopfield"]["FC Layer"]
+    assert not table["Hopfield"]["Conv. Layer"]
+
+    assert table["CMAC"]["Associative"]
+    assert table["CMAC"]["Act-Func"]
+    assert not table["CMAC"]["Conv. Layer"]
+
+    assert table["Alexnet"]["Conv. Layer"]
+    assert table["Alexnet"]["Drop-Out"]
+    assert table["Alexnet"]["Pooling"]
+
+    assert table["Minist"]["Conv. Layer"]
+    assert table["Minist"]["LRN"]
+    assert not table["Minist"]["Drop-Out"]
+
+    assert table["GoogleNet"]["Conv. Layer"]
+    assert table["GoogleNet"]["Drop-Out"]
+    assert table["GoogleNet"]["LRN"]
+    assert table["GoogleNet"]["Pooling"]
+
+    # Every model needs FC and activation support — the "smallest common
+    # set of hardware components" argument of paper §3.2.
+    for column in table.values():
+        assert column["FC Layer"]
+
+    benchmark.extra_info["models"] = len(table)

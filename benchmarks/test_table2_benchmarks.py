@@ -1,0 +1,26 @@
+"""Table 2: benchmark inventory flags."""
+
+from repro.experiments import table2_benchmarks
+
+
+def test_table2_benchmarks(benchmark):
+    rows = benchmark(table2_benchmarks.run)
+    flags = {name: (conv, fc, rec) for name, conv, fc, rec, _ in rows}
+
+    assert len(rows) == 9  # ANN-0/1/2 expanded from the paper's one row
+    assert flags["ann0"] == (False, True, False)
+    assert flags["ann1"] == (False, True, False)
+    assert flags["ann2"] == (False, True, False)
+    assert flags["alexnet"] == (True, True, False)
+    assert flags["cifar"] == (True, True, False)
+    assert flags["cmac"] == (False, True, True)
+    assert flags["hopfield"] == (False, True, True)
+    assert flags["mnist"] == (True, True, False)
+    # NiN: truthful deviation from the paper's grouped row (no FC layer).
+    assert flags["nin"] == (True, False, False)
+
+    applications = {name: app for name, _, _, _, app in rows}
+    assert applications["hopfield"] == "TSP solver"
+    assert applications["cmac"] == "Robot arm control"
+
+    benchmark.extra_info["benchmarks"] = len(rows)

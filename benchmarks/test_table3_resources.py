@@ -1,0 +1,41 @@
+"""Table 3: hardware resource occupation (DSP / LUT / FF)."""
+
+from repro.experiments import table3_resources
+from repro.experiments.config import scheme_budget
+
+
+def test_table3_rows(benchmark):
+    rows = benchmark.pedantic(table3_resources.run, rounds=1, iterations=1)
+    assert len(rows) == 9
+
+    for row in rows:
+        # The student's hand design and the generated one share the DSP
+        # envelope (Table 3's matching DSP columns)...
+        assert row.custom.dsp == row.generated.dsp, row.benchmark
+        # ...but DeepBurning spends more LUT/FF on generic control.
+        assert row.custom.lut < row.generated.lut, row.benchmark
+        assert row.custom.ff <= row.generated.ff, row.benchmark
+
+    # Small ANNs use far fewer resources than the CNNs.
+    by_name = {row.benchmark: row for row in rows}
+    assert by_name["ann0"].generated.lut < by_name["alexnet"].generated.lut
+    assert by_name["ann0"].generated.dsp <= by_name["alexnet"].generated.dsp
+
+
+def test_table3_alexnet_large_row(benchmark):
+    large = benchmark.pedantic(table3_resources.alexnet_large,
+                               rounds=1, iterations=1)
+    from repro.experiments.runner import simulate_scheme
+    regular = simulate_scheme("alexnet", "DB").resources
+    # Alexnet-L trades far more DSP/LUT/FF for its speed.
+    assert large.dsp > 2 * regular.dsp
+    assert large.lut > regular.lut
+    assert large.ff > regular.ff
+
+
+def test_table3_everything_fits_its_device(check):
+    def body():
+        for row in table3_resources.run():
+            budget = scheme_budget("DB")
+            assert row.generated.fits_in(budget.device.resources), row.benchmark
+    check(body)

@@ -1,0 +1,55 @@
+"""Approximate computing with a generated ANN accelerator (AxBench fft).
+
+The paper's ANN-0 use case: a 1->4->4->2 MLP learns the FFT twiddle
+kernel; the orthodox FFT then runs with the trained network dropped into
+its inner loop.  We compare three variants against the exact transform:
+
+* the float software NN ("NN on CPU"),
+* the fixed-point + Approx-LUT accelerator (DeepBurning),
+
+and report the paper's Eq. (1) relative accuracy for both.
+
+Run: ``python examples/approximate_computing.py``
+"""
+
+import numpy as np
+
+from repro.apps.fft import approximate_fft, fft_radix2
+from repro.apps.metrics import relative_accuracy
+from repro.experiments.fig10_accuracy import quantized_from_trained
+from repro.experiments.training import trained_ann0
+from repro.nn.reference import ReferenceNetwork
+
+
+def main() -> None:
+    print("training ANN-0 (fft twiddle approximator)...")
+    graph, weights = trained_ann0()
+    float_net = ReferenceNetwork(graph, weights)
+    rng = np.random.default_rng(0)
+    quantized = quantized_from_trained(
+        graph, weights, [rng.random(1) for _ in range(8)])
+
+    signal = np.random.default_rng(42).normal(size=32)
+    golden = fft_radix2(signal)
+    golden_parts = np.concatenate([golden.real, golden.imag])
+
+    cpu_out = approximate_fft(signal, float_net.output)
+    db_out = approximate_fft(signal, quantized.output)
+
+    cpu_acc = relative_accuracy(
+        np.concatenate([cpu_out.real, cpu_out.imag]), golden_parts)
+    db_acc = relative_accuracy(
+        np.concatenate([db_out.real, db_out.imag]), golden_parts)
+
+    print(f"FFT of a 32-sample signal, Eq. (1) accuracy vs exact:")
+    print(f"  software NN (CPU, float64):        {cpu_acc:6.2f}%")
+    print(f"  DeepBurning accelerator (fixed):   {db_acc:6.2f}%")
+    print(f"  variation:                         {abs(cpu_acc - db_acc):6.2f}%")
+    print()
+    print("first four spectrum bins (exact / CPU NN / accelerator):")
+    for k in range(4):
+        print(f"  bin {k}: {golden[k]:.3f}  {cpu_out[k]:.3f}  {db_out[k]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Robot-arm control with a CMAC accelerator (the paper's CMAC benchmark).
+
+A CMAC learns the inverse kinematics of a planar two-link arm; the
+associative layer's weight table is then quantized exactly as the
+generated accelerator stores it, and the controller drives the arm along
+a circular trajectory in both arithmetic modes.
+
+Run: ``python examples/robot_arm_control.py``
+"""
+
+import numpy as np
+
+from repro.apps.robot import (
+    TwoLinkArm,
+    denormalise_angles,
+    inverse_kinematics_dataset,
+)
+from repro.fixedpoint.calibrate import calibrate_format
+from repro.fixedpoint.ops import dequantize, quantize_to_ints
+from repro.nn.cmac import CMAC
+
+
+def main() -> None:
+    arm = TwoLinkArm(link1=1.0, link2=0.8)
+    print("training CMAC on inverse kinematics...")
+    cmac = CMAC(input_dim=2, output_dim=2, n_tilings=16, resolution=16,
+                table_size=16384, seed=0)
+    inputs, targets = inverse_kinematics_dataset(arm, 3000, seed=0)
+    history = cmac.train(inputs, targets, epochs=60, lr=0.3)
+    print(f"  training MSE: {history[0]:.4f} -> {history[-1]:.6f}")
+
+    weight_format = calibrate_format(cmac.weights, total_bits=16,
+                                     headroom=1.5)
+    print(f"  accelerator weight format: {weight_format}")
+
+    def fixed_point_predict(x):
+        cells = cmac.active_cells(x)
+        raw = quantize_to_ints(cmac.weights[cells], weight_format)
+        return dequantize(raw.sum(axis=0), weight_format)
+
+    # Track held-out reachable targets (the controller's workspace).
+    from repro.apps.robot import denormalise_position
+    waypoints, _ = inverse_kinematics_dataset(arm, 12, seed=99)
+    print("\ntracking 12 held-out workspace targets:")
+    print("  target (x, y)      float err   fixed-point err")
+    float_errors, fixed_errors = [], []
+    for normalised in waypoints:
+        target = denormalise_position(arm, normalised)
+        float_sol = denormalise_angles(cmac.predict(normalised))
+        fixed_sol = denormalise_angles(fixed_point_predict(normalised))
+        float_err = arm.position_error(target, float_sol)
+        fixed_err = arm.position_error(target, fixed_sol)
+        float_errors.append(float_err)
+        fixed_errors.append(fixed_err)
+        print(f"  ({target[0]: .3f}, {target[1]: .3f})   "
+              f"{float_err:9.4f}   {fixed_err:9.4f}")
+
+    print(f"\nmean tracking error: float {np.mean(float_errors):.4f}, "
+          f"fixed-point {np.mean(fixed_errors):.4f} "
+          f"(arm reach = {arm.reach})")
+
+
+if __name__ == "__main__":
+    main()

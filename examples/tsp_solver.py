@@ -1,0 +1,72 @@
+"""TSP with a Hopfield accelerator (the paper's Hopfield benchmark).
+
+A Hopfield-Tank network's recurrent weights encode a travelling-salesman
+instance; the network relaxes to a low-energy state that decodes into a
+tour.  The paper runs this as a 2-layer recurrent model on the generated
+accelerator — here we solve an instance three ways and compare tours:
+
+* the orthodox nearest-neighbour heuristic (golden comparator),
+* the float Hopfield-Tank dynamics ("NN on CPU"),
+* the fixed-point dynamics with quantized weights and the Approx-LUT
+  sigmoid (what the accelerator computes).
+
+Run: ``python examples/tsp_solver.py``
+"""
+
+import numpy as np
+
+from repro.compiler.lut import build_lut
+from repro.fixedpoint.calibrate import calibrate_format
+from repro.fixedpoint.ops import dequantize, quantize_to_ints
+from repro.nn.hopfield import (
+    HopfieldTSPSolver,
+    TSPInstance,
+    nearest_neighbour_tour,
+)
+
+
+def solve_fixed_point(solver: HopfieldTSPSolver, steps: int = 2000,
+                      seed: int = 0):
+    """The accelerator's view: 16-bit weights, LUT sigmoid."""
+    weight_format = calibrate_format(solver.weights, total_bits=16,
+                                     headroom=1.2)
+    quantized_weights = dequantize(
+        quantize_to_ints(solver.weights, weight_format), weight_format)
+    lut = build_lut("sigmoid", -8, 8, entries=256)
+    size = solver.n * solver.n
+    rng = np.random.default_rng(seed)
+    potential = rng.normal(0.0, 0.01, size)
+    for _ in range(steps):
+        activity = lut.evaluate(np.clip(solver.gain * potential, -8, 8))
+        gradient = quantized_weights @ activity + solver.biases
+        potential += 1e-5 * (gradient - potential)
+    activity = lut.evaluate(np.clip(solver.gain * potential, -8, 8))
+    return solver.decode(activity), weight_format
+
+
+def main() -> None:
+    instance = TSPInstance.random(6, seed=11)
+    print(f"TSP instance: {instance.n_cities} cities")
+
+    greedy = nearest_neighbour_tour(instance)
+    greedy_length = instance.tour_length(greedy)
+    print(f"  nearest-neighbour tour: {greedy}  length {greedy_length:.3f}")
+
+    solver = HopfieldTSPSolver(instance)
+    float_tour, _ = solver.solve(steps=2000, seed=3)
+    float_length = instance.tour_length(float_tour)
+    print(f"  Hopfield (float):       {float_tour}  length {float_length:.3f}")
+
+    fixed_tour, weight_format = solve_fixed_point(solver, seed=3)
+    fixed_length = instance.tour_length(fixed_tour)
+    print(f"  Hopfield (fixed-point): {fixed_tour}  length {fixed_length:.3f}"
+          f"  (weights in {weight_format})")
+
+    print(f"\ntour quality vs nearest-neighbour: "
+          f"float {float_length / greedy_length:.3f}, "
+          f"fixed-point {fixed_length / greedy_length:.3f} "
+          "(1.0 = equal)")
+
+
+if __name__ == "__main__":
+    main()

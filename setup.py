@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` on environments without
+the `wheel` package (offline boxes where PEP 660 editable installs fail)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""DeepBurning (DAC 2016) reproduction.
+
+Automatic generation of FPGA-based learning accelerators for the neural
+network family: a Caffe-style descriptive script plus a resource
+constraint in; an accelerator design, compiled control program and
+synthesizable Verilog out — with a cycle-level simulator standing in for
+the FPGA board.
+
+Entry points:
+
+* :class:`repro.nngen.NNGen` — the hardware generator,
+* :class:`repro.compiler.DeepBurningCompiler` — the compiler,
+* :func:`repro.rtl.emit.write_project` — Verilog emission,
+* :class:`repro.sim.AcceleratorSimulator` — timing/energy + bit-level
+  functional simulation,
+* ``python -m repro`` — the command-line flow.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

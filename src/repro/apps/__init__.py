@@ -1,0 +1,39 @@
+"""Golden applications and synthetic data.
+
+The paper trains three ANNs "to implement three AxBench benchmarks for
+general purpose approximate computing" (fft, jpeg, kmeans) and measures
+their accuracy against "the golden-reference application implemented
+with orthodox program of accurate modeling" (Eq. 1).  This package holds
+those orthodox implementations, the robot-arm kinematics behind the
+CMAC benchmark, and procedural dataset generators standing in for
+MNIST/CIFAR/ImageNet (see DESIGN.md, Substitutions).
+"""
+
+from repro.apps.fft import fft_radix2, twiddle_targets, approximate_fft
+from repro.apps.jpeg import (
+    dct2,
+    idct2,
+    jpeg_roundtrip,
+    block_dataset,
+)
+from repro.apps.kmeans import kmeans_cluster, distance_dataset
+from repro.apps.robot import TwoLinkArm, inverse_kinematics_dataset
+from repro.apps.datasets import synthetic_digits, synthetic_cifar
+from repro.apps.metrics import relative_accuracy
+
+__all__ = [
+    "fft_radix2",
+    "twiddle_targets",
+    "approximate_fft",
+    "dct2",
+    "idct2",
+    "jpeg_roundtrip",
+    "block_dataset",
+    "kmeans_cluster",
+    "distance_dataset",
+    "TwoLinkArm",
+    "inverse_kinematics_dataset",
+    "synthetic_digits",
+    "synthetic_cifar",
+    "relative_accuracy",
+]

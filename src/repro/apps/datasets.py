@@ -1,0 +1,126 @@
+"""Procedural datasets standing in for MNIST / CIFAR / ImageNet.
+
+No real datasets are available offline, so classification accuracy
+experiments run on procedurally drawn inputs: stroke-rendered digits for
+the MNIST net and parametric colour/shape classes for the CIFAR-style
+nets.  What Fig. 10 measures — the *delta* between the float software
+network and the fixed-point accelerator on identical weights — is a
+property of the arithmetic, not of the data's provenance (DESIGN.md,
+Substitutions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: 7-segment-style strokes per digit on a 4x3 control grid:
+#: (top, top-left, top-right, middle, bottom-left, bottom-right, bottom).
+_SEGMENTS = {
+    0: (1, 1, 1, 0, 1, 1, 1),
+    1: (0, 0, 1, 0, 0, 1, 0),
+    2: (1, 0, 1, 1, 1, 0, 1),
+    3: (1, 0, 1, 1, 0, 1, 1),
+    4: (0, 1, 1, 1, 0, 1, 0),
+    5: (1, 1, 0, 1, 0, 1, 1),
+    6: (1, 1, 0, 1, 1, 1, 1),
+    7: (1, 0, 1, 0, 0, 1, 0),
+    8: (1, 1, 1, 1, 1, 1, 1),
+    9: (1, 1, 1, 1, 0, 1, 1),
+}
+
+
+def _draw_digit(digit: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Render one digit with stroke jitter and noise."""
+    canvas = np.zeros((size, size))
+    margin = max(2, size // 7)
+    width = max(1, size // 10)
+    left = margin + rng.integers(-1, 2)
+    right = size - margin + rng.integers(-1, 2)
+    top = margin + rng.integers(-1, 2)
+    bottom = size - margin + rng.integers(-1, 2)
+    middle = (top + bottom) // 2 + rng.integers(-1, 2)
+    segments = _SEGMENTS[digit % 10]
+
+    def hline(row, col0, col1):
+        row = int(np.clip(row, 0, size - width))
+        canvas[row:row + width, max(0, col0):min(size, col1)] = 1.0
+
+    def vline(col, row0, row1):
+        col = int(np.clip(col, 0, size - width))
+        canvas[max(0, row0):min(size, row1), col:col + width] = 1.0
+
+    if segments[0]:
+        hline(top, left, right)
+    if segments[1]:
+        vline(left, top, middle)
+    if segments[2]:
+        vline(right - width, top, middle)
+    if segments[3]:
+        hline(middle, left, right)
+    if segments[4]:
+        vline(left, middle, bottom)
+    if segments[5]:
+        vline(right - width, middle, bottom)
+    if segments[6]:
+        hline(bottom - width, left, right)
+    canvas += rng.normal(0, 0.08, canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def synthetic_digits(samples: int, size: int = 28,
+                     seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """A labelled digit set: (samples, 1, size, size) images + labels."""
+    if samples < 1 or size < 12:
+        raise SimulationError("need samples >= 1 and size >= 12")
+    rng = np.random.default_rng(seed)
+    images = np.empty((samples, 1, size, size))
+    labels = rng.integers(0, 10, samples)
+    for i in range(samples):
+        images[i, 0] = _draw_digit(int(labels[i]), size, rng)
+    return images, labels
+
+
+def synthetic_cifar(samples: int, size: int = 32, classes: int = 10,
+                    seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Parametric 3-channel classes: colour + texture + shape signature.
+
+    Each class has a characteristic hue, stripe frequency and blob
+    position so that a small CNN can genuinely learn to separate them.
+    """
+    if classes < 2 or classes > 16:
+        raise SimulationError("classes must be in [2, 16]")
+    rng = np.random.default_rng(seed)
+    class_rng = np.random.default_rng(12345)
+    hues = class_rng.random((classes, 3)) * 0.7 + 0.15
+    freqs = class_rng.integers(1, 5, classes)
+    centers = class_rng.random((classes, 2)) * 0.6 + 0.2
+
+    images = np.empty((samples, 3, size, size))
+    labels = rng.integers(0, classes, samples)
+    yy, xx = np.mgrid[0:size, 0:size] / size
+    for i in range(samples):
+        c = int(labels[i])
+        stripes = 0.5 + 0.5 * np.sin(2 * np.pi * freqs[c] * (xx + yy)
+                                     + rng.uniform(0, 0.8))
+        blob = np.exp(-(((yy - centers[c][0]) ** 2
+                         + (xx - centers[c][1]) ** 2) / 0.02))
+        base = np.stack([hues[c][ch] * stripes + 0.4 * blob
+                         for ch in range(3)])
+        images[i] = np.clip(base + rng.normal(0, 0.05, base.shape), 0, 1)
+    return images, labels
+
+
+def train_test_split(images: np.ndarray, labels: np.ndarray,
+                     test_fraction: float = 0.25,
+                     seed: int = 0):
+    """Shuffle and split a dataset."""
+    if not 0.0 < test_fraction < 1.0:
+        raise SimulationError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(images))
+    cut = int(len(images) * (1.0 - test_fraction))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return (images[train_idx], labels[train_idx],
+            images[test_idx], labels[test_idx])

@@ -1,0 +1,76 @@
+"""The AxBench ``fft`` benchmark.
+
+The orthodox program is a radix-2 decimation-in-time FFT.  The NN
+approximates the twiddle-factor kernel (angle -> (cos, sin)), which is
+the hot inner function AxBench replaces; :func:`approximate_fft` runs
+the full transform with the kernel swapped for any callable, so the
+trained ANN (or its fixed-point accelerator) can be dropped in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+TwiddleFn = Callable[[float], tuple[float, float]]
+
+
+def exact_twiddle(angle01: float) -> tuple[float, float]:
+    """The golden kernel: angle in [0, 1] -> (cos, sin) of ``-pi*angle``."""
+    theta = -np.pi * angle01
+    return float(np.cos(theta)), float(np.sin(theta))
+
+
+def fft_radix2(signal: np.ndarray,
+               twiddle: TwiddleFn = exact_twiddle) -> np.ndarray:
+    """Iterative radix-2 DIT FFT with a pluggable twiddle kernel."""
+    signal = np.asarray(signal, dtype=np.complex128)
+    n = signal.size
+    if n == 0 or n & (n - 1):
+        raise SimulationError(f"FFT length {n} must be a power of two")
+    # Bit-reversal permutation.
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    bits = n.bit_length() - 1
+    for i in indices:
+        reversed_indices[i] = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+    data = signal[reversed_indices].copy()
+    size = 2
+    while size <= n:
+        half = size // 2
+        for start in range(0, n, size):
+            for k in range(half):
+                cos_v, sin_v = twiddle(k / half)
+                w = complex(cos_v, sin_v)
+                a = data[start + k]
+                b = data[start + k + half] * w
+                data[start + k] = a + b
+                data[start + k + half] = a - b
+        size *= 2
+    return data
+
+
+def twiddle_targets(samples: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Training set for the ANN-0 approximator: angle -> (cos, sin)."""
+    rng = np.random.default_rng(seed)
+    angles = rng.random((samples, 1))
+    targets = np.array([exact_twiddle(float(a)) for a in angles[:, 0]])
+    return angles, targets
+
+
+def approximate_fft(signal: np.ndarray,
+                    kernel: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+    """FFT with the twiddle kernel replaced by an approximator.
+
+    ``kernel`` maps a length-1 array (the normalised angle) to a
+    length-2 array (cos, sin) — the ANN-0 signature.
+    """
+
+    def nn_twiddle(angle01: float) -> tuple[float, float]:
+        out = np.ravel(kernel(np.array([angle01])))
+        return float(out[0]), float(out[1])
+
+    return fft_radix2(signal, twiddle=nn_twiddle)

@@ -1,0 +1,116 @@
+"""The AxBench ``jpeg`` benchmark.
+
+The orthodox program is a JPEG-style 8x8 block codec: forward DCT-II,
+uniform quantization with the standard luminance table, dequantization
+and inverse DCT.  The ANN-1 approximator replaces the whole block
+pipeline (64 pixels in -> 64 reconstructed pixels out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: The standard JPEG luminance quantization table.
+LUMINANCE_TABLE = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.float64)
+
+
+def _dct_matrix(n: int = 8) -> np.ndarray:
+    matrix = np.zeros((n, n))
+    for k in range(n):
+        scale = np.sqrt(1.0 / n) if k == 0 else np.sqrt(2.0 / n)
+        for i in range(n):
+            matrix[k, i] = scale * np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+    return matrix
+
+
+_DCT8 = _dct_matrix(8)
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """2-D DCT-II of an 8x8 block."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (8, 8):
+        raise SimulationError(f"DCT block must be 8x8, got {block.shape}")
+    return _DCT8 @ block @ _DCT8.T
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of an 8x8 coefficient block."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (8, 8):
+        raise SimulationError("IDCT block must be 8x8")
+    return _DCT8.T @ coefficients @ _DCT8
+
+
+def encode_block(block: np.ndarray, quality: float = 1.0) -> np.ndarray:
+    """Forward DCT + quantization; returns integer coefficients."""
+    if quality <= 0:
+        raise SimulationError("quality scale must be positive")
+    coefficients = dct2(np.asarray(block, dtype=np.float64) - 128.0)
+    return np.rint(coefficients / (LUMINANCE_TABLE * quality))
+
+
+def decode_block(quantized: np.ndarray, quality: float = 1.0) -> np.ndarray:
+    """Dequantize + inverse DCT; returns reconstructed pixels."""
+    coefficients = np.asarray(quantized, dtype=np.float64) * (
+        LUMINANCE_TABLE * quality)
+    return np.clip(idct2(coefficients) + 128.0, 0.0, 255.0)
+
+
+def jpeg_roundtrip(block: np.ndarray, quality: float = 1.0) -> np.ndarray:
+    """The golden block pipeline ANN-1 approximates."""
+    return decode_block(encode_block(block, quality), quality)
+
+
+def jpeg_image(image: np.ndarray, quality: float = 1.0,
+               block_fn=None) -> np.ndarray:
+    """Round-trip a whole (8k x 8m) greyscale image block by block.
+
+    ``block_fn`` overrides the per-block pipeline — pass the ANN (or its
+    accelerator) to produce the approximate decoding.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2 or image.shape[0] % 8 or image.shape[1] % 8:
+        raise SimulationError(
+            f"image shape {image.shape} must be a multiple of 8x8"
+        )
+    pipeline = block_fn or (lambda b: jpeg_roundtrip(b, quality))
+    out = np.empty_like(image)
+    for top in range(0, image.shape[0], 8):
+        for left in range(0, image.shape[1], 8):
+            block = image[top:top + 8, left:left + 8]
+            out[top:top + 8, left:left + 8] = np.asarray(
+                pipeline(block)).reshape(8, 8)
+    return out
+
+
+def block_dataset(samples: int, seed: int = 0,
+                  quality: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Training pairs for ANN-1: raw block (scaled) -> round-tripped block.
+
+    Blocks are smooth gradients plus noise — natural-image-like inputs —
+    scaled into [0, 1] for the network.
+    """
+    rng = np.random.default_rng(seed)
+    inputs = np.empty((samples, 64))
+    targets = np.empty((samples, 64))
+    for i in range(samples):
+        base = rng.uniform(32, 224)
+        gx, gy = rng.uniform(-8, 8, 2)
+        yy, xx = np.mgrid[0:8, 0:8]
+        block = base + gx * xx + gy * yy + rng.normal(0, 6, (8, 8))
+        block = np.clip(block, 0, 255)
+        inputs[i] = block.ravel() / 255.0
+        targets[i] = jpeg_roundtrip(block, quality).ravel() / 255.0
+    return inputs, targets

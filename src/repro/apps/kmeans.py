@@ -1,0 +1,86 @@
+"""The AxBench ``kmeans`` benchmark.
+
+The orthodox program clusters RGB pixels with Lloyd's algorithm.  The
+ANN-2 approximator replaces the inner distance kernel: it maps a
+(pixel, centroid) pair — six values — to the Euclidean distance, and
+:func:`kmeans_cluster` accepts any kernel so the trained network can be
+swapped in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def exact_distance(pixel: np.ndarray, centroid: np.ndarray) -> float:
+    """The golden kernel: Euclidean distance in RGB space."""
+    diff = np.asarray(pixel, dtype=np.float64) - np.asarray(centroid,
+                                                            dtype=np.float64)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def kmeans_cluster(
+    pixels: np.ndarray,
+    k: int = 4,
+    iterations: int = 10,
+    distance: DistanceFn = exact_distance,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means over (n, 3) pixels; returns (assignments, centroids)."""
+    pixels = np.asarray(pixels, dtype=np.float64)
+    if pixels.ndim != 2 or pixels.shape[1] != 3:
+        raise SimulationError(f"pixels must be (n, 3), got {pixels.shape}")
+    if k < 1 or k > len(pixels):
+        raise SimulationError(f"k={k} invalid for {len(pixels)} pixels")
+    rng = np.random.default_rng(seed)
+    centroids = pixels[rng.choice(len(pixels), size=k, replace=False)].copy()
+    assignments = np.zeros(len(pixels), dtype=np.int64)
+    for _ in range(iterations):
+        for i, pixel in enumerate(pixels):
+            distances = [distance(pixel, c) for c in centroids]
+            assignments[i] = int(np.argmin(distances))
+        for c in range(k):
+            members = pixels[assignments == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+    return assignments, centroids
+
+
+def quantize_image(pixels: np.ndarray, assignments: np.ndarray,
+                   centroids: np.ndarray) -> np.ndarray:
+    """Replace each pixel by its centroid (the benchmark's output)."""
+    return centroids[assignments]
+
+
+def distance_dataset(samples: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Training pairs for ANN-2: (pixel, centroid) -> distance.
+
+    Colours are in [0, 1]; the distance is scaled by 1/sqrt(3) so the
+    target stays in [0, 1].
+    """
+    rng = np.random.default_rng(seed)
+    pixels = rng.random((samples, 3))
+    centroids = rng.random((samples, 3))
+    inputs = np.concatenate([pixels, centroids], axis=1)
+    scale = 1.0 / np.sqrt(3.0)
+    targets = np.array([
+        [exact_distance(p, c) * scale]
+        for p, c in zip(pixels, centroids)
+    ])
+    return inputs, targets
+
+
+def random_pixel_image(n_pixels: int, clusters: int = 4,
+                       seed: int = 0) -> np.ndarray:
+    """A synthetic image with genuine colour clusters (plus noise)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.random((clusters, 3))
+    labels = rng.integers(0, clusters, n_pixels)
+    pixels = centers[labels] + rng.normal(0, 0.05, (n_pixels, 3))
+    return np.clip(pixels, 0.0, 1.0)

@@ -1,0 +1,49 @@
+"""Output-quality metrics.
+
+Eq. (1) of the paper: for non-classification models, accuracy is the
+relative distance between the accelerator's output ``A`` and the golden
+reference ``B``::
+
+    accuracy = (1 - (A - B)^2 / B^2) * 100%
+
+evaluated element-wise and averaged over the output set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def relative_accuracy(approx: np.ndarray, golden: np.ndarray,
+                      epsilon: float = 1e-9) -> float:
+    """Paper Eq. (1), in percent, averaged over all outputs.
+
+    ``epsilon`` regularises near-zero golden values, which would
+    otherwise blow the relative error up on outputs the application
+    doesn't care about.
+    """
+    approx = np.ravel(np.asarray(approx, dtype=np.float64))
+    golden = np.ravel(np.asarray(golden, dtype=np.float64))
+    if approx.shape != golden.shape:
+        raise SimulationError(
+            f"output shapes differ: {approx.shape} vs {golden.shape}"
+        )
+    if approx.size == 0:
+        raise SimulationError("empty outputs have no accuracy")
+    denom = golden ** 2 + epsilon
+    ratio = (approx - golden) ** 2 / denom
+    accuracy = (1.0 - ratio) * 100.0
+    return float(np.mean(np.clip(accuracy, 0.0, 100.0)))
+
+
+def classification_accuracy(predicted: np.ndarray, labels: np.ndarray) -> float:
+    """Percentage of correctly-classified samples."""
+    predicted = np.ravel(np.asarray(predicted))
+    labels = np.ravel(np.asarray(labels))
+    if predicted.shape != labels.shape:
+        raise SimulationError("prediction/label count mismatch")
+    if predicted.size == 0:
+        raise SimulationError("empty prediction set")
+    return float(np.mean(predicted == labels) * 100.0)

@@ -1,0 +1,103 @@
+"""Robot-arm control substrate for the CMAC benchmark.
+
+A planar two-link arm: forward kinematics are exact trigonometry; the
+CMAC learns the inverse mapping (end-effector position -> joint angles),
+which is the classic Albus application the paper's "robot arm control"
+benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TwoLinkArm:
+    """A planar arm with two revolute joints."""
+
+    link1: float = 1.0
+    link2: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.link1 <= 0 or self.link2 <= 0:
+            raise SimulationError("link lengths must be positive")
+
+    @property
+    def reach(self) -> float:
+        return self.link1 + self.link2
+
+    @property
+    def inner_reach(self) -> float:
+        return abs(self.link1 - self.link2)
+
+    def forward(self, theta1: float, theta2: float) -> tuple[float, float]:
+        """End-effector position for joint angles (radians)."""
+        x = (self.link1 * np.cos(theta1)
+             + self.link2 * np.cos(theta1 + theta2))
+        y = (self.link1 * np.sin(theta1)
+             + self.link2 * np.sin(theta1 + theta2))
+        return float(x), float(y)
+
+    def inverse(self, x: float, y: float) -> tuple[float, float]:
+        """Closed-form inverse kinematics (elbow-down solution)."""
+        distance_sq = x * x + y * y
+        distance = np.sqrt(distance_sq)
+        if distance > self.reach + 1e-9 or distance < self.inner_reach - 1e-9:
+            raise SimulationError(
+                f"target ({x:.3f}, {y:.3f}) outside the workspace"
+            )
+        cos_t2 = (distance_sq - self.link1 ** 2 - self.link2 ** 2) \
+            / (2 * self.link1 * self.link2)
+        cos_t2 = float(np.clip(cos_t2, -1.0, 1.0))
+        theta2 = np.arccos(cos_t2)
+        k1 = self.link1 + self.link2 * np.cos(theta2)
+        k2 = self.link2 * np.sin(theta2)
+        theta1 = np.arctan2(y, x) - np.arctan2(k2, k1)
+        return float(theta1), float(theta2)
+
+    def position_error(self, target_xy: tuple[float, float],
+                       angles: tuple[float, float]) -> float:
+        """Cartesian error of a candidate joint solution."""
+        got = self.forward(*angles)
+        return float(np.hypot(got[0] - target_xy[0], got[1] - target_xy[1]))
+
+
+def inverse_kinematics_dataset(
+    arm: TwoLinkArm,
+    samples: int,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(x, y) -> (theta1, theta2) pairs sampled inside the workspace.
+
+    Positions are normalised to [0, 1]^2 over the reachable annulus'
+    bounding box (matching the CMAC's input quantization); angles are
+    normalised by pi.
+    """
+    rng = np.random.default_rng(seed)
+    inputs = np.empty((samples, 2))
+    targets = np.empty((samples, 2))
+    count = 0
+    while count < samples:
+        theta1 = rng.uniform(0, np.pi)
+        theta2 = rng.uniform(0.15, np.pi - 0.15)
+        x, y = arm.forward(theta1, theta2)
+        inputs[count] = [(x + arm.reach) / (2 * arm.reach),
+                         (y + arm.reach) / (2 * arm.reach)]
+        targets[count] = [theta1 / np.pi, theta2 / np.pi]
+        count += 1
+    return inputs, targets
+
+
+def denormalise_angles(normalised: np.ndarray) -> tuple[float, float]:
+    values = np.ravel(normalised)
+    return float(values[0] * np.pi), float(values[1] * np.pi)
+
+
+def denormalise_position(arm: TwoLinkArm, normalised: np.ndarray) -> tuple[float, float]:
+    values = np.ravel(normalised)
+    return (float(values[0] * 2 * arm.reach - arm.reach),
+            float(values[1] * 2 * arm.reach - arm.reach))

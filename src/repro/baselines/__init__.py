@@ -1,0 +1,21 @@
+"""Comparison baselines of the paper's evaluation.
+
+* :mod:`repro.baselines.cpu` — the "software NN on CPU" (Xeon 2.4 GHz)
+  timing and energy model,
+* :mod:`repro.baselines.custom` — the manually-designed per-application
+  accelerators a grad student wrote for the paper's comparison,
+* :mod:`repro.baselines.zhang_fpga15` — the Zhang et al. FPGA'15 AlexNet
+  accelerator [7] on a VX485T.
+"""
+
+from repro.baselines.cpu import CPUModel, XEON_2_4GHZ
+from repro.baselines.custom import CustomAccelerator, custom_design
+from repro.baselines.zhang_fpga15 import ZhangFPGA15
+
+__all__ = [
+    "CPUModel",
+    "XEON_2_4GHZ",
+    "CustomAccelerator",
+    "custom_design",
+    "ZhangFPGA15",
+]

@@ -1,0 +1,91 @@
+"""The hand-designed "Custom" accelerators.
+
+"A fourth-year graduate student with sufficient experience on deep
+learning and FPGA manually designed the customized NN accelerators for
+every application" (paper §4.2).  We model Custom as a design produced
+through the same cost machinery but with the hand-tuning advantages a
+bespoke implementation has over the generated one:
+
+* the layer-specialised datapath keeps utilisation high (no generic
+  connection box or coordinator overhead: trimmed control),
+* slightly leaner glue logic per block (hand-written RTL vs the
+  library's reconfigurable modules) — Table 3 shows Custom using a few
+  percent fewer LUT/FF at the same DSP count,
+* but no flexibility: a Custom design serves exactly one network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.compiler import DeepBurningCompiler
+from repro.devices.cost import ResourceCost
+from repro.devices.device import ResourceBudget
+from repro.frontend.graph import NetworkGraph
+from repro.nngen.design import AcceleratorDesign
+from repro.nngen.generator import NNGen
+from repro.sim.accel import AcceleratorSimulator, SimulationResult
+
+#: Fraction of the generated design's LUT/FF glue the hand design needs.
+HAND_TUNED_LUT_FACTOR = 0.93
+HAND_TUNED_FF_FACTOR = 0.95
+#: Pipeline-utilisation advantage of the specialised datapath: the
+#: generated design's compute beats are inflated by this factor relative
+#: to a hand-scheduled pipeline.
+HAND_TUNED_SPEEDUP = 1.18
+#: Dynamic-energy advantage: no generic crossbar toggling.
+HAND_TUNED_ENERGY_FACTOR = 1.0 / 1.12
+
+
+@dataclass
+class CustomAccelerator:
+    """A manually-designed accelerator for one specific network."""
+
+    design: AcceleratorDesign
+
+    def resource_report(self) -> ResourceCost:
+        generated = self.design.resource_report()
+        return ResourceCost(
+            dsp=generated.dsp,
+            lut=int(generated.lut * HAND_TUNED_LUT_FACTOR),
+            ff=int(generated.ff * HAND_TUNED_FF_FACTOR),
+            bram_bits=generated.bram_bits,
+        )
+
+    def simulate(self, weights=None) -> SimulationResult:
+        """Timing/energy of one forward pass on the hand design."""
+        program = DeepBurningCompiler().compile(self.design, weights=weights)
+        result = AcceleratorSimulator(program, weights=weights).run(
+            functional=False)
+        cycles = int(result.cycles / HAND_TUNED_SPEEDUP)
+        scale = cycles / max(1, result.cycles)
+        energy = result.energy
+        # Re-scale: shorter runtime cuts static energy proportionally;
+        # dynamic energy drops by the crossbar-free factor.
+        from repro.sim.power import EnergyReport
+        tuned = EnergyReport(
+            time_s=result.time_s * scale,
+            static_j=energy.static_j * scale,
+            mac_j=energy.mac_j * HAND_TUNED_ENERGY_FACTOR,
+            sram_j=energy.sram_j * HAND_TUNED_ENERGY_FACTOR,
+            dram_j=energy.dram_j,
+        )
+        return SimulationResult(
+            cycles=cycles,
+            time_s=result.time_s * scale,
+            energy=tuned,
+            phase_traces=result.phase_traces,
+            outputs=None,
+            dram_words=result.dram_words,
+            macs=result.macs,
+        )
+
+
+def custom_design(graph: NetworkGraph, budget: ResourceBudget) -> CustomAccelerator:
+    """Hand-design an accelerator for ``graph`` within ``budget``.
+
+    The student starts from the same resource envelope the generated DB
+    accelerator gets, so Table 3's DSP columns match.
+    """
+    design = NNGen().generate(graph, budget)
+    return CustomAccelerator(design=design)

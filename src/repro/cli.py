@@ -1,0 +1,191 @@
+"""Command-line interface: the paper's "one-click" flow.
+
+::
+
+    python -m repro generate --script net.prototxt --device Z-7045 \
+        --fraction 0.3 --out rtl/
+    python -m repro simulate --script net.prototxt --device Z-7020 \
+        --fraction 0.2
+    python -m repro experiment fig8
+
+``generate`` parses the descriptive script, runs NN-Gen and the
+compiler, writes the Verilog project and prints the design summary;
+``simulate`` additionally runs a forward propagation with random
+weights and inputs; ``experiment`` regenerates one of the paper's
+tables/figures by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.compiler.compiler import DeepBurningCompiler
+from repro.devices.device import Device, VX485T, Z7020, Z7045, budget_fraction
+from repro.errors import DeepBurningError
+from repro.frontend.graph import graph_from_text
+from repro.frontend.shapes import infer_shapes
+from repro.nn.reference import init_weights
+from repro.nngen.generator import NNGen
+from repro.rtl.emit import write_project
+from repro.sim.accel import AcceleratorSimulator
+
+DEVICES: dict[str, Device] = {
+    "Z-7020": Z7020,
+    "Z-7045": Z7045,
+    "VX485T": VX485T,
+}
+
+EXPERIMENTS = (
+    "table1", "table2", "fig8", "fig9", "fig10", "table3", "claims",
+)
+
+
+def _load_graph(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_text(handle.read())
+
+
+def _budget(args: argparse.Namespace):
+    try:
+        device = DEVICES[args.device]
+    except KeyError:
+        raise DeepBurningError(
+            f"unknown device '{args.device}'; options: {sorted(DEVICES)}"
+        ) from None
+    return budget_fraction(device, args.fraction)
+
+
+def _prepare(args: argparse.Namespace):
+    graph = _load_graph(args.script)
+    design = NNGen().generate(graph, _budget(args))
+    weights = init_weights(graph, np.random.default_rng(args.seed))
+    program = DeepBurningCompiler().compile(design, weights=weights)
+    return graph, design, weights, program
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    graph, design, _, program = _prepare(args)
+    print(design.summary())
+    print(program.summary())
+    if args.out:
+        from repro.rtl.images import write_images
+        from repro.rtl.testbench import emit_testbench
+        import os
+        paths = write_project(design, args.out)
+        paths += write_images(program, args.out)
+        tb_path = os.path.join(args.out, "accelerator_top_tb.v")
+        with open(tb_path, "w", encoding="utf-8") as handle:
+            handle.write(emit_testbench(design))
+        paths.append(tb_path)
+        print(f"wrote {len(paths)} files to {args.out} "
+              "(RTL + testbench + memory images)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    graph, design, weights, program = _prepare(args)
+    print(design.summary())
+    shapes = infer_shapes(graph)
+    input_blob = graph.inputs()[0].tops[0]
+    rng = np.random.default_rng(args.seed + 1)
+    image = rng.uniform(-1.0, 1.0, shapes[input_blob].dims)
+    result = AcceleratorSimulator(program, weights=weights).run(
+        image, functional=not args.timing_only)
+    print(result.summary())
+    if args.report:
+        print(result.layer_report(
+            peak_macs_per_cycle=design.datapath.multipliers))
+    if not args.timing_only:
+        values = np.ravel(result.output)[:8]
+        print(f"output (first values): {np.round(values, 4)}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name not in EXPERIMENTS:
+        raise DeepBurningError(
+            f"unknown experiment '{name}'; options: {EXPERIMENTS}"
+        )
+    from repro.experiments import (
+        claims,
+        fig8_performance,
+        fig9_energy,
+        fig10_accuracy,
+        table1_decomposition,
+        table2_benchmarks,
+        table3_resources,
+    )
+    modules = {
+        "table1": table1_decomposition,
+        "table2": table2_benchmarks,
+        "fig8": fig8_performance,
+        "fig9": fig9_energy,
+        "fig10": fig10_accuracy,
+        "table3": table3_resources,
+        "claims": claims,
+    }
+    modules[name].main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepBurning: generate FPGA learning accelerators "
+                    "from Caffe-style network descriptions.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--script", required=True,
+                         help="path to the *.prototxt descriptive script")
+        sub.add_argument("--device", default="Z-7045",
+                         choices=sorted(DEVICES),
+                         help="target FPGA device")
+        sub.add_argument("--fraction", type=float, default=0.3,
+                         help="resource budget as a fraction of the device")
+        sub.add_argument("--seed", type=int, default=0,
+                         help="seed for random weights")
+
+    generate = commands.add_parser(
+        "generate", help="generate the accelerator and emit Verilog")
+    add_common(generate)
+    generate.add_argument("--out", default="",
+                          help="directory for the Verilog project")
+    generate.set_defaults(handler=cmd_generate)
+
+    simulate = commands.add_parser(
+        "simulate", help="generate and simulate one forward propagation")
+    add_common(simulate)
+    simulate.add_argument("--timing-only", action="store_true",
+                          help="skip the bit-level functional execution")
+    simulate.add_argument("--report", action="store_true",
+                          help="print the per-layer cycle/utilization table")
+    simulate.set_defaults(handler=cmd_simulate)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.set_defaults(handler=cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except DeepBurningError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

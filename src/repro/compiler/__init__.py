@@ -1,0 +1,43 @@
+"""The DeepBurning compiler.
+
+The compiler is NN-Gen's software half (paper §3.3): for a generated
+:class:`~repro.nngen.design.AcceleratorDesign` it produces everything the
+hardware needs at run time —
+
+* the fold **schedule** and coordinator FSM program
+  (:mod:`repro.compiler.control`),
+* deterministic **address streams** per AGU, generalized into affine
+  access patterns by the built-in analyzer
+  (:mod:`repro.compiler.address`, :mod:`repro.compiler.patterns`),
+* the Method-1 **data layout** for features and weights
+  (:mod:`repro.compiler.layout`),
+* **Approx LUT contents** for activation functions
+  (:mod:`repro.compiler.lut`),
+
+bundled into a :class:`~repro.compiler.program.ControlProgram`.
+"""
+
+from repro.compiler.patterns import AccessPattern, infer_pattern, infer_patterns
+from repro.compiler.layout import (
+    FeatureLayout,
+    WeightLayout,
+    choose_tile_side,
+    method1_layout,
+)
+from repro.compiler.lut import ApproxLUTContent, build_lut
+from repro.compiler.program import ControlProgram
+from repro.compiler.compiler import DeepBurningCompiler
+
+__all__ = [
+    "AccessPattern",
+    "infer_pattern",
+    "infer_patterns",
+    "FeatureLayout",
+    "WeightLayout",
+    "choose_tile_side",
+    "method1_layout",
+    "ApproxLUTContent",
+    "build_lut",
+    "ControlProgram",
+    "DeepBurningCompiler",
+]

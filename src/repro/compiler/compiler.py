@@ -1,0 +1,150 @@
+"""The compiler driver: design (+ weights) → control program."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.address import AddressFlowGenerator
+from repro.compiler.control import build_coordinator_program
+from repro.compiler.lut import (
+    build_lut,
+    lut_range_for_activation,
+    lut_size_for_format,
+)
+from repro.compiler.memmap import build_memory_map
+from repro.compiler.program import ControlProgram
+from repro.compiler.reduce import reduce_agus
+from repro.errors import CompileError
+from repro.fixedpoint.calibrate import calibrate_format
+from repro.fixedpoint.ops import quantize_to_ints
+from repro.frontend.layers import LayerKind
+from repro.frontend.shapes import infer_shapes
+from repro.nn.reference import ReferenceNetwork
+from repro.nngen.design import AcceleratorDesign
+
+
+class DeepBurningCompiler:
+    """Generates control flow, data layout and LUT content for a design.
+
+    The compile step optionally takes trained ``weights`` (the
+    ``{layer: {"weight", "bias"}}`` form) and ``calibration_inputs``; with
+    them it quantizes the weights into the DRAM image and calibrates a
+    fixed-point format per blob from a float-mode forward pass, exactly
+    the preprocessing the paper runs on the ARM core.
+    """
+
+    def __init__(self, lut_entries: int | None = None) -> None:
+        self.lut_entries = lut_entries
+
+    def compile(
+        self,
+        design: AcceleratorDesign,
+        weights: dict[str, dict[str, np.ndarray]] | None = None,
+        calibration_inputs: list[np.ndarray] | None = None,
+    ) -> ControlProgram:
+        graph = design.graph
+        memory_map = build_memory_map(graph, design.datapath.simd)
+        generator = AddressFlowGenerator(design, memory_map)
+        plans = generator.plans()
+        coordinator = build_coordinator_program(design, plans)
+        # With the pattern tables fixed, reduce the template AGUs to the
+        # fields and table depth the network actually exercises.
+        reduce_agus(design, coordinator)
+
+        blob_formats = self._calibrate_blobs(design, weights,
+                                             calibration_inputs)
+        weight_format = design.datapath.weight_format
+        luts = self._build_luts(design, blob_formats)
+        dram_image = None
+        if weights is not None:
+            dram_image = self._build_dram_image(design, memory_map, weights,
+                                                weight_format)
+        return ControlProgram(
+            design=design,
+            memory_map=memory_map,
+            coordinator=coordinator,
+            address_plans=plans,
+            blob_formats=blob_formats,
+            weight_format=weight_format,
+            luts=luts,
+            dram_image=dram_image,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _calibrate_blobs(self, design, weights, calibration_inputs):
+        graph = design.graph
+        shapes = design.shapes or infer_shapes(graph)
+        default = design.datapath.data_format
+        formats = {blob: default for blob in shapes}
+        if weights is None or not calibration_inputs:
+            return formats
+        net = ReferenceNetwork(graph, weights)
+        samples: dict[str, list[np.ndarray]] = {blob: [] for blob in shapes}
+        for item in calibration_inputs:
+            net.reset_state()
+            blobs = net.forward(np.asarray(item, dtype=np.float64))
+            for blob, value in blobs.items():
+                samples[blob].append(np.ravel(value))
+        total_bits = default.total_bits
+        for blob, collected in samples.items():
+            if collected:
+                stacked = np.concatenate(collected)
+                try:
+                    formats[blob] = calibrate_format(
+                        stacked, total_bits=total_bits, headroom=2.0)
+                except Exception:
+                    formats[blob] = default
+        return formats
+
+    def _build_luts(self, design, blob_formats):
+        """One Approx LUT image per LUT-backed function in the design."""
+        luts = {}
+        activation = design.components.get("activation")
+        functions = []
+        if activation is not None:
+            functions = [f for f in activation.functions
+                         if f in ("sigmoid", "tanh")]
+        if "lrn" in design.components:
+            functions.append("reciprocal_power")
+        data_format = design.datapath.data_format
+        for function in functions:
+            if function == "reciprocal_power":
+                low, high = 0.0, float(data_format.max_value)
+            else:
+                low, high = lut_range_for_activation(function)
+            entries = self.lut_entries or lut_size_for_format(
+                data_format, low, high)
+            if function == "reciprocal_power":
+                # Guard the open end of the power kernel's domain.
+                low = 0.0
+            luts[function] = build_lut(function, low, high, entries,
+                                       value_format=data_format)
+        return luts
+
+    def _build_dram_image(self, design, memory_map, weights, weight_format):
+        """Quantize weights into the element-addressed DRAM image.
+
+        Feature regions are zero-initialised; the host writes the input
+        blob before launch (the simulator's job).
+        """
+        image = np.zeros(memory_map.total_elements, dtype=np.int64)
+        graph = design.graph
+        for spec in graph.weighted_layers():
+            if spec.name not in weights:
+                raise CompileError(
+                    f"no trained weights supplied for layer '{spec.name}'"
+                )
+            entry = weights[spec.name]
+            region = memory_map.weights(spec.name)
+            weight = np.asarray(entry["weight"], dtype=np.float64)
+            if spec.kind is LayerKind.RECURRENT:
+                recurrent = np.asarray(entry["recurrent_weight"],
+                                       dtype=np.float64)
+                weight = np.concatenate(
+                    [weight.reshape(spec.num_output, -1), recurrent], axis=1)
+            flat = region.linearize(weight, entry.get("bias"))
+            raw = quantize_to_ints(flat, weight_format)
+            image[region.base_address:
+                  region.base_address + region.total_elements] = raw
+        return image

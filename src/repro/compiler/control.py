@@ -1,0 +1,126 @@
+"""Coordinator FSM program generation.
+
+"The configuration signals are generated in time by the FSM-based
+coordinator.  The FSMs are also created by the NN-Gen compiler" (paper
+§3.3).  A :class:`ControlState` is one FSM state: the fold it executes,
+the producer→consumer reconnection of the connection box, the AGU
+pattern selections, and the trigger event recorded in the context
+buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.frontend.layers import LayerKind
+from repro.nngen.design import AcceleratorDesign, FoldPhase
+
+#: Datapath route of each layer kind: the ordered chain of functional
+#: blocks the connection box links for that fold (paper §3.2 mapping).
+KIND_ROUTES: dict[LayerKind, tuple[str, ...]] = {
+    LayerKind.CONVOLUTION: ("neurons", "accumulators", "activation"),
+    LayerKind.INNER_PRODUCT: ("neurons", "accumulators", "activation"),
+    LayerKind.RECURRENT: ("neurons", "connection_box", "activation"),
+    LayerKind.ASSOCIATIVE: ("connection_box", "accumulators"),
+    LayerKind.POOLING: ("pooling",),
+    LayerKind.LRN: ("lrn",),
+    LayerKind.DROPOUT: ("dropout",),
+    LayerKind.RELU: ("activation",),
+    LayerKind.SIGMOID: ("activation",),
+    LayerKind.TANH: ("activation",),
+    LayerKind.SOFTMAX: ("activation", "classifier"),
+    LayerKind.CLASSIFIER: ("classifier",),
+    LayerKind.CONCAT: ("connection_box",),
+    LayerKind.INCEPTION: ("pooling", "neurons", "accumulators"),
+}
+
+
+@dataclass(frozen=True)
+class ControlState:
+    """One coordinator FSM state (one fold phase)."""
+
+    index: int
+    layer: str
+    phase_index: int
+    event: str
+    #: Ordered producer→consumer chain of functional block instances.
+    route: tuple[str, ...]
+    #: AGU pattern table indices selected in this state.
+    main_patterns: tuple[int, ...]
+    data_patterns: tuple[int, ...]
+    weight_patterns: tuple[int, ...]
+    #: Whether the accumulators must hold (partial fold) or flush.
+    accumulate_hold: bool = False
+
+
+@dataclass
+class CoordinatorProgram:
+    """The complete FSM program plus the shared pattern tables."""
+
+    states: list[ControlState] = field(default_factory=list)
+    #: Flattened AGU pattern tables; ControlState indices point here.
+    main_table: list = field(default_factory=list)
+    data_table: list = field(default_factory=list)
+    weight_table: list = field(default_factory=list)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def state_for_phase(self, layer: str, phase_index: int) -> ControlState:
+        for state in self.states:
+            if state.layer == layer and state.phase_index == phase_index:
+                return state
+        raise CompileError(f"no control state for {layer}#{phase_index}")
+
+    def events(self) -> list[str]:
+        return [state.event for state in self.states]
+
+
+def route_for_phase(design: AcceleratorDesign, phase: FoldPhase) -> tuple[str, ...]:
+    """Connection-box route of a fold, trimmed to instantiated blocks."""
+    route = KIND_ROUTES.get(phase.kind)
+    if route is None:
+        raise CompileError(f"no datapath route for layer kind {phase.kind}")
+    present = tuple(block for block in route if block in design.components)
+    if not present:
+        raise CompileError(
+            f"none of the blocks {route} for fold {phase.layer}"
+            f"#{phase.phase_index} exist in the design"
+        )
+    return present
+
+
+def build_coordinator_program(design: AcceleratorDesign, plans) -> CoordinatorProgram:
+    """Assemble the FSM program from the per-phase address plans."""
+    program = CoordinatorProgram()
+    for index, plan in enumerate(plans):
+        phase = plan.phase
+        main_ids = []
+        for pattern in (plan.main_feature_reads + plan.main_weight_reads
+                        + plan.main_writes):
+            main_ids.append(len(program.main_table))
+            program.main_table.append(pattern)
+        data_ids = []
+        for pattern in plan.data_reads:
+            data_ids.append(len(program.data_table))
+            program.data_table.append(pattern)
+        weight_ids = []
+        for pattern in plan.weight_reads:
+            weight_ids.append(len(program.weight_table))
+            program.weight_table.append(pattern)
+        program.states.append(ControlState(
+            index=index,
+            layer=phase.layer,
+            phase_index=phase.phase_index,
+            event=plan.event,
+            route=route_for_phase(design, phase),
+            main_patterns=tuple(main_ids),
+            data_patterns=tuple(data_ids),
+            weight_patterns=tuple(weight_ids),
+            accumulate_hold=phase.partial,
+        ))
+    if not program.states:
+        raise CompileError("network produced no control states")
+    return program

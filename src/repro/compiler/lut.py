@@ -1,0 +1,178 @@
+"""Approx LUT content generation (paper §3.3).
+
+The compiler "parses the complex functions, chooses the necessary
+sampling points and then calculates the values to be filled in Approx
+LUTs".  Content is a uniform grid of sample points over a calibrated
+input range; lookups that fall between keys blend the two adjacent
+values linearly ("super-linear interpolation" over the sampled segment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.fixedpoint.format import QFormat
+from repro.fixedpoint.ops import quantize
+
+#: Functions the current library version knows how to sample.
+KNOWN_FUNCTIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60))),
+    "tanh": np.tanh,
+    "reciprocal_power": lambda x: (1.0 + x) ** -0.75,  # LRN scale kernel
+}
+
+
+@dataclass
+class ApproxLUTContent:
+    """The keys/values image burnt into one Approx LUT."""
+
+    function: str
+    input_low: float
+    input_high: float
+    keys: np.ndarray = field(repr=False)
+    values: np.ndarray = field(repr=False)
+    value_format: QFormat | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.values):
+            raise CompileError("LUT keys and values differ in length")
+        if len(self.keys) < 2:
+            raise CompileError("an Approx LUT needs at least two samples")
+        if self.input_high <= self.input_low:
+            raise CompileError("LUT input range is empty")
+
+    @property
+    def entries(self) -> int:
+        return len(self.keys)
+
+    @property
+    def step(self) -> float:
+        return (self.input_high - self.input_low) / (self.entries - 1)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate exactly as the hardware does.
+
+        Inputs are clamped to the sampled range; keys that hit the table
+        read the stored value directly, others interpolate between the
+        upper and lower adjacent keys.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        clamped = np.clip(x, self.input_low, self.input_high)
+        position = (clamped - self.input_low) / self.step
+        low_index = np.floor(position).astype(np.int64)
+        low_index = np.minimum(low_index, self.entries - 2)
+        frac = position - low_index
+        low = self.values[low_index]
+        high = self.values[low_index + 1]
+        result = low + frac * (high - low)
+        if self.value_format is not None:
+            result = quantize(result, self.value_format)
+        return result
+
+    def max_error(self, reference: Callable[[np.ndarray], np.ndarray],
+                  samples: int = 4096) -> float:
+        """Max |LUT - reference| over a dense grid inside the range."""
+        grid = np.linspace(self.input_low, self.input_high, samples)
+        return float(np.max(np.abs(self.evaluate(grid) - reference(grid))))
+
+
+def resolve_function(function: str | Callable[[np.ndarray], np.ndarray]):
+    """Look up a named function or accept a user-specified callable.
+
+    User callables are how the library is "extended with new functions
+    not supported in the current version" (paper §3.2).
+    """
+    if callable(function):
+        return function, getattr(function, "__name__", "custom")
+    try:
+        return KNOWN_FUNCTIONS[function], function
+    except KeyError:
+        raise CompileError(
+            f"no known function '{function}'; pass a callable to extend "
+            "the library"
+        ) from None
+
+
+def build_lut(
+    function: str | Callable[[np.ndarray], np.ndarray],
+    input_low: float,
+    input_high: float,
+    entries: int = 256,
+    value_format: QFormat | None = None,
+) -> ApproxLUTContent:
+    """Sample a function into LUT content."""
+    fn, name = resolve_function(function)
+    if entries < 2:
+        raise CompileError("LUT needs at least 2 entries")
+    if input_high <= input_low:
+        raise CompileError(
+            f"empty LUT input range [{input_low}, {input_high}]"
+        )
+    keys = np.linspace(input_low, input_high, entries)
+    values = np.asarray(fn(keys), dtype=np.float64)
+    if not np.all(np.isfinite(values)):
+        raise CompileError(f"function '{name}' is not finite on the range")
+    if value_format is not None:
+        values = quantize(values, value_format)
+    return ApproxLUTContent(
+        function=name, input_low=input_low, input_high=input_high,
+        keys=keys, values=values, value_format=value_format,
+    )
+
+
+def choose_entries(
+    function: str | Callable[[np.ndarray], np.ndarray],
+    input_low: float,
+    input_high: float,
+    error_budget: float,
+    max_entries: int = 65536,
+) -> int:
+    """Smallest power-of-two entry count meeting an error budget.
+
+    This is the "size depending on accuracy requirement" decision the
+    compiler makes before the hardware generator fixes the BRAM size.
+    """
+    fn, _ = resolve_function(function)
+    if error_budget <= 0:
+        raise CompileError("error budget must be positive")
+    entries = 4
+    while entries <= max_entries:
+        lut = build_lut(fn, input_low, input_high, entries)
+        if lut.max_error(fn) <= error_budget:
+            return entries
+        entries *= 2
+    raise CompileError(
+        f"cannot meet error budget {error_budget} within {max_entries} entries"
+    )
+
+
+def lut_range_for_activation(function: str, samples: np.ndarray | None = None,
+                             headroom: float = 1.25) -> tuple[float, float]:
+    """Input range to sample for an activation function.
+
+    With calibration samples the range hugs the observed activations;
+    without, a conservative symmetric range wide enough for the
+    function to saturate.
+    """
+    if samples is not None and np.asarray(samples).size:
+        peak = float(np.max(np.abs(samples))) * headroom
+        peak = max(peak, 1.0)
+        return -peak, peak
+    default = {"sigmoid": 8.0, "tanh": 4.0}.get(function, 8.0)
+    return -default, default
+
+
+def lut_size_for_format(fmt: QFormat, input_low: float, input_high: float,
+                        max_entries: int = 1024) -> int:
+    """Entry count so adjacent keys differ by at most a few LSBs."""
+    span = input_high - input_low
+    needed = int(math.ceil(span / (fmt.scale * 4))) + 1
+    entries = 4
+    while entries < needed and entries < max_entries:
+        entries *= 2
+    return entries

@@ -1,0 +1,108 @@
+"""DRAM memory map: where blobs and weights live.
+
+The compiler assigns every feature blob a Method-1-tiled region and
+every weighted layer a weight region.  Addresses are in datapath
+*elements* (one feature/weight word); the AXI byte address is the
+element address times the word size, applied at the boundary by the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.layout import FeatureLayout, WeightLayout, method1_layout
+from repro.errors import LayoutError
+from repro.frontend.graph import NetworkGraph
+from repro.frontend.layers import LayerKind, LayerSpec
+from repro.frontend.shapes import TensorShape, infer_shapes, weight_shape
+
+
+def _consumer_geometry(graph: NetworkGraph, blob: str) -> tuple[int, int]:
+    """(kernel, stride) of the window sweep that consumes ``blob``.
+
+    When several layers consume the blob, the first windowed consumer
+    wins (its locality matters most); non-windowed consumers read the
+    blob linearly and are insensitive to tiling.
+    """
+    for spec in graph.layers:
+        if blob in spec.bottoms and spec.kind in (LayerKind.CONVOLUTION,
+                                                  LayerKind.POOLING):
+            return spec.kernel_size, spec.stride
+    return 1, 1
+
+
+@dataclass
+class MemoryMap:
+    """Element-addressed DRAM map of one compiled network."""
+
+    feature_regions: dict[str, tuple[int, FeatureLayout]] = field(default_factory=dict)
+    weight_regions: dict[str, WeightLayout] = field(default_factory=dict)
+    total_elements: int = 0
+
+    def feature_base(self, blob: str) -> int:
+        try:
+            return self.feature_regions[blob][0]
+        except KeyError:
+            raise LayoutError(f"no DRAM region for blob '{blob}'") from None
+
+    def feature_layout(self, blob: str) -> FeatureLayout:
+        try:
+            return self.feature_regions[blob][1]
+        except KeyError:
+            raise LayoutError(f"no DRAM region for blob '{blob}'") from None
+
+    def weights(self, layer: str) -> WeightLayout:
+        try:
+            return self.weight_regions[layer]
+        except KeyError:
+            raise LayoutError(f"no weight region for layer '{layer}'") from None
+
+    def address_of_pixel(self, blob: str, map_index: int, y: int, x: int) -> int:
+        base, layout = self.feature_regions[blob]
+        return base + layout.address_of(map_index, y, x)
+
+
+def _layout_for_blob(graph: NetworkGraph, blob: str, shape: TensorShape,
+                     port_width: int) -> FeatureLayout:
+    if shape.is_spatial:
+        kernel, stride = _consumer_geometry(graph, blob)
+        return method1_layout(shape.channels, shape.height, shape.width,
+                              kernel=max(1, kernel), stride=max(1, stride),
+                              port_width=port_width)
+    return FeatureLayout(maps=1, height=1, width=shape.size, side=1)
+
+
+def _weight_dims(spec: LayerSpec, in_shape: TensorShape) -> tuple[int, int]:
+    dims = weight_shape(spec, in_shape)
+    rows = dims[0]
+    depth = 1
+    for d in dims[1:]:
+        depth *= d
+    if spec.kind is LayerKind.RECURRENT:
+        # The state-feedback matrix is stored as extra depth per row so
+        # each output neuron's weights stay contiguous.
+        depth += spec.num_output
+    return rows, depth
+
+
+def build_memory_map(graph: NetworkGraph, port_width: int) -> MemoryMap:
+    """Lay every blob and weight tensor out in element-addressed DRAM."""
+    if port_width < 1:
+        raise LayoutError("port width must be at least one element")
+    shapes = infer_shapes(graph)
+    memory_map = MemoryMap()
+    cursor = 0
+    for blob, shape in shapes.items():
+        layout = _layout_for_blob(graph, blob, shape, port_width)
+        memory_map.feature_regions[blob] = (cursor, layout)
+        cursor += layout.total_elements
+    for spec in graph.weighted_layers():
+        in_shape = shapes[spec.bottoms[0]]
+        rows, depth = _weight_dims(spec, in_shape)
+        region = WeightLayout(layer=spec.name, base_address=cursor,
+                              rows=rows, depth=depth, has_bias=spec.bias)
+        memory_map.weight_regions[spec.name] = region
+        cursor += region.total_elements
+    memory_map.total_elements = cursor
+    return memory_map

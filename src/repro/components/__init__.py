@@ -1,0 +1,43 @@
+"""The pre-constructed NN component library (paper Fig. 5).
+
+Each class models one reconfigurable RTL building block: it carries the
+generator-decided parameters (bit-width, lane parallelism, disabled
+ports), knows its programmable-logic cost, and can describe its Verilog
+ports for the RTL backend.  NN-Gen connects configured instances of
+these blocks into the accelerator datapath.
+"""
+
+from repro.components.base import Component, PortDirection, PortSpec
+from repro.components.neuron import SynergyNeuronArray
+from repro.components.accumulator import AccumulatorArray
+from repro.components.pooling import PoolingUnit
+from repro.components.activation import ActivationUnit, ApproxLUT
+from repro.components.lrn import LRNUnit
+from repro.components.dropout import DropOutUnit
+from repro.components.connection_box import ConnectionBox
+from repro.components.classifier import KSorterClassifier
+from repro.components.buffers import OnChipBuffer
+from repro.components.agu import AddressGenerationUnit, AGURole
+from repro.components.coordinator import SchedulingCoordinator
+from repro.components.library import ComponentLibrary, default_library
+
+__all__ = [
+    "Component",
+    "PortSpec",
+    "PortDirection",
+    "SynergyNeuronArray",
+    "AccumulatorArray",
+    "PoolingUnit",
+    "ActivationUnit",
+    "ApproxLUT",
+    "LRNUnit",
+    "DropOutUnit",
+    "ConnectionBox",
+    "KSorterClassifier",
+    "OnChipBuffer",
+    "AddressGenerationUnit",
+    "AGURole",
+    "SchedulingCoordinator",
+    "ComponentLibrary",
+    "default_library",
+]

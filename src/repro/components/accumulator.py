@@ -1,0 +1,47 @@
+"""Accumulator array.
+
+Accumulators combine partial sums across fold phases: when a layer is
+spatially folded along its *input* dimension, each fold produces partial
+dot products that the accumulator array merges before activation.  They
+also realise the summing half of average pooling and the channel-sum of
+convolution layers mapped as synergy-neuron + accumulator (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from repro.components.base import Component, PortDirection, PortSpec, _require_positive
+from repro.devices.cost import ResourceCost
+
+
+class AccumulatorArray(Component):
+    """``lanes`` saturating accumulators of ``width`` bits."""
+
+    MODULE = "accumulator_array"
+
+    def __init__(self, instance: str, lanes: int, width: int = 32) -> None:
+        super().__init__(instance)
+        _require_positive(lanes=lanes, width=width)
+        self.lanes = lanes
+        self.width = width
+
+    def resource_cost(self) -> ResourceCost:
+        # One adder + saturation logic per lane, one register per lane.
+        return ResourceCost(
+            lut=self.lanes * (self.width + 6),
+            ff=self.lanes * self.width,
+        )
+
+    def ports(self) -> list[PortSpec]:
+        return [
+            PortSpec("clk", PortDirection.INPUT),
+            PortSpec("rst", PortDirection.INPUT),
+            PortSpec("enable", PortDirection.INPUT),
+            PortSpec("clear", PortDirection.INPUT),
+            PortSpec("partial_in", PortDirection.INPUT, self.lanes * self.width),
+            PortSpec("valid_in", PortDirection.INPUT),
+            PortSpec("sum_out", PortDirection.OUTPUT, self.lanes * self.width),
+            PortSpec("valid_out", PortDirection.OUTPUT),
+        ]
+
+    def parameters(self) -> dict[str, int]:
+        return {"LANES": self.lanes, "WIDTH": self.width}

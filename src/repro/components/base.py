@@ -1,0 +1,88 @@
+"""Base classes for reconfigurable RTL building blocks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.devices.cost import ResourceCost
+from repro.errors import ResourceError
+
+
+class PortDirection(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """One Verilog port of a component instance."""
+
+    name: str
+    direction: PortDirection
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ResourceError(f"port '{self.name}' has width {self.width}")
+
+
+class Component:
+    """A configured instance of one library building block.
+
+    Subclasses validate their parameters in ``__init__``, report cost via
+    :meth:`resource_cost` and describe their interface via :meth:`ports`.
+    The RTL backend (:mod:`repro.rtl.templates`) renders a Verilog module
+    for each subclass.
+    """
+
+    #: Verilog module base name; subclasses override.
+    MODULE = "component"
+
+    def __init__(self, instance: str) -> None:
+        if not instance or not instance.replace("_", "").isalnum():
+            raise ResourceError(f"bad instance name '{instance}'")
+        self.instance = instance
+
+    def resource_cost(self) -> ResourceCost:
+        raise NotImplementedError
+
+    def ports(self) -> list[PortSpec]:
+        raise NotImplementedError
+
+    def parameters(self) -> dict[str, int]:
+        """Verilog parameters this instance is configured with."""
+        return {}
+
+    @property
+    def module_name(self) -> str:
+        """Verilog module name; one module per distinct configuration."""
+        params = self.parameters()
+        if not params:
+            return self.MODULE
+        suffix = "_".join(str(v) for _, v in sorted(params.items()))
+        return f"{self.MODULE}_{suffix}"
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters().items()))
+        return f"{type(self).__name__}({self.instance}: {params})"
+
+
+def _require_positive(**values: int) -> None:
+    """Validate that every named parameter is a positive integer."""
+    for name, value in values.items():
+        if int(value) != value or value <= 0:
+            raise ResourceError(f"parameter {name}={value} must be a positive integer")
+
+
+def dsp_for_multiplier(width: int) -> int:
+    """DSP slices one ``width x width`` multiplier occupies.
+
+    A DSP48E1 multiplies 25x18; datapaths up to 18 bits use one slice,
+    wider ones cascade two, beyond 25 bits four.
+    """
+    if width <= 18:
+        return 1
+    if width <= 25:
+        return 2
+    return 4

@@ -1,0 +1,87 @@
+"""On-chip buffers.
+
+The accelerator keeps two principal buffers — input/intermediate feature
+data and network weights (paper Fig. 2) — double-buffered so the main
+AGU can stream the next tile from DRAM while the datapath consumes the
+current one.  The read-port width is matched to the datapath ``simd``
+consumption by Method-1 partitioning.
+"""
+
+from __future__ import annotations
+
+from repro.components.base import Component, PortDirection, PortSpec, _require_positive
+from repro.devices.cost import ResourceCost
+from repro.errors import ResourceError
+
+
+class OnChipBuffer(Component):
+    """A banked block-RAM buffer with one read and one write port."""
+
+    MODULE = "onchip_buffer"
+
+    def __init__(self, instance: str, depth_words: int, word_bits: int,
+                 banks: int = 2) -> None:
+        super().__init__(instance)
+        _require_positive(depth_words=depth_words, word_bits=word_bits,
+                          banks=banks)
+        self.depth_words = depth_words
+        self.word_bits = word_bits
+        self.banks = banks
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth_words * self.word_bits * self.banks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_bits // 8
+
+    @property
+    def address_width(self) -> int:
+        return max(1, (self.depth_words - 1).bit_length())
+
+    def resource_cost(self) -> ResourceCost:
+        # Storage in BRAM; addressing and bank-select logic in LUT/FF.
+        return ResourceCost(
+            lut=self.banks * (self.address_width + 6),
+            ff=self.banks * (self.address_width + 2),
+            bram_bits=self.capacity_bits,
+        )
+
+    def ports(self) -> list[PortSpec]:
+        return [
+            PortSpec("clk", PortDirection.INPUT),
+            PortSpec("write_enable", PortDirection.INPUT),
+            PortSpec("write_addr", PortDirection.INPUT, self.address_width),
+            PortSpec("write_data", PortDirection.INPUT, self.word_bits),
+            PortSpec("read_enable", PortDirection.INPUT),
+            PortSpec("read_addr", PortDirection.INPUT, self.address_width),
+            PortSpec("bank_select", PortDirection.INPUT,
+                     max(1, (self.banks - 1).bit_length())),
+            PortSpec("read_data", PortDirection.OUTPUT, self.word_bits),
+        ]
+
+    def parameters(self) -> dict[str, int]:
+        return {
+            "DEPTH": self.depth_words,
+            "WORD_BITS": self.word_bits,
+            "BANKS": self.banks,
+        }
+
+
+def size_buffer(instance: str, payload_bits: int, word_bits: int,
+                banks: int = 2, max_bits: int | None = None) -> OnChipBuffer:
+    """Smallest power-of-two-depth buffer holding ``payload_bits`` per bank."""
+    if payload_bits <= 0:
+        raise ResourceError("buffer payload must be positive")
+    words_needed = -(-payload_bits // word_bits)
+    depth = 1
+    while depth < words_needed:
+        depth *= 2
+    buffer = OnChipBuffer(instance, depth, word_bits, banks)
+    if max_bits is not None and buffer.capacity_bits > max_bits:
+        raise ResourceError(
+            f"buffer '{instance}' needs {buffer.capacity_bits} bits, "
+            f"budget allows {max_bits}"
+        )
+    return buffer

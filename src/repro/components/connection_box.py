@@ -1,0 +1,66 @@
+"""Connection box — the inter-layer crossbar.
+
+The connection box (paper Fig. 5) exchanges intermediate values between
+layers: it reconnects producer lanes to consumer lanes as a crossbar
+under coordinator control, and embeds a *shifting latch* used for
+approximate division (average pooling, normalisation by powers of two).
+Memory/associative layers map onto the connection box alone.
+"""
+
+from __future__ import annotations
+
+from repro.components.base import Component, PortDirection, PortSpec, _require_positive
+from repro.devices.cost import ResourceCost
+
+
+class ConnectionBox(Component):
+    """``in_ports x out_ports`` crossbar of ``width``-bit words."""
+
+    MODULE = "connection_box"
+
+    def __init__(self, instance: str, in_ports: int, out_ports: int,
+                 width: int = 16, max_shift: int = 7) -> None:
+        super().__init__(instance)
+        _require_positive(in_ports=in_ports, out_ports=out_ports, width=width)
+        if max_shift < 0:
+            raise ValueError("max_shift cannot be negative")
+        self.in_ports = in_ports
+        self.out_ports = out_ports
+        self.width = width
+        self.max_shift = max_shift
+
+    @property
+    def select_width(self) -> int:
+        return max(1, (self.in_ports - 1).bit_length())
+
+    def resource_cost(self) -> ResourceCost:
+        # One in_ports:1 mux per output bit; a mux tree of N inputs costs
+        # about (N-1)/2 LUT6 per bit, plus the shifting latch barrel.
+        mux_luts = self.out_ports * self.width * max(1, (self.in_ports - 1) // 2)
+        shift_luts = self.out_ports * self.width // 2 if self.max_shift else 0
+        ff = self.out_ports * self.width  # output latches
+        return ResourceCost(lut=mux_luts + shift_luts + 4, ff=ff)
+
+    def ports(self) -> list[PortSpec]:
+        return [
+            PortSpec("clk", PortDirection.INPUT),
+            PortSpec("rst", PortDirection.INPUT),
+            PortSpec("select", PortDirection.INPUT,
+                     self.out_ports * self.select_width),
+            PortSpec("shift_amount", PortDirection.INPUT,
+                     max(1, self.max_shift.bit_length())),
+            PortSpec("data_in", PortDirection.INPUT,
+                     self.in_ports * self.width),
+            PortSpec("valid_in", PortDirection.INPUT),
+            PortSpec("data_out", PortDirection.OUTPUT,
+                     self.out_ports * self.width),
+            PortSpec("valid_out", PortDirection.OUTPUT),
+        ]
+
+    def parameters(self) -> dict[str, int]:
+        return {
+            "IN_PORTS": self.in_ports,
+            "OUT_PORTS": self.out_ports,
+            "WIDTH": self.width,
+            "MAX_SHIFT": self.max_shift,
+        }

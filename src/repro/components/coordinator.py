@@ -1,0 +1,68 @@
+"""Scheduling coordinator.
+
+The coordinator is the FSM that sequences fold phases: at pre-determined
+beats it re-points the connection box (producer→consumer reconnection),
+selects AGU patterns, and raises the pattern-trigger events stored in
+the context buffer (paper §3.3, "Dynamic Control flow").  The FSM
+program itself is produced by the compiler
+(:mod:`repro.compiler.control`); this class models the hardware that
+runs it.
+"""
+
+from __future__ import annotations
+
+from repro.components.base import Component, PortDirection, PortSpec, _require_positive
+from repro.devices.cost import ResourceCost
+
+
+class SchedulingCoordinator(Component):
+    """FSM sequencer over ``n_states`` compiled control states."""
+
+    MODULE = "scheduling_coordinator"
+
+    def __init__(self, instance: str, n_states: int, n_agus: int = 3,
+                 select_width: int = 8, context_words: int = 0) -> None:
+        super().__init__(instance)
+        _require_positive(n_states=n_states, n_agus=n_agus,
+                          select_width=select_width)
+        self.n_states = n_states
+        self.n_agus = n_agus
+        self.select_width = select_width
+        self.context_words = context_words if context_words else n_states
+
+    @property
+    def state_width(self) -> int:
+        return max(1, (self.n_states - 1).bit_length())
+
+    def resource_cost(self) -> ResourceCost:
+        # Context buffer rows hold per-state control words (crossbar
+        # selects + AGU pattern ids + trigger masks).
+        control_word = self.n_agus * self.select_width + self.select_width + 8
+        context_bits = self.context_words * control_word
+        return ResourceCost(
+            lut=self.n_states * 3 + control_word // 2 + 16,
+            ff=self.state_width + control_word,
+            bram_bits=context_bits,
+        )
+
+    def ports(self) -> list[PortSpec]:
+        return [
+            PortSpec("clk", PortDirection.INPUT),
+            PortSpec("rst", PortDirection.INPUT),
+            PortSpec("start", PortDirection.INPUT),
+            PortSpec("phase_done", PortDirection.INPUT, self.n_agus),
+            PortSpec("agu_pattern_select", PortDirection.OUTPUT,
+                     self.n_agus * self.select_width),
+            PortSpec("agu_trigger", PortDirection.OUTPUT, self.n_agus),
+            PortSpec("crossbar_select", PortDirection.OUTPUT,
+                     self.select_width),
+            PortSpec("state_out", PortDirection.OUTPUT, self.state_width),
+            PortSpec("network_done", PortDirection.OUTPUT),
+        ]
+
+    def parameters(self) -> dict[str, int]:
+        return {
+            "STATES": self.n_states,
+            "AGUS": self.n_agus,
+            "SEL_W": self.select_width,
+        }

@@ -1,0 +1,125 @@
+"""The component library registry and layer→block mapping rules.
+
+NN-Gen explores this library to match network layers to hardware
+components.  The mapping table reproduces the one in paper §3.2:
+
+======================  =============================================
+Layer                   Building blocks
+======================  =============================================
+Full connection         synergy neurons + accumulators
+Recurrent               synergy neurons + connection box
+Memory/Associative      connection box
+Convolution             synergy neurons + accumulators
+Pooling                 pooling unit / accumulator
+LRN / LCN               LRN unit
+Drop-out inserter       drop-out unit
+Classification          classifier (+ synergy neuron)
+Activation              activation unit (+ synergy neuron)
+Inception               pooling unit + synergy neurons + accumulators
+======================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.base import Component
+from repro.components.accumulator import AccumulatorArray
+from repro.components.activation import ActivationUnit, ApproxLUT
+from repro.components.agu import AddressGenerationUnit
+from repro.components.buffers import OnChipBuffer
+from repro.components.classifier import KSorterClassifier
+from repro.components.connection_box import ConnectionBox
+from repro.components.coordinator import SchedulingCoordinator
+from repro.components.dropout import DropOutUnit
+from repro.components.lrn import LRNUnit
+from repro.components.neuron import SynergyNeuronArray
+from repro.components.pooling import PoolingUnit
+from repro.errors import UnsupportedLayerError
+from repro.frontend.layers import LayerKind
+
+#: Functional block classes a layer kind maps onto.
+LAYER_BLOCK_RULES: dict[LayerKind, tuple[type, ...]] = {
+    LayerKind.INNER_PRODUCT: (SynergyNeuronArray, AccumulatorArray),
+    LayerKind.RECURRENT: (SynergyNeuronArray, ConnectionBox),
+    LayerKind.ASSOCIATIVE: (ConnectionBox, AccumulatorArray),
+    LayerKind.CONVOLUTION: (SynergyNeuronArray, AccumulatorArray),
+    LayerKind.POOLING: (PoolingUnit,),
+    LayerKind.LRN: (LRNUnit,),
+    LayerKind.DROPOUT: (DropOutUnit,),
+    LayerKind.CLASSIFIER: (KSorterClassifier,),
+    LayerKind.RELU: (ActivationUnit,),
+    LayerKind.SIGMOID: (ActivationUnit,),
+    LayerKind.TANH: (ActivationUnit,),
+    LayerKind.SOFTMAX: (ActivationUnit, KSorterClassifier),
+    LayerKind.CONCAT: (ConnectionBox,),
+    LayerKind.INCEPTION: (PoolingUnit, SynergyNeuronArray, AccumulatorArray),
+}
+
+
+def blocks_for_layer(kind: LayerKind) -> tuple[type, ...]:
+    """Library block classes required by a layer kind."""
+    if kind is LayerKind.DATA:
+        return ()
+    try:
+        return LAYER_BLOCK_RULES[kind]
+    except KeyError:
+        raise UnsupportedLayerError(
+            f"the component library has no mapping for layer kind {kind}"
+        ) from None
+
+
+@dataclass
+class ComponentLibrary:
+    """A registry of available block classes, open for extension."""
+
+    blocks: dict[str, type] = field(default_factory=dict)
+
+    def register(self, block_class: type) -> None:
+        if not issubclass(block_class, Component):
+            raise UnsupportedLayerError(
+                f"{block_class!r} is not a Component subclass"
+            )
+        self.blocks[block_class.MODULE] = block_class
+
+    def get(self, module: str) -> type:
+        try:
+            return self.blocks[module]
+        except KeyError:
+            raise UnsupportedLayerError(
+                f"no library block named '{module}'"
+            ) from None
+
+    def supports(self, kind: LayerKind) -> bool:
+        """True when every block the layer kind needs is registered."""
+        if kind is LayerKind.DATA:
+            return True
+        try:
+            required = blocks_for_layer(kind)
+        except UnsupportedLayerError:
+            return False
+        return all(cls.MODULE in self.blocks for cls in required)
+
+    def names(self) -> list[str]:
+        return sorted(self.blocks)
+
+
+def default_library() -> ComponentLibrary:
+    """The first batch of basic reconfigurable components (paper §3.2)."""
+    library = ComponentLibrary()
+    for block_class in (
+        SynergyNeuronArray,
+        AccumulatorArray,
+        PoolingUnit,
+        ActivationUnit,
+        ApproxLUT,
+        LRNUnit,
+        DropOutUnit,
+        ConnectionBox,
+        KSorterClassifier,
+        OnChipBuffer,
+        AddressGenerationUnit,
+        SchedulingCoordinator,
+    ):
+        library.register(block_class)
+    return library

@@ -1,0 +1,28 @@
+"""FPGA device models and resource budgets.
+
+DeepBurning sizes the generated datapath against a *constraint file*: a
+resource budget carved out of a target device.  The paper uses Xilinx
+Zynq devices — Z-7020 for the small (DB-S) budget and Z-7045 for the
+mediate (DB) and large (DB-L) budgets — plus the Virtex-7 VX485T for the
+Zhang et al. FPGA'15 comparison point.
+"""
+
+from repro.devices.device import (
+    Device,
+    ResourceBudget,
+    VX485T,
+    Z7020,
+    Z7045,
+    budget_fraction,
+)
+from repro.devices.cost import ResourceCost
+
+__all__ = [
+    "Device",
+    "ResourceBudget",
+    "ResourceCost",
+    "Z7020",
+    "Z7045",
+    "VX485T",
+    "budget_fraction",
+]

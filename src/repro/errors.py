@@ -1,0 +1,65 @@
+"""Exception hierarchy for the DeepBurning reproduction.
+
+Every error raised by this package derives from :class:`DeepBurningError`
+so callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class DeepBurningError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParseError(DeepBurningError):
+    """A model descriptive script could not be parsed.
+
+    Carries the source location so the user can find the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class GraphError(DeepBurningError):
+    """The network graph is malformed (dangling blobs, cycles, etc.)."""
+
+
+class ShapeError(DeepBurningError):
+    """Shape inference failed or tensor shapes are inconsistent."""
+
+
+class UnsupportedLayerError(DeepBurningError):
+    """A layer type has no mapping in the NN component library."""
+
+
+class ResourceError(DeepBurningError):
+    """The resource budget cannot accommodate even a minimal datapath."""
+
+
+class CompileError(DeepBurningError):
+    """The compiler could not produce a control program for the design."""
+
+
+class LayoutError(DeepBurningError):
+    """Data tiling / partitioning failed for a feature or weight tensor."""
+
+
+class PatternError(DeepBurningError):
+    """An address stream could not be represented as an AGU pattern."""
+
+
+class SimulationError(DeepBurningError):
+    """The accelerator simulator reached an inconsistent state."""
+
+
+class RTLError(DeepBurningError):
+    """Verilog emission or structural lint failed."""
+
+
+class QuantizationError(DeepBurningError):
+    """A value cannot be represented in the requested fixed-point format."""

@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each experiment module exposes ``run()`` returning structured records
+and ``main()`` printing the same rows the paper reports; the
+``benchmarks/`` tree wraps them in pytest-benchmark entries.  See
+DESIGN.md's experiment index for the mapping.
+"""
+
+from repro.experiments.config import (
+    BUDGET_SCHEMES,
+    BenchmarkCase,
+    PAPER_BENCHMARKS,
+    scheme_budget,
+)
+from repro.experiments.runner import PerfRecord, simulate_scheme
+
+__all__ = [
+    "BUDGET_SCHEMES",
+    "PAPER_BENCHMARKS",
+    "BenchmarkCase",
+    "scheme_budget",
+    "PerfRecord",
+    "simulate_scheme",
+]

@@ -1,0 +1,68 @@
+"""Headline claims: the aggregate numbers the paper's abstract and
+conclusion quote, recomputed from the Fig. 8/9/10 data.
+
+Paper values:
+
+* DB achieves up to 4.7x speed-up over the CPU (Fig. 8),
+* DB-L is ~3.5x faster than DB on average (Fig. 8),
+* CPU consumes ~58x more energy than DB on average; "over 90% energy
+  saving" (Fig. 9),
+* DB consumes more energy than Custom (~1.8x in the paper), while DB-L
+  dissipates less energy than DB (Fig. 9),
+* accuracy within ~1.5% of the CPU software NN on average (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import fig8_performance, fig9_energy
+
+
+@dataclass(frozen=True)
+class HeadlineClaims:
+    """Measured aggregates next to the paper's printed values."""
+
+    max_db_speedup_vs_cpu: float
+    mean_dbl_speedup_vs_db: float
+    mean_cpu_energy_over_db: float
+    mean_db_energy_over_custom: float
+    energy_saving_vs_cpu_percent: float
+
+    PAPER = {
+        "max_db_speedup_vs_cpu": 4.7,
+        "mean_dbl_speedup_vs_db": 3.5,
+        "mean_cpu_energy_over_db": 58.0,
+        "mean_db_energy_over_custom": 1.8,
+        "energy_saving_vs_cpu_percent": 90.0,
+    }
+
+
+def run() -> HeadlineClaims:
+    perf = fig8_performance.run()
+    energy = fig9_energy.run()
+    cpu_over_db = fig9_energy.cpu_over_db(energy)
+    return HeadlineClaims(
+        max_db_speedup_vs_cpu=max(
+            fig8_performance.speedups_vs_cpu(perf).values()),
+        mean_dbl_speedup_vs_db=fig8_performance.dbl_over_db(perf),
+        mean_cpu_energy_over_db=cpu_over_db,
+        mean_db_energy_over_custom=fig9_energy.db_over_custom(energy),
+        energy_saving_vs_cpu_percent=(1.0 - 1.0 / cpu_over_db) * 100.0,
+    )
+
+
+def main() -> str:
+    claims = run()
+    lines = ["Headline claims (measured vs paper):"]
+    for field_name, paper_value in HeadlineClaims.PAPER.items():
+        measured = getattr(claims, field_name)
+        lines.append(f"  {field_name}: measured {measured:.2f} "
+                     f"(paper {paper_value})")
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,269 @@
+"""Fig. 10: output accuracy — CPU software NN vs DeepBurning accelerator.
+
+For classification benchmarks the metric is the percentage of correctly
+classified inputs; for the approximate-computing / control benchmarks it
+is Eq. (1), the relative distance to the golden orthodox program.  Both
+columns run the *same trained weights*: the CPU column in float64
+(:class:`~repro.nn.reference.ReferenceNetwork`), the DeepBurning column
+through the full generate → compile → fixed-point + Approx-LUT path
+(:class:`~repro.sim.quantized.QuantizedExecutor`).
+
+Paper shape: the accelerator tracks the software NN within ~1.5% on
+average, occasionally beating it (quantization noise acting as a mild
+regulariser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.apps.fft import approximate_fft, fft_radix2
+from repro.apps.kmeans import distance_dataset
+from repro.apps.metrics import classification_accuracy, relative_accuracy
+from repro.apps.robot import (
+    TwoLinkArm,
+    denormalise_angles,
+    inverse_kinematics_dataset,
+)
+from repro.compiler.compiler import DeepBurningCompiler
+from repro.compiler.lut import build_lut
+from repro.experiments.config import scheme_budget
+from repro.experiments.report import render_table
+from repro.experiments.training import (
+    trained_ann0,
+    trained_ann1,
+    trained_ann2,
+    trained_cifar_small,
+    trained_mnist_small,
+    trained_nin_small,
+)
+from repro.fixedpoint.calibrate import calibrate_format
+from repro.fixedpoint.ops import dequantize, quantize_to_ints
+from repro.nn.cmac import CMAC
+from repro.nn.hopfield import HopfieldTSPSolver, TSPInstance, \
+    nearest_neighbour_tour
+from repro.nn.reference import ReferenceNetwork
+from repro.nngen.generator import NNGen
+from repro.sim.quantized import QuantizedExecutor
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """One pair of Fig. 10 bars."""
+
+    benchmark: str
+    cpu_accuracy: float
+    db_accuracy: float
+
+    @property
+    def variation(self) -> float:
+        return abs(self.cpu_accuracy - self.db_accuracy)
+
+
+def quantized_from_trained(graph, weights, calibration_inputs):
+    """Run the trained model through the full DeepBurning flow."""
+    design = NNGen().generate(graph, scheme_budget("DB"))
+    program = DeepBurningCompiler().compile(
+        design, weights=weights, calibration_inputs=calibration_inputs)
+    return QuantizedExecutor.from_program(program, weights)
+
+
+# --- approximate-computing benchmarks ---------------------------------
+
+
+def _ann0_record() -> AccuracyRecord:
+    graph, weights = trained_ann0()
+    rng = np.random.default_rng(10)
+    calibration = [rng.random(1) for _ in range(8)]
+    float_net = ReferenceNetwork(graph, weights)
+    quantized = quantized_from_trained(graph, weights, calibration)
+    cpu_scores, db_scores = [], []
+    for seed in range(2):
+        signal = np.random.default_rng(20 + seed).normal(size=32)
+        golden = fft_radix2(signal)
+        golden_parts = np.concatenate([golden.real, golden.imag])
+        cpu_out = approximate_fft(signal, float_net.output)
+        db_out = approximate_fft(signal, quantized.output)
+        cpu_scores.append(relative_accuracy(
+            np.concatenate([cpu_out.real, cpu_out.imag]), golden_parts))
+        db_scores.append(relative_accuracy(
+            np.concatenate([db_out.real, db_out.imag]), golden_parts))
+    return AccuracyRecord("ann0 (fft)", float(np.mean(cpu_scores)),
+                          float(np.mean(db_scores)))
+
+
+def _ann1_record() -> AccuracyRecord:
+    graph, weights = trained_ann1()
+    rng = np.random.default_rng(11)
+    from repro.apps.jpeg import block_dataset
+    test_inputs, golden = block_dataset(40, seed=99)
+    calibration = [test_inputs[i] for i in range(6)]
+    float_net = ReferenceNetwork(graph, weights)
+    quantized = quantized_from_trained(graph, weights, calibration)
+    cpu_out = np.array([float_net.output(x) for x in test_inputs])
+    db_out = np.array([quantized.output(x) for x in test_inputs])
+    return AccuracyRecord(
+        "ann1 (jpeg)",
+        relative_accuracy(cpu_out, golden),
+        relative_accuracy(db_out, golden),
+    )
+
+
+def _ann2_record() -> AccuracyRecord:
+    graph, weights = trained_ann2()
+    test_inputs, golden = distance_dataset(120, seed=98)
+    calibration = [test_inputs[i] for i in range(6)]
+    float_net = ReferenceNetwork(graph, weights)
+    quantized = quantized_from_trained(graph, weights, calibration)
+    cpu_out = np.array([float_net.output(x) for x in test_inputs])
+    db_out = np.array([quantized.output(x) for x in test_inputs])
+    return AccuracyRecord(
+        "ann2 (kmeans)",
+        relative_accuracy(cpu_out, golden),
+        relative_accuracy(db_out, golden),
+    )
+
+
+# --- control / recurrent benchmarks ------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _trained_cmac() -> tuple[TwoLinkArm, CMAC]:
+    arm = TwoLinkArm()
+    cmac = CMAC(input_dim=2, output_dim=2, n_tilings=16, resolution=16,
+                table_size=16384, seed=6)
+    inputs, targets = inverse_kinematics_dataset(arm, 3000, seed=6)
+    cmac.train(inputs, targets, epochs=60, lr=0.3, seed=6)
+    return arm, cmac
+
+
+def _cmac_predict_quantized(cmac: CMAC, x: np.ndarray,
+                            weight_format) -> np.ndarray:
+    """The associative layer in accelerator arithmetic: quantized table
+    cells summed by the integer accumulator."""
+    cells = cmac.active_cells(x)
+    raw = quantize_to_ints(cmac.weights[cells], weight_format)
+    return dequantize(raw.sum(axis=0), weight_format)
+
+
+def _cmac_record() -> AccuracyRecord:
+    arm, cmac = _trained_cmac()
+    weight_format = calibrate_format(cmac.weights, total_bits=16,
+                                     headroom=1.5)
+    inputs, _ = inverse_kinematics_dataset(arm, 60, seed=96)
+    golden, cpu_out, db_out = [], [], []
+    for x in inputs:
+        from repro.apps.robot import denormalise_position
+        target = denormalise_position(arm, x)
+        golden.append(arm.inverse(*target))
+        cpu_out.append(denormalise_angles(cmac.predict(x)))
+        db_out.append(denormalise_angles(
+            _cmac_predict_quantized(cmac, x, weight_format)))
+    return AccuracyRecord(
+        "cmac (robot arm)",
+        relative_accuracy(np.array(cpu_out), np.array(golden)),
+        relative_accuracy(np.array(db_out), np.array(golden)),
+    )
+
+
+def _hopfield_record() -> AccuracyRecord:
+    instance = TSPInstance.random(5, seed=7)
+    golden_length = instance.tour_length(nearest_neighbour_tour(instance))
+    solver = HopfieldTSPSolver(instance)
+
+    cpu_tour, _ = solver.solve(steps=1500, seed=7)
+    cpu_length = instance.tour_length(cpu_tour)
+
+    # Fixed-point variant: quantized synaptic weights, sigmoid through
+    # the Approx LUT — the recurrent layer as the accelerator runs it.
+    weight_format = calibrate_format(solver.weights, total_bits=16,
+                                     headroom=1.2)
+    quantized_solver = HopfieldTSPSolver(instance)
+    quantized_solver.weights = dequantize(
+        quantize_to_ints(solver.weights, weight_format), weight_format)
+    lut = build_lut("sigmoid", -8, 8, entries=256)
+    original_gain = quantized_solver.gain
+
+    size = instance.n_cities ** 2
+    rng = np.random.default_rng(7)
+    potential = rng.normal(0.0, 0.01, size)
+    for _ in range(1500):
+        activity = lut.evaluate(np.clip(original_gain * potential, -8, 8))
+        gradient = quantized_solver.weights @ activity + quantized_solver.biases
+        potential += 1e-5 * (gradient - potential)
+    activity = lut.evaluate(np.clip(original_gain * potential, -8, 8))
+    db_tour = quantized_solver.decode(activity)
+    db_length = instance.tour_length(db_tour)
+
+    return AccuracyRecord(
+        "hopfield (tsp)",
+        relative_accuracy(np.array([cpu_length]), np.array([golden_length])),
+        relative_accuracy(np.array([db_length]), np.array([golden_length])),
+    )
+
+
+# --- classification benchmarks ------------------------------------------
+
+
+def _classification_record(name: str, trained) -> AccuracyRecord:
+    graph, weights, test_x, test_y = trained()
+    float_net = ReferenceNetwork(graph, weights)
+    calibration = [test_x[i] for i in range(4)]
+    quantized = quantized_from_trained(graph, weights, calibration)
+    cpu_pred = np.array([int(np.argmax(float_net.output(x)))
+                         for x in test_x])
+    db_pred = np.array([int(np.argmax(quantized.output(x)))
+                        for x in test_x])
+    return AccuracyRecord(
+        name,
+        classification_accuracy(cpu_pred, test_y),
+        classification_accuracy(db_pred, test_y),
+    )
+
+
+#: benchmark label -> record builder.
+RECORD_BUILDERS = {
+    "ann0": _ann0_record,
+    "ann1": _ann1_record,
+    "ann2": _ann2_record,
+    "cmac": _cmac_record,
+    "hopfield": _hopfield_record,
+    "mnist": lambda: _classification_record("mnist (digits)",
+                                            trained_mnist_small),
+    "cifar": lambda: _classification_record("cifar-small",
+                                            trained_cifar_small),
+    "nin": lambda: _classification_record("nin-small", trained_nin_small),
+}
+
+
+@lru_cache(maxsize=None)
+def record_for(benchmark: str) -> AccuracyRecord:
+    return RECORD_BUILDERS[benchmark]()
+
+
+def run(benchmarks: tuple[str, ...] = tuple(RECORD_BUILDERS)) -> list[AccuracyRecord]:
+    return [record_for(name) for name in benchmarks]
+
+
+def mean_variation(records: list[AccuracyRecord]) -> float:
+    """Average |CPU - DB| accuracy gap — the paper's 1.5% claim."""
+    return float(np.mean([record.variation for record in records]))
+
+
+def main() -> str:
+    records = run()
+    rows = [[r.benchmark, f"{r.cpu_accuracy:.2f}%", f"{r.db_accuracy:.2f}%",
+             f"{r.variation:.2f}%"] for r in records]
+    text = render_table(
+        ["benchmark", "CPU NN", "DeepBurning", "|variation|"], rows,
+        title="Fig. 10: accuracy comparison")
+    text += f"\nmean |variation|: {mean_variation(records):.2f}%"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Fig. 8: forward-propagation time per benchmark and scheme.
+
+Schemes: Custom, DB, DB-L, DB-S, CPU, plus [7] for AlexNet (the only
+network Zhang et al. report).  The paper's shape expectations:
+
+* Custom mostly beats DB,
+* DB achieves up to ~4.7x speed-up over the CPU,
+* DB-L is ~3.5x faster than DB on average (over the CNN benchmarks),
+* [7] is much faster than DB on AlexNet, but DB-L is comparable.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import PAPER_BENCHMARKS
+from repro.experiments.report import format_ratio, format_time, render_table
+from repro.experiments.runner import PerfRecord, simulate_scheme
+
+SCHEMES = ("Custom", "DB", "DB-L", "DB-S", "CPU")
+
+
+def run() -> dict[str, dict[str, PerfRecord]]:
+    """records[benchmark][scheme]."""
+    records: dict[str, dict[str, PerfRecord]] = {}
+    for case in PAPER_BENCHMARKS:
+        per_scheme = {
+            scheme: simulate_scheme(case.name, scheme) for scheme in SCHEMES
+        }
+        if case.name == "alexnet":
+            per_scheme["[7]"] = simulate_scheme(case.name, "[7]")
+        records[case.name] = per_scheme
+    return records
+
+
+def speedups_vs_cpu(records: dict[str, dict[str, PerfRecord]],
+                    scheme: str = "DB") -> dict[str, float]:
+    return {
+        benchmark: per["CPU"].time_s / per[scheme].time_s
+        for benchmark, per in records.items()
+    }
+
+
+def dbl_over_db(records: dict[str, dict[str, PerfRecord]],
+                conv_only: bool = True) -> float:
+    """Mean DB/DB-L time ratio (the paper's 3.5x average)."""
+    ratios = []
+    conv_names = {case.name for case in PAPER_BENCHMARKS if case.has_conv}
+    for benchmark, per in records.items():
+        if conv_only and benchmark not in conv_names:
+            continue
+        ratios.append(per["DB"].time_s / per["DB-L"].time_s)
+    return sum(ratios) / len(ratios)
+
+
+def main() -> str:
+    records = run()
+    headers = ["benchmark"] + list(SCHEMES) + ["[7]", "DB vs CPU"]
+    rows = []
+    for benchmark, per in records.items():
+        row = [benchmark]
+        for scheme in SCHEMES:
+            row.append(format_time(per[scheme].time_s))
+        row.append(format_time(per["[7]"].time_s) if "[7]" in per else "-")
+        row.append(format_ratio(per["CPU"].time_s / per["DB"].time_s))
+        rows.append(row)
+    text = render_table(headers, rows,
+                        title="Fig. 8: forward-propagation time")
+    text += (
+        f"\nmax DB speedup vs CPU: "
+        f"{max(speedups_vs_cpu(records).values()):.2f}x"
+        f"\nmean DB-L speedup vs DB (conv nets): "
+        f"{dbl_over_db(records):.2f}x"
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Fig. 9: energy per forward propagation, per benchmark and scheme.
+
+Paper shapes: CPU consumes ~58x more energy than DB on average; DB
+consumes more than Custom; DB-L, despite its higher power rate,
+finishes faster and so dissipates *less* energy than DB; [7]'s ~0.5 J
+AlexNet pass costs more than DB-L and DB-S.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import PAPER_BENCHMARKS
+from repro.experiments.report import format_energy, format_ratio, render_table
+from repro.experiments.runner import PerfRecord, simulate_scheme
+
+SCHEMES = ("Custom", "DB", "DB-L", "DB-S", "CPU")
+
+
+def run() -> dict[str, dict[str, PerfRecord]]:
+    records: dict[str, dict[str, PerfRecord]] = {}
+    for case in PAPER_BENCHMARKS:
+        per_scheme = {
+            scheme: simulate_scheme(case.name, scheme) for scheme in SCHEMES
+        }
+        if case.name == "alexnet":
+            per_scheme["[7]"] = simulate_scheme(case.name, "[7]")
+        records[case.name] = per_scheme
+    return records
+
+
+def cpu_over_db(records: dict[str, dict[str, PerfRecord]]) -> float:
+    """Mean CPU/DB energy ratio — the paper's ~58x claim."""
+    ratios = [per["CPU"].energy_j / per["DB"].energy_j
+              for per in records.values()]
+    return sum(ratios) / len(ratios)
+
+
+def db_over_custom(records: dict[str, dict[str, PerfRecord]]) -> float:
+    ratios = [per["DB"].energy_j / per["Custom"].energy_j
+              for per in records.values()]
+    return sum(ratios) / len(ratios)
+
+
+def main() -> str:
+    records = run()
+    headers = ["benchmark"] + list(SCHEMES) + ["[7]", "CPU/DB"]
+    rows = []
+    for benchmark, per in records.items():
+        row = [benchmark]
+        for scheme in SCHEMES:
+            row.append(format_energy(per[scheme].energy_j))
+        row.append(format_energy(per["[7]"].energy_j) if "[7]" in per else "-")
+        row.append(format_ratio(per["CPU"].energy_j / per["DB"].energy_j))
+        rows.append(row)
+    text = render_table(headers, rows, title="Fig. 9: energy comparison")
+    text += (
+        f"\nmean CPU/DB energy ratio: {cpu_over_db(records):.1f}x"
+        f"\nmean DB/Custom energy ratio: {db_over_custom(records):.2f}x"
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""End-to-end per-benchmark, per-scheme measurement with caching.
+
+Generating, compiling and simulating an accelerator is deterministic, so
+every (benchmark, scheme) pair is computed once per process and shared
+between the figures (Fig. 8 reads times, Fig. 9 energies, Table 3
+resources — all from the same run, just like the paper's single set of
+board experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.baselines.cpu import XEON_2_4GHZ
+from repro.baselines.custom import custom_design
+from repro.baselines.zhang_fpga15 import ZhangFPGA15
+from repro.compiler.compiler import DeepBurningCompiler
+from repro.devices.cost import ResourceCost
+from repro.errors import SimulationError
+from repro.experiments.config import benchmark_case, scheme_budget
+from repro.nngen.generator import NNGen
+from repro.sim.accel import AcceleratorSimulator
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One bar of Figs. 8/9 (+ the Table 3 resources behind it)."""
+
+    benchmark: str
+    scheme: str
+    time_s: float
+    energy_j: float
+    power_w: float
+    resources: ResourceCost | None = None
+    lanes: int = 0
+    simd: int = 0
+    fold_phases: int = 0
+
+
+@lru_cache(maxsize=None)
+def _generated_design(benchmark: str, scheme: str):
+    graph = benchmark_case(benchmark).graph()
+    return NNGen().generate(graph, scheme_budget(scheme))
+
+
+@lru_cache(maxsize=None)
+def simulate_scheme(benchmark: str, scheme: str) -> PerfRecord:
+    """Measure one (benchmark, scheme) pair.
+
+    Schemes: ``DB-S``, ``DB``, ``DB-L`` (generated), ``Custom`` (hand
+    design at the DB envelope), ``CPU`` (Xeon software) and ``[7]``
+    (Zhang FPGA'15, conv networks only).
+    """
+    case = benchmark_case(benchmark)
+    if scheme == "CPU":
+        graph = case.graph()
+        time_s = XEON_2_4GHZ.forward_time_s(graph)
+        return PerfRecord(
+            benchmark=benchmark, scheme=scheme, time_s=time_s,
+            energy_j=XEON_2_4GHZ.forward_energy_j(graph),
+            power_w=XEON_2_4GHZ.active_power_w,
+        )
+    if scheme == "[7]":
+        if not case.has_conv:
+            raise SimulationError(
+                f"[7] accelerates convolutional networks only, not "
+                f"'{benchmark}'"
+            )
+        graph = case.graph()
+        model = ZhangFPGA15()
+        time_s = model.conv_time_s(graph)
+        return PerfRecord(
+            benchmark=benchmark, scheme=scheme, time_s=time_s,
+            energy_j=model.conv_energy_j(graph), power_w=model.power_w,
+        )
+    if scheme == "Custom":
+        design = _generated_design(benchmark, "DB")
+        custom = custom_design(design.graph, design.budget)
+        result = custom.simulate()
+        return PerfRecord(
+            benchmark=benchmark, scheme=scheme,
+            time_s=result.time_s, energy_j=result.energy.total_j,
+            power_w=result.energy.average_power_w,
+            resources=custom.resource_report(),
+            lanes=custom.design.datapath.lanes,
+            simd=custom.design.datapath.simd,
+            fold_phases=len(custom.design.folding),
+        )
+    design = _generated_design(benchmark, scheme)
+    program = DeepBurningCompiler().compile(design)
+    result = AcceleratorSimulator(program).run(functional=False)
+    return PerfRecord(
+        benchmark=benchmark, scheme=scheme,
+        time_s=result.time_s, energy_j=result.energy.total_j,
+        power_w=result.energy.average_power_w,
+        resources=design.resource_report(),
+        lanes=design.datapath.lanes,
+        simd=design.datapath.simd,
+        fold_phases=len(design.folding),
+    )

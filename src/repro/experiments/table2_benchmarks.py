@@ -1,0 +1,52 @@
+"""Table 2: the benchmark inventory (Conv / FC / Rec + application).
+
+Flags are recomputed from the zoo graphs, then cross-checked against the
+declared :data:`~repro.experiments.config.PAPER_BENCHMARKS` metadata.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.experiments.config import PAPER_BENCHMARKS, BenchmarkCase
+from repro.experiments.report import render_table
+from repro.frontend.layers import LayerKind
+
+
+def observed_flags(case: BenchmarkCase) -> tuple[bool, bool, bool]:
+    graph = case.graph()
+    kinds = {spec.kind for spec in graph.layers}
+    has_conv = LayerKind.CONVOLUTION in kinds or LayerKind.INCEPTION in kinds
+    has_fc = bool({LayerKind.INNER_PRODUCT, LayerKind.RECURRENT,
+                   LayerKind.ASSOCIATIVE} & kinds)
+    has_rec = bool(graph.recurrent_edges)
+    return has_conv, has_fc, has_rec
+
+
+def run() -> list[tuple[str, bool, bool, bool, str]]:
+    rows = []
+    for case in PAPER_BENCHMARKS:
+        conv, fc, rec = observed_flags(case)
+        declared = (case.has_conv, case.has_fc, case.has_recurrent)
+        if (conv, fc, rec) != declared:
+            raise SimulationError(
+                f"benchmark '{case.name}' graph flags {(conv, fc, rec)} "
+                f"disagree with Table 2 metadata {declared}"
+            )
+        rows.append((case.name, conv, fc, rec, case.application))
+    return rows
+
+
+def main() -> str:
+    rows = run()
+    text = render_table(
+        ["benchmark", "Conv", "FC", "Rec", "Application"],
+        [[name, "yes" if c else "-", "yes" if f else "-",
+          "yes" if r else "-", app] for name, c, f, r, app in rows],
+        title="Table 2: benchmarks",
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

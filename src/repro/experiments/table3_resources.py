@@ -1,0 +1,62 @@
+"""Table 3: hardware resource occupation (DSP / LUT / FF).
+
+Custom (CU) vs DeepBurning (DB) per benchmark, plus Alexnet-L (the DB-L
+variant).  Paper shape: at identical DSP counts the generated design
+spends a few percent more LUT/FF than the hand design — the price of
+the reconfigurable connection box, generic AGUs and coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.cost import ResourceCost
+from repro.experiments.config import PAPER_BENCHMARKS
+from repro.experiments.report import render_table
+from repro.experiments.runner import simulate_scheme
+
+
+@dataclass(frozen=True)
+class ResourceRow:
+    benchmark: str
+    custom: ResourceCost
+    generated: ResourceCost
+
+
+def run() -> list[ResourceRow]:
+    rows = []
+    for case in PAPER_BENCHMARKS:
+        custom = simulate_scheme(case.name, "Custom").resources
+        generated = simulate_scheme(case.name, "DB").resources
+        rows.append(ResourceRow(case.name, custom, generated))
+    return rows
+
+
+def alexnet_large() -> ResourceCost:
+    """The Alexnet-L row (DB-L budget)."""
+    return simulate_scheme("alexnet", "DB-L").resources
+
+
+def main() -> str:
+    rows = run()
+    headers = ["benchmark", "DSP CU", "DSP DB", "LUT CU", "LUT DB",
+               "FF CU", "FF DB"]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.benchmark,
+            row.custom.dsp, row.generated.dsp,
+            row.custom.lut, row.generated.lut,
+            row.custom.ff, row.generated.ff,
+        ])
+    large = alexnet_large()
+    table_rows.append(["alexnet-L", "-", large.dsp, "-", large.lut,
+                       "-", large.ff])
+    text = render_table(headers, table_rows,
+                        title="Table 3: hardware resource occupation")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,212 @@
+"""Trained models for the accuracy experiments (Fig. 10).
+
+The paper trains its benchmarks in Matlab/Caffe; here the
+:mod:`repro.nn.train` engine takes that role.  AlexNet/NiN/Cifar cannot
+be trained at full scale offline, so the accuracy experiment uses
+scaled-down variants with the same layer repertoire — DESIGN.md's
+Substitutions section records why this preserves the Fig. 10
+comparison (float software NN vs fixed-point accelerator on identical
+weights).
+
+All trainers are cached per process: the first call trains, later calls
+reuse the weights.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.apps.datasets import synthetic_cifar, synthetic_digits, \
+    train_test_split
+from repro.apps.fft import twiddle_targets
+from repro.apps.jpeg import block_dataset
+from repro.apps.kmeans import distance_dataset
+from repro.frontend.graph import NetworkGraph, graph_from_text
+from repro.nn.train import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    MLPTrainer,
+    ReLU,
+    SequentialNet,
+    Sigmoid,
+    Tanh,
+    TrainConfig,
+)
+from repro.zoo import ann
+from repro.zoo.models import _data, _layer
+
+TrainedModel = tuple[NetworkGraph, dict[str, dict[str, np.ndarray]]]
+
+
+def _train_mlp(sizes: list[int], inputs: np.ndarray, targets: np.ndarray,
+               graph_name: str, config: TrainConfig,
+               activation: str = "sigmoid") -> TrainedModel:
+    rng = np.random.default_rng(config.seed)
+    layers: list = []
+    for index in range(len(sizes) - 1):
+        layers.append(Dense(sizes[index], sizes[index + 1], rng,
+                            name=f"ip{index + 1}"))
+        if index < len(sizes) - 2:
+            layers.append(Sigmoid() if activation == "sigmoid" else Tanh())
+    net = SequentialNet(layers)
+    MLPTrainer(net, config).train(inputs, targets)
+    graph = ann(graph_name, sizes,
+                activation="SIGMOID" if activation == "sigmoid" else "TANH")
+    return graph, net.named_weights()
+
+
+@lru_cache(maxsize=None)
+def trained_ann0() -> TrainedModel:
+    """ANN-0: the fft twiddle approximator (1 -> 4 -> 4 -> 2, tanh)."""
+    inputs, targets = twiddle_targets(600, seed=0)
+    return _train_mlp(
+        [1, 4, 4, 2], inputs, targets, "ann0_fft",
+        TrainConfig(learning_rate=0.08, epochs=400, batch_size=16, seed=0),
+        activation="tanh",
+    )
+
+
+@lru_cache(maxsize=None)
+def trained_ann1() -> TrainedModel:
+    """ANN-1: the jpeg block approximator (64 -> 16 -> 8 -> 64)."""
+    inputs, targets = block_dataset(400, seed=1)
+    return _train_mlp(
+        [64, 16, 8, 64], inputs, targets, "ann1_jpeg",
+        TrainConfig(learning_rate=0.05, epochs=120, batch_size=8, seed=1),
+    )
+
+
+@lru_cache(maxsize=None)
+def trained_ann2() -> TrainedModel:
+    """ANN-2: the kmeans distance approximator (6 -> 8 -> 4 -> 1)."""
+    inputs, targets = distance_dataset(800, seed=2)
+    return _train_mlp(
+        [6, 8, 4, 1], inputs, targets, "ann2_kmeans",
+        TrainConfig(learning_rate=0.08, epochs=150, batch_size=8, seed=2),
+    )
+
+
+MNIST_SMALL_TEXT = (
+    'name: "mnist_small"\n'
+    + _data((1, 20, 20))
+    + _layer("conv1", "CONVOLUTION", "data", "conv1",
+             "num_output: 6 kernel_size: 5 stride: 1")
+    + _layer("relu1", "RELU", "conv1", "conv1")
+    + _layer("pool1", "POOLING", "conv1", "pool1",
+             "pool: MAX kernel_size: 2 stride: 2")
+    + _layer("ip1", "INNER_PRODUCT", "pool1", "ip1", "num_output: 32")
+    + _layer("relu2", "RELU", "ip1", "ip1")
+    + _layer("ip2", "INNER_PRODUCT", "ip1", "ip2", "num_output: 10")
+)
+
+
+@lru_cache(maxsize=None)
+def trained_mnist_small(samples: int = 360, epochs: int = 14) -> tuple:
+    """A scaled-down digit CNN trained on the synthetic digit set.
+
+    Returns (graph, weights, test_images, test_labels).
+    """
+    images, labels = synthetic_digits(samples, size=20, seed=3)
+    train_x, train_y, test_x, test_y = train_test_split(images, labels,
+                                                        seed=3)
+    rng = np.random.default_rng(3)
+    net = SequentialNet([
+        Conv2D(1, 6, kernel=5, stride=1, rng=rng, name="conv1"),
+        ReLU(),
+        MaxPool2D(2, 2),
+        Flatten(),
+        Dense(6 * 8 * 8, 32, rng, name="ip1"),
+        ReLU(),
+        Dense(32, 10, rng, name="ip2"),
+    ])
+    trainer = MLPTrainer(net, TrainConfig(
+        learning_rate=0.02, epochs=epochs, batch_size=8,
+        loss="cross_entropy", seed=3))
+    trainer.train(train_x, train_y)
+    graph = graph_from_text(MNIST_SMALL_TEXT)
+    return graph, net.named_weights(), test_x, test_y
+
+
+CIFAR_SMALL_TEXT = (
+    'name: "cifar_small"\n'
+    + _data((3, 16, 16))
+    + _layer("conv1", "CONVOLUTION", "data", "conv1",
+             "num_output: 8 kernel_size: 3 stride: 1 pad: 1")
+    + _layer("relu1", "RELU", "conv1", "conv1")
+    + _layer("pool1", "POOLING", "conv1", "pool1",
+             "pool: MAX kernel_size: 2 stride: 2")
+    + _layer("conv2", "CONVOLUTION", "pool1", "conv2",
+             "num_output: 12 kernel_size: 3 stride: 1 pad: 1")
+    + _layer("relu2", "RELU", "conv2", "conv2")
+    + _layer("pool2", "POOLING", "conv2", "pool2",
+             "pool: MAX kernel_size: 2 stride: 2")
+    + _layer("ip1", "INNER_PRODUCT", "pool2", "ip1", "num_output: 6")
+)
+
+
+@lru_cache(maxsize=None)
+def trained_cifar_small(samples: int = 300, epochs: int = 12) -> tuple:
+    """A cifar10_quick-style CNN on the synthetic colour classes."""
+    images, labels = synthetic_cifar(samples, size=16, classes=6, seed=4)
+    train_x, train_y, test_x, test_y = train_test_split(images, labels,
+                                                        seed=4)
+    rng = np.random.default_rng(4)
+    net = SequentialNet([
+        Conv2D(3, 8, kernel=3, stride=1, pad=1, rng=rng, name="conv1"),
+        ReLU(),
+        MaxPool2D(2, 2),
+        Conv2D(8, 12, kernel=3, stride=1, pad=1, rng=rng, name="conv2"),
+        ReLU(),
+        MaxPool2D(2, 2),
+        Flatten(),
+        Dense(12 * 4 * 4, 6, rng, name="ip1"),
+    ])
+    trainer = MLPTrainer(net, TrainConfig(
+        learning_rate=0.03, epochs=epochs, batch_size=8,
+        loss="cross_entropy", seed=4))
+    trainer.train(train_x, train_y)
+    graph = graph_from_text(CIFAR_SMALL_TEXT)
+    return graph, net.named_weights(), test_x, test_y
+
+
+NIN_SMALL_TEXT = (
+    'name: "nin_small"\n'
+    + _data((3, 16, 16))
+    + _layer("conv1", "CONVOLUTION", "data", "conv1",
+             "num_output: 8 kernel_size: 3 stride: 1 pad: 1")
+    + _layer("relu1", "RELU", "conv1", "conv1")
+    + _layer("cccp1", "CONVOLUTION", "conv1", "cccp1",
+             "num_output: 8 kernel_size: 1 stride: 1")
+    + _layer("relu2", "RELU", "cccp1", "cccp1")
+    + _layer("pool1", "POOLING", "cccp1", "pool1",
+             "pool: MAX kernel_size: 2 stride: 2")
+    + _layer("ip1", "INNER_PRODUCT", "pool1", "ip1", "num_output: 6")
+)
+
+
+@lru_cache(maxsize=None)
+def trained_nin_small(samples: int = 300, epochs: int = 12) -> tuple:
+    """A NiN-style (1x1 mlpconv) CNN on the synthetic colour classes."""
+    images, labels = synthetic_cifar(samples, size=16, classes=6, seed=5)
+    train_x, train_y, test_x, test_y = train_test_split(images, labels,
+                                                        seed=5)
+    rng = np.random.default_rng(5)
+    net = SequentialNet([
+        Conv2D(3, 8, kernel=3, stride=1, pad=1, rng=rng, name="conv1"),
+        ReLU(),
+        Conv2D(8, 8, kernel=1, stride=1, rng=rng, name="cccp1"),
+        ReLU(),
+        MaxPool2D(2, 2),
+        Flatten(),
+        Dense(8 * 8 * 8, 6, rng, name="ip1"),
+    ])
+    trainer = MLPTrainer(net, TrainConfig(
+        learning_rate=0.03, epochs=epochs, batch_size=8,
+        loss="cross_entropy", seed=5))
+    trainer.train(train_x, train_y)
+    graph = graph_from_text(NIN_SMALL_TEXT)
+    return graph, net.named_weights(), test_x, test_y

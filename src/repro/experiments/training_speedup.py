@@ -1,0 +1,104 @@
+"""Extension experiment: accelerating model selection and training.
+
+The paper's §1 motivation: "FPGAs are fast and power-efficient enough to
+accelerate the time-consuming NN training, at the same time [they]
+possess the reconfigurability to enable the designers to explore the
+space of NN models".  This experiment models that workflow: a designer
+evaluates ``k`` candidate topologies, each trained for ``epochs`` epochs
+over ``n`` samples.  Training cost is dominated by repeated network
+inference (forward + backward ≈ 3x the forward work, the paper's
+"repetitive network inference in training"), so per-candidate cost is::
+
+    epochs * n * 3 * t_forward  (+ one reconfiguration per candidate
+                                 on the FPGA side)
+
+The FPGA pays a bitstream reconfiguration per candidate model; the CPU
+pays nothing to switch — the crossover study shows when DeepBurning's
+generate-and-burn flow wins the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu import XEON_2_4GHZ
+from repro.experiments.report import format_time, render_table
+from repro.experiments.runner import simulate_scheme
+
+#: Full-device reconfiguration time for a Zynq-7045 bitstream.
+RECONFIGURE_S = 0.25
+#: Backward pass + weight update ≈ 2x the forward work (so 3x total).
+TRAIN_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    """Cost of one model-selection search on one platform."""
+
+    benchmark: str
+    candidates: int
+    epochs: int
+    samples: int
+    cpu_hours: float
+    db_hours: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_hours / self.db_hours
+
+
+def search_cost(benchmark: str, candidates: int = 10, epochs: int = 20,
+                samples: int = 10_000) -> SearchPoint:
+    """Model-selection cost on CPU vs the DB accelerator."""
+    from repro.experiments.config import benchmark_case
+    graph = benchmark_case(benchmark).graph()
+    cpu_forward = XEON_2_4GHZ.forward_time_s(graph)
+    db_forward = simulate_scheme(benchmark, "DB").time_s
+    iterations = candidates * epochs * samples * TRAIN_FACTOR
+    cpu_total = iterations * cpu_forward
+    db_total = iterations * db_forward + candidates * RECONFIGURE_S
+    return SearchPoint(
+        benchmark=benchmark, candidates=candidates, epochs=epochs,
+        samples=samples,
+        cpu_hours=cpu_total / 3600.0,
+        db_hours=db_total / 3600.0,
+    )
+
+
+def run(benchmarks=("mnist", "cifar", "ann1")) -> list[SearchPoint]:
+    return [search_cost(name) for name in benchmarks]
+
+
+def crossover_candidates(benchmark: str, epochs: int = 20,
+                         samples: int = 10_000) -> int:
+    """Smallest candidate count where the FPGA search wins.
+
+    With per-candidate reconfiguration overhead, tiny searches can favor
+    the CPU; the crossover is where generation pays off.
+    """
+    for candidates in range(1, 1000):
+        point = search_cost(benchmark, candidates, epochs, samples)
+        if point.db_hours < point.cpu_hours:
+            return candidates
+    return -1
+
+
+def main() -> str:
+    points = run()
+    rows = [[p.benchmark, p.candidates, p.epochs, p.samples,
+             f"{p.cpu_hours:.2f}h", f"{p.db_hours:.2f}h",
+             f"{p.speedup:.2f}x"] for p in points]
+    text = render_table(
+        ["benchmark", "candidates", "epochs", "samples", "CPU", "DB",
+         "speedup"],
+        rows,
+        title="Extension: model-selection search time (train = 3x forward)",
+    )
+    text += ("\nreconfiguration overhead per candidate: "
+             + format_time(RECONFIGURE_S))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

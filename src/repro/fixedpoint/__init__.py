@@ -1,0 +1,35 @@
+"""Fixed-point arithmetic substrate.
+
+The generated accelerators compute in two's-complement fixed point.  This
+package models the arithmetic exactly: a :class:`QFormat` describes a
+``Qm.n`` representation, :mod:`repro.fixedpoint.ops` quantizes numpy
+arrays to that representation with saturation and rounding, and
+:mod:`repro.fixedpoint.calibrate` chooses formats from observed data
+ranges, as the DeepBurning compiler does when it fixes the datapath
+bit-width.
+"""
+
+from repro.fixedpoint.format import QFormat
+from repro.fixedpoint.ops import (
+    dequantize,
+    fixed_add,
+    fixed_mul,
+    fixed_point_error,
+    quantize,
+    quantize_to_ints,
+    requantize,
+)
+from repro.fixedpoint.calibrate import calibrate_format, calibrate_network_formats
+
+__all__ = [
+    "QFormat",
+    "quantize",
+    "quantize_to_ints",
+    "dequantize",
+    "requantize",
+    "fixed_add",
+    "fixed_mul",
+    "fixed_point_error",
+    "calibrate_format",
+    "calibrate_network_formats",
+]

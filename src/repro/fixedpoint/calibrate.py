@@ -1,0 +1,90 @@
+"""Range calibration: choose ``Qm.n`` formats from observed data.
+
+The DeepBurning compiler fixes the datapath bit-width per design; within
+that width it splits integer and fraction bits so the observed dynamic
+range fits without saturation.  These helpers reproduce that step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.fixedpoint.format import QFormat
+
+
+def integer_bits_for(max_abs: float) -> int:
+    """Minimum integer bits needed to represent magnitude ``max_abs``."""
+    if max_abs <= 0:
+        return 0
+    return max(0, int(math.floor(math.log2(max_abs))) + 1)
+
+
+def calibrate_format(
+    samples: np.ndarray,
+    total_bits: int = 16,
+    headroom: float = 1.0,
+) -> QFormat:
+    """Choose a ``QFormat`` of width ``total_bits`` covering ``samples``.
+
+    ``headroom`` scales the observed maximum before sizing the integer
+    field; values above 1.0 leave slack for unseen inputs.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise QuantizationError("cannot calibrate a format from no samples")
+    if not np.all(np.isfinite(samples)):
+        raise QuantizationError("samples contain non-finite values")
+    max_abs = float(np.max(np.abs(samples))) * headroom
+    integer = integer_bits_for(max_abs)
+    fraction = total_bits - 1 - integer
+    if fraction < 0:
+        raise QuantizationError(
+            f"range ±{max_abs:g} needs {integer} integer bits, more than the "
+            f"{total_bits}-bit word provides"
+        )
+    fmt = QFormat(integer, fraction)
+    if max_abs > fmt.max_value:
+        # The positive extreme is 2^i - 1 LSB, so a value just below the
+        # power of two still overflows; grant one more integer bit.
+        if fraction == 0:
+            raise QuantizationError(
+                f"range ±{max_abs:g} does not fit a {total_bits}-bit word"
+            )
+        fmt = QFormat(integer + 1, fraction - 1)
+    return fmt
+
+
+def calibrate_network_formats(
+    activations: Mapping[str, np.ndarray],
+    total_bits: int = 16,
+    headroom: float = 2.0,
+) -> dict[str, QFormat]:
+    """Calibrate one format per named activation tensor.
+
+    ``activations`` maps blob names to sample arrays collected from a
+    float-mode forward pass over representative inputs.
+    """
+    return {
+        name: calibrate_format(arr, total_bits=total_bits, headroom=headroom)
+        for name, arr in activations.items()
+    }
+
+
+def merge_formats(formats: Iterable[QFormat]) -> QFormat:
+    """A single format wide enough in range for all the given formats.
+
+    Used when several producers feed one shared on-chip buffer and the
+    hardware stores them in a unified representation.  The result keeps
+    the widest word among the inputs.
+    """
+    formats = list(formats)
+    if not formats:
+        raise QuantizationError("cannot merge an empty set of formats")
+    total = max(f.total_bits for f in formats)
+    integer = max(f.integer_bits for f in formats)
+    fraction = max(0, total - 1 - integer)
+    return QFormat(integer, fraction)

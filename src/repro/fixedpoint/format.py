@@ -1,0 +1,120 @@
+"""``Qm.n`` fixed-point format descriptions.
+
+A :class:`QFormat` is an immutable record of a signed two's-complement
+fixed-point representation with ``integer_bits`` bits left of the binary
+point (excluding the sign bit) and ``fraction_bits`` bits right of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed two's-complement ``Qm.n`` fixed-point format.
+
+    Attributes:
+        integer_bits: bits left of the binary point, sign excluded.
+        fraction_bits: bits right of the binary point.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise QuantizationError(
+                f"negative field width in Q{self.integer_bits}.{self.fraction_bits}"
+            )
+        if self.total_bits < 2:
+            raise QuantizationError(
+                "a fixed-point format needs at least one value bit beside the sign"
+            )
+        if self.total_bits > 64:
+            raise QuantizationError(
+                f"Q{self.integer_bits}.{self.fraction_bits} exceeds 64 bits"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits, including the sign bit."""
+        return self.integer_bits + self.fraction_bits + 1
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit: ``2**-fraction_bits``."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_int(self) -> int:
+        """Smallest (most negative) representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable real value."""
+        return self.min_int * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Alias for :attr:`scale`, the quantization step."""
+        return self.scale
+
+    def representable(self, value: float) -> bool:
+        """Return True when ``value`` lies inside the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    def widen(self, extra_integer: int = 0, extra_fraction: int = 0) -> "QFormat":
+        """Return a format with additional integer and/or fraction bits.
+
+        Accumulators in the synergy-neuron datapath use widened formats to
+        hold dot-product partial sums without overflow.
+        """
+        return QFormat(
+            self.integer_bits + extra_integer, self.fraction_bits + extra_fraction
+        )
+
+    def accumulator_for(self, terms: int, weight_format: "QFormat") -> "QFormat":
+        """Format wide enough to accumulate ``terms`` products exactly.
+
+        A product of this format and ``weight_format`` needs
+        ``i1 + i2`` integer and ``f1 + f2`` fraction bits; summing
+        ``terms`` of them needs ``ceil(log2(terms))`` extra integer bits.
+        """
+        if terms < 1:
+            raise QuantizationError("accumulator needs at least one term")
+        growth = max(1, (terms - 1).bit_length())
+        integer = self.integer_bits + weight_format.integer_bits + growth
+        fraction = self.fraction_bits + weight_format.fraction_bits
+        # Clamp to the 64-bit ceiling while preserving fraction precision
+        # first, as the hardware truncates high-order guard bits last.
+        while integer + fraction + 1 > 64 and fraction > 0:
+            fraction -= 1
+        if integer + fraction + 1 > 64:
+            integer = 63
+        return QFormat(integer, fraction)
+
+    def __str__(self) -> str:
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+#: The default datapath format used by NN-Gen when the user gives no
+#: explicit bit-width constraint: 16-bit word with 8 fraction bits.
+DEFAULT_DATA_FORMAT = QFormat(7, 8)
+
+#: Default weight format; weights are typically small, so more fraction
+#: bits are allotted.
+DEFAULT_WEIGHT_FORMAT = QFormat(3, 12)

@@ -1,0 +1,33 @@
+"""Model description frontend.
+
+DeepBurning accepts a Caffe-compatible descriptive script (``*.prototxt``,
+Fig. 4 of the paper) extended with ``connect { }`` blocks for inter-layer
+wiring, including recurrent connections.  This package parses that format
+into a typed layer list (:mod:`repro.frontend.layers`), assembles a
+network graph IR (:mod:`repro.frontend.graph`) and infers every blob
+shape (:mod:`repro.frontend.shapes`).
+"""
+
+from repro.frontend.prototxt import parse_prototxt, parse_prototxt_file, Message
+from repro.frontend.layers import (
+    ConnectionSpec,
+    LayerKind,
+    LayerSpec,
+    layer_from_message,
+)
+from repro.frontend.graph import NetworkGraph, build_graph
+from repro.frontend.shapes import TensorShape, infer_shapes
+
+__all__ = [
+    "parse_prototxt",
+    "parse_prototxt_file",
+    "Message",
+    "LayerKind",
+    "LayerSpec",
+    "ConnectionSpec",
+    "layer_from_message",
+    "NetworkGraph",
+    "build_graph",
+    "TensorShape",
+    "infer_shapes",
+]

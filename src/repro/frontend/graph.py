@@ -1,0 +1,254 @@
+"""Network graph IR.
+
+A :class:`NetworkGraph` is a DAG of :class:`~repro.frontend.layers.LayerSpec`
+nodes connected through named blobs, plus explicit recurrent back-edges
+(from ``connect { direction: recurrent }`` blocks or RECURRENT layers).
+The forward sub-graph must be acyclic; recurrent edges are kept aside and
+handled by the compiler as state feedback through the connection box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import GraphError
+from repro.frontend.layers import (
+    ConnectDirection,
+    LayerKind,
+    LayerSpec,
+    layers_from_document,
+)
+from repro.frontend.prototxt import Message, parse_prototxt
+
+
+@dataclass(frozen=True)
+class RecurrentEdge:
+    """A feedback connection from ``source`` layer to ``target`` layer."""
+
+    name: str
+    source: str
+    target: str
+
+
+@dataclass
+class NetworkGraph:
+    """The network IR consumed by NN-Gen and the compiler."""
+
+    name: str
+    layers: list[LayerSpec] = field(default_factory=list)
+    recurrent_edges: list[RecurrentEdge] = field(default_factory=list)
+
+    # --- indexed views -------------------------------------------------
+
+    def layer(self, name: str) -> LayerSpec:
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise GraphError(f"no layer named '{name}'")
+
+    def __contains__(self, name: str) -> bool:
+        return any(spec.name == name for spec in self.layers)
+
+    @property
+    def layer_names(self) -> list[str]:
+        return [spec.name for spec in self.layers]
+
+    def producers(self) -> dict[str, str]:
+        """Map each blob name to the layer that produces it."""
+        produced: dict[str, str] = {}
+        for spec in self.layers:
+            for top in spec.tops:
+                # In-place layers (ReLU with top == bottom) re-produce the
+                # same blob; the later producer wins, matching Caffe.
+                produced[top] = spec.name
+        return produced
+
+    def consumers(self) -> dict[str, list[str]]:
+        """Map each blob name to the layers that consume it."""
+        used: dict[str, list[str]] = {}
+        for spec in self.layers:
+            for bottom in spec.bottoms:
+                used.setdefault(bottom, []).append(spec.name)
+        return used
+
+    def predecessors(self, name: str) -> list[str]:
+        """Layers whose tops feed this layer's bottoms (forward edges)."""
+        spec = self.layer(name)
+        preds: list[str] = []
+        for other in self.layers:
+            if other.name == name:
+                # In-place chains: a layer never precedes itself.
+                continue
+            if any(top in spec.bottoms for top in other.tops):
+                preds.append(other.name)
+        return preds
+
+    def successors(self, name: str) -> list[str]:
+        spec = self.layer(name)
+        succs: list[str] = []
+        for other in self.layers:
+            if other.name == name:
+                continue
+            if any(bottom in spec.tops for bottom in other.bottoms):
+                succs.append(other.name)
+        return succs
+
+    # --- structure -----------------------------------------------------
+
+    def inputs(self) -> list[LayerSpec]:
+        """Data layers (or layers with no bottoms)."""
+        return [
+            spec
+            for spec in self.layers
+            if spec.kind is LayerKind.DATA or not spec.bottoms
+        ]
+
+    def outputs(self) -> list[LayerSpec]:
+        """Layers whose tops feed nothing else."""
+        consumed = set(self.consumers())
+        outs = []
+        for spec in self.layers:
+            if spec.tops and all(top not in consumed or
+                                 self.consumers()[top] == [spec.name]
+                                 for top in spec.tops):
+                # A blob consumed only by its own producer (in-place) still
+                # counts as a network output.
+                outs.append(spec)
+        return outs
+
+    def topological_order(self) -> list[LayerSpec]:
+        """Layers in dependency order, following forward edges only.
+
+        In-place layers (top == bottom) are kept in file order relative to
+        each other, matching Caffe's execution semantics.
+        """
+        order: list[LayerSpec] = []
+        placed: set[str] = set()
+        available_blobs: set[str] = set()
+        pending = list(self.layers)
+        while pending:
+            progressed = False
+            remaining: list[LayerSpec] = []
+            for spec in pending:
+                needed = [b for b in spec.bottoms if b not in available_blobs]
+                # A bottom that is also produced by this very layer
+                # (in-place on a blob nothing else produced) counts as
+                # unavailable — that would be a self-loop.
+                if needed:
+                    remaining.append(spec)
+                    continue
+                order.append(spec)
+                placed.add(spec.name)
+                available_blobs.update(spec.tops)
+                progressed = True
+            if not progressed:
+                stuck = ", ".join(spec.name for spec in remaining)
+                raise GraphError(
+                    f"forward graph has a cycle or dangling blob among: {stuck}"
+                )
+            pending = remaining
+        return order
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raise :class:`GraphError`."""
+        names = [spec.name for spec in self.layers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise GraphError(f"duplicate layer names: {sorted(duplicates)}")
+        produced = set()
+        for spec in self.layers:
+            produced.update(spec.tops)
+        input_blobs = {
+            top for spec in self.inputs() for top in spec.tops
+        }
+        for spec in self.layers:
+            for bottom in spec.bottoms:
+                if bottom not in produced and bottom not in input_blobs:
+                    raise GraphError(
+                        f"layer '{spec.name}' consumes undefined blob '{bottom}'"
+                    )
+        for edge in self.recurrent_edges:
+            if edge.source not in self:
+                raise GraphError(
+                    f"recurrent edge '{edge.name}' from unknown layer '{edge.source}'"
+                )
+            if edge.target and edge.target not in self:
+                raise GraphError(
+                    f"recurrent edge '{edge.name}' to unknown layer '{edge.target}'"
+                )
+        if not self.inputs():
+            raise GraphError("network has no input/data layer")
+        self.topological_order()  # raises on forward cycles
+
+    def weighted_layers(self) -> list[LayerSpec]:
+        return [spec for spec in self.layers if spec.kind.has_weights]
+
+    def __iter__(self) -> Iterator[LayerSpec]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+def _input_layers_from_document(doc: Message) -> list[LayerSpec]:
+    """Synthesize DATA layers from legacy Caffe deploy-prototxt headers.
+
+    Old deploy files declare the input outside any layer block::
+
+        input: "data"
+        input_dim: 1  input_dim: 3  input_dim: 227  input_dim: 227
+
+    (or with ``input_shape { dim: ... }`` blocks).  The leading
+    batch dimension of a 4-entry dim list is dropped — the accelerator
+    processes one input at a time.
+    """
+    names = [str(n) for n in doc.get_all("input")]
+    if not names:
+        return []
+    dims = [int(d) for d in doc.get_all("input_dim")]
+    shape_blocks = doc.get_messages("input_shape")
+    per_input: list[tuple[int, ...]] = []
+    if shape_blocks:
+        for block in shape_blocks:
+            per_input.append(tuple(int(d) for d in block.get_all("dim")))
+    elif dims:
+        if len(names) > 1 and len(dims) % len(names) == 0:
+            width = len(dims) // len(names)
+            per_input = [tuple(dims[i * width:(i + 1) * width])
+                         for i in range(len(names))]
+        else:
+            per_input = [tuple(dims)]
+    layers = []
+    for index, blob in enumerate(names):
+        shape = per_input[index] if index < len(per_input) else ()
+        if len(shape) == 4:
+            shape = shape[1:]  # drop the batch dimension
+        elif len(shape) == 2 and shape[0] == 1:
+            shape = shape[1:]  # (N=1, features) -> flat vector
+        if not shape:
+            raise GraphError(f"input '{blob}' has no input_dim/input_shape")
+        layers.append(LayerSpec(name=blob, kind=LayerKind.DATA,
+                                tops=(blob,), input_shape=shape))
+    return layers
+
+
+def build_graph(doc: Message, name: str = "") -> NetworkGraph:
+    """Assemble and validate a :class:`NetworkGraph` from a parsed script."""
+    net_name = doc.get("name", name)
+    layers = _input_layers_from_document(doc) + layers_from_document(doc)
+    graph = NetworkGraph(name=str(net_name) if net_name else "net", layers=layers)
+    for spec in layers:
+        for conn in spec.connections:
+            if conn.direction is ConnectDirection.RECURRENT:
+                graph.recurrent_edges.append(
+                    RecurrentEdge(name=conn.name, source=spec.name,
+                                  target=conn.target or spec.name)
+                )
+    graph.validate()
+    return graph
+
+
+def graph_from_text(text: str, name: str = "") -> NetworkGraph:
+    """Parse prototxt source and build the validated graph in one step."""
+    return build_graph(parse_prototxt(text), name=name)

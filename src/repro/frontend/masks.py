@@ -1,0 +1,102 @@
+"""Partially-connected layers (``connect { type: file_specified }``).
+
+The paper's descriptive script can mark a layer's wiring as
+``file_specified``: the exact synapse population comes from an external
+mask rather than full connection ("the full connection layers can be
+partially connected", §3.2).  A mask is a {0,1} array with the layer's
+weight-matrix shape; masked-off synapses carry no weight — NN-Gen drops
+them from the weight image and both executors honour the zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.frontend.graph import NetworkGraph
+from repro.frontend.layers import ConnectType
+
+
+def masked_layers(graph: NetworkGraph) -> list[str]:
+    """Layers whose wiring is declared ``file_specified``."""
+    return [
+        spec.name
+        for spec in graph.layers
+        if any(conn.type is ConnectType.FILE_SPECIFIED
+               for conn in spec.connections)
+    ]
+
+
+def validate_mask(mask: np.ndarray, weight_shape: tuple[int, ...],
+                  layer: str) -> np.ndarray:
+    """Check one mask against its layer's weight tensor."""
+    mask = np.asarray(mask)
+    if mask.shape != weight_shape:
+        raise GraphError(
+            f"mask for layer '{layer}' has shape {mask.shape}, weights "
+            f"are {weight_shape}"
+        )
+    unique = set(np.unique(mask).tolist())
+    if not unique <= {0, 1, 0.0, 1.0, False, True}:
+        raise GraphError(
+            f"mask for layer '{layer}' must be binary, found values "
+            f"{sorted(unique)[:5]}"
+        )
+    if not mask.any():
+        raise GraphError(f"mask for layer '{layer}' removes every synapse")
+    return mask.astype(np.float64)
+
+
+def apply_masks(
+    graph: NetworkGraph,
+    weights: dict[str, dict[str, np.ndarray]],
+    masks: dict[str, np.ndarray],
+) -> dict[str, dict[str, np.ndarray]]:
+    """Zero the masked-off synapses of every ``file_specified`` layer.
+
+    Returns a new weights dict; layers without masks pass through.
+    Masks for layers the script does not declare ``file_specified`` are
+    rejected — the script is the source of truth for the wiring.
+    """
+    declared = set(masked_layers(graph))
+    undeclared = set(masks) - declared
+    if undeclared:
+        raise GraphError(
+            f"masks given for layers not declared file_specified: "
+            f"{sorted(undeclared)}"
+        )
+    out: dict[str, dict[str, np.ndarray]] = {}
+    for layer, entry in weights.items():
+        if layer in masks:
+            mask = validate_mask(masks[layer], entry["weight"].shape, layer)
+            masked_entry = dict(entry)
+            masked_entry["weight"] = entry["weight"] * mask
+            out[layer] = masked_entry
+        else:
+            out[layer] = entry
+    return out
+
+
+def random_mask(weight_shape: tuple[int, ...], density: float,
+                rng: np.random.Generator | None = None) -> np.ndarray:
+    """A random binary mask keeping ~``density`` of the synapses.
+
+    Every output neuron keeps at least one synapse so no row dies.
+    """
+    if not 0.0 < density <= 1.0:
+        raise GraphError(f"mask density {density} must be in (0, 1]")
+    rng = rng or np.random.default_rng(0)
+    mask = (rng.random(weight_shape) < density).astype(np.float64)
+    flat = mask.reshape(weight_shape[0], -1)
+    for row in range(flat.shape[0]):
+        if not flat[row].any():
+            flat[row, rng.integers(0, flat.shape[1])] = 1.0
+    return mask
+
+
+def connection_density(mask: np.ndarray) -> float:
+    """Fraction of synapses a mask keeps."""
+    mask = np.asarray(mask)
+    if mask.size == 0:
+        raise GraphError("empty mask")
+    return float(mask.sum() / mask.size)

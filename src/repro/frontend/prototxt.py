@@ -1,0 +1,302 @@
+"""Tokenizer and parser for the Caffe-style descriptive script.
+
+The grammar is the protobuf text format subset that Caffe's
+``*.prototxt`` files use, which is also what DeepBurning's input script
+looks like (paper Fig. 4):
+
+.. code-block:: text
+
+    name: "LeNet"
+    layers {
+      name: "conv1"
+      type: CONVOLUTION
+      bottom: "data"
+      top: "conv1"
+      param { num_output: 20  kernel_size: 5  stride: 1 }
+      connect { name: "c2p1" direction: forward type: full_per_channel }
+    }
+
+A field is either a scalar (``key: value``) or a nested message
+(``key { ... }``).  Scalars may be quoted strings, integers, floats,
+booleans or bare identifiers (enum values such as ``CONVOLUTION``).
+Repeated keys accumulate.  ``#`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import ParseError
+
+ScalarValue = Union[str, int, float, bool]
+FieldValue = Union[ScalarValue, "Message"]
+
+
+@dataclass
+class Message:
+    """A parsed protobuf-text message: an ordered multimap of fields."""
+
+    fields: list[tuple[str, FieldValue]] = field(default_factory=list)
+
+    def add(self, key: str, value: FieldValue) -> None:
+        self.fields.append((key, value))
+
+    def get(self, key: str, default: FieldValue | None = None) -> FieldValue | None:
+        """First value for ``key``, or ``default``."""
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def get_all(self, key: str) -> list[FieldValue]:
+        """Every value recorded for ``key``, in file order."""
+        return [value for name, value in self.fields if name == key]
+
+    def get_message(self, key: str) -> "Message | None":
+        """First nested-message value for ``key``."""
+        value = self.get(key)
+        if value is None:
+            return None
+        if not isinstance(value, Message):
+            raise ParseError(f"field '{key}' is a scalar, expected a message")
+        return value
+
+    def get_messages(self, key: str) -> list["Message"]:
+        """All nested-message values for ``key``."""
+        out = []
+        for value in self.get_all(key):
+            if not isinstance(value, Message):
+                raise ParseError(f"field '{key}' mixes scalars and messages")
+            out.append(value)
+        return out
+
+    def keys(self) -> list[str]:
+        return [name for name, _ in self.fields]
+
+    def __contains__(self, key: str) -> bool:
+        return any(name == key for name, _ in self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str  # IDENT, STRING, NUMBER, LBRACE, RBRACE, COLON
+    text: str
+    line: int
+    column: int
+
+
+_PUNCT = {"{": "LBRACE", "}": "RBRACE", ":": "COLON", ",": "COMMA", ";": "SEMI"}
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens from protobuf-text source, skipping comments."""
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            start_line, start_col = line, column
+            i += 1
+            column += 1
+            chars: list[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\n":
+                    raise ParseError("unterminated string", start_line, start_col)
+                if text[i] == "\\" and i + 1 < n:
+                    escape = text[i + 1]
+                    chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    i += 2
+                    column += 2
+                    continue
+                chars.append(text[i])
+                i += 1
+                column += 1
+            if i >= n:
+                raise ParseError("unterminated string", start_line, start_col)
+            i += 1
+            column += 1
+            yield Token("STRING", "".join(chars), start_line, start_col)
+            continue
+        if ch.isdigit() or (ch in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")):
+            start_line, start_col = line, column
+            j = i
+            if text[j] in "+-":
+                j += 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE" or (text[j] in "+-" and text[j - 1] in "eE")):
+                j += 1
+            word = text[i:j]
+            yield Token("NUMBER", word, start_line, start_col)
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            yield Token("IDENT", text[i:j], start_line, start_col)
+            column += j - i
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else Token("EOF", "", 1, 1)
+            raise ParseError("unexpected end of input", last.line, last.column)
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def parse_document(self) -> Message:
+        message = self._parse_fields(top_level=True)
+        token = self._peek()
+        if token is not None:
+            raise ParseError(
+                f"trailing input {token.text!r}", token.line, token.column
+            )
+        return message
+
+    def _parse_fields(self, top_level: bool) -> Message:
+        message = Message()
+        while True:
+            token = self._peek()
+            if token is None:
+                if top_level:
+                    return message
+                raise ParseError("missing closing '}'")
+            if token.kind == "RBRACE":
+                if top_level:
+                    raise ParseError("unmatched '}'", token.line, token.column)
+                return message
+            if token.kind in ("COMMA", "SEMI"):
+                self._next()
+                continue
+            key = self._expect("IDENT").text
+            separator = self._peek()
+            if separator is not None and separator.kind == "LBRACE":
+                self._next()
+                value: FieldValue = self._parse_fields(top_level=False)
+                self._expect("RBRACE")
+            else:
+                self._expect("COLON")
+                nxt = self._peek()
+                if nxt is not None and nxt.kind == "LBRACE":
+                    self._next()
+                    value = self._parse_fields(top_level=False)
+                    self._expect("RBRACE")
+                else:
+                    value = self._parse_scalar()
+            message.add(key, value)
+
+    def _parse_scalar(self) -> ScalarValue:
+        token = self._next()
+        if token.kind == "STRING":
+            return token.text
+        if token.kind == "NUMBER":
+            return _parse_number(token)
+        if token.kind == "IDENT":
+            lowered = token.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            return token.text
+        raise ParseError(
+            f"expected a value, found {token.text!r}", token.line, token.column
+        )
+
+
+def _parse_number(token: Token) -> int | float:
+    try:
+        if any(c in token.text for c in ".eE") and not token.text.lstrip("+-").isdigit():
+            return float(token.text)
+        return int(token.text)
+    except ValueError as exc:
+        raise ParseError(f"bad number {token.text!r}", token.line, token.column) from exc
+
+
+def parse_prototxt(text: str) -> Message:
+    """Parse protobuf-text source into a :class:`Message` tree."""
+    return _Parser(text).parse_document()
+
+
+def parse_prototxt_file(path: str) -> Message:
+    """Parse a ``*.prototxt`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_prototxt(handle.read())
+
+
+def format_prototxt(message: Message, indent: int = 0) -> str:
+    """Render a :class:`Message` back to protobuf-text (round-trip aid)."""
+    pad = "  " * indent
+    lines: list[str] = []
+    for key, value in message.fields:
+        if isinstance(value, Message):
+            lines.append(f"{pad}{key} {{")
+            lines.append(format_prototxt(value, indent + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(value, bool):
+            lines.append(f"{pad}{key}: {'true' if value else 'false'}")
+        elif isinstance(value, str):
+            if (value and value[0].isupper() and value.replace("_", "").isalnum()
+                    and '"' not in value and value.lower() not in ("true", "false")):
+                # Heuristic: enum-like identifiers are written bare, as
+                # Caffe does for layer types (e.g. ``type: CONVOLUTION``).
+                lines.append(f'{pad}{key}: {value}')
+            else:
+                escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+                lines.append(f'{pad}{key}: "{escaped}"')
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(line for line in lines if line)

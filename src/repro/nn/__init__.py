@@ -1,0 +1,44 @@
+"""Functional neural-network substrate.
+
+Float-mode reference execution of the network IR, used three ways:
+
+* as the golden model the accelerator simulator is checked against,
+* as the "software NN on CPU" baseline of the paper's experiments,
+* as the training engine (:mod:`repro.nn.train`) that produces the
+  weights burnt into the generated accelerators.
+
+Special-model dynamics live in :mod:`repro.nn.hopfield` (TSP energy
+minimisation) and :mod:`repro.nn.cmac` (table-based robot-arm control).
+"""
+
+from repro.nn.functional import (
+    avg_pool2d,
+    conv2d,
+    im2col,
+    linear,
+    lrn,
+    max_pool2d,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.nn.reference import ReferenceNetwork, init_weights
+from repro.nn.train import MLPTrainer, TrainConfig
+
+__all__ = [
+    "conv2d",
+    "im2col",
+    "max_pool2d",
+    "avg_pool2d",
+    "linear",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "lrn",
+    "ReferenceNetwork",
+    "init_weights",
+    "MLPTrainer",
+    "TrainConfig",
+]

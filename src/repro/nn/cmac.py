@@ -1,0 +1,111 @@
+"""CMAC — Cerebellar Model Articulation Controller.
+
+The paper's CMAC benchmark is a 2-layer associative network used for
+robot-arm control.  A CMAC quantizes its input space into overlapping
+tilings; each tiling contributes one active weight cell, and the output
+is the sum of the active cells.  Training is the classic Albus delta
+rule.  The associative layer maps naturally onto the component library's
+connection box + accumulator blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class CMAC:
+    """A multi-input, multi-output CMAC with hashed conceptual memory."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        n_tilings: int = 8,
+        resolution: int = 16,
+        input_low: float = 0.0,
+        input_high: float = 1.0,
+        table_size: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if input_dim <= 0 or output_dim <= 0:
+            raise ShapeError("CMAC dimensions must be positive")
+        if n_tilings <= 0 or resolution <= 1:
+            raise ShapeError("CMAC needs n_tilings >= 1 and resolution >= 2")
+        if input_high <= input_low:
+            raise ShapeError("CMAC input range is empty")
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        self.n_tilings = n_tilings
+        self.resolution = resolution
+        self.input_low = input_low
+        self.input_high = input_high
+        self.table_size = table_size
+        self.weights = np.zeros((table_size, output_dim))
+        rng = np.random.default_rng(seed)
+        # Fixed random offsets displace each tiling, and fixed random
+        # coefficients hash grid coordinates into the conceptual memory.
+        self._offsets = rng.random((n_tilings, input_dim))
+        self._hash_coefficients = rng.integers(
+            1, 2 ** 31 - 1, size=(n_tilings, input_dim + 1)
+        )
+
+    def active_cells(self, x: np.ndarray) -> np.ndarray:
+        """Indices of the ``n_tilings`` active weight cells for input ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.input_dim,):
+            raise ShapeError(
+                f"CMAC input must have shape ({self.input_dim},), got {x.shape}"
+            )
+        span = self.input_high - self.input_low
+        normalized = np.clip((x - self.input_low) / span, 0.0, 1.0 - 1e-12)
+        cells = np.empty(self.n_tilings, dtype=np.int64)
+        for tiling in range(self.n_tilings):
+            grid = np.floor(
+                normalized * (self.resolution - 1) + self._offsets[tiling]
+            ).astype(np.int64)
+            mixed = np.int64(self._hash_coefficients[tiling, -1])
+            for dim in range(self.input_dim):
+                mixed = np.int64(
+                    (mixed * 31 + grid[dim] * self._hash_coefficients[tiling, dim])
+                    % (2 ** 61 - 1)
+                )
+            cells[tiling] = int(mixed % self.table_size)
+        return cells
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Sum of the active cells: the associative-layer forward pass."""
+        return self.weights[self.active_cells(x)].sum(axis=0)
+
+    def train_sample(self, x: np.ndarray, target: np.ndarray, lr: float = 0.2) -> float:
+        """One Albus delta-rule update; returns the squared error before it."""
+        target = np.asarray(target, dtype=np.float64)
+        cells = self.active_cells(x)
+        prediction = self.weights[cells].sum(axis=0)
+        error = target - prediction
+        self.weights[cells] += lr * error / self.n_tilings
+        return float(np.dot(error, error))
+
+    def train(self, inputs: np.ndarray, targets: np.ndarray, epochs: int = 20,
+              lr: float = 0.2, seed: int = 0) -> list[float]:
+        """Epoch-wise training; returns mean squared error per epoch."""
+        if len(inputs) != len(targets):
+            raise ShapeError("inputs and targets differ in length")
+        rng = np.random.default_rng(seed)
+        history: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(len(inputs))
+            total = 0.0
+            for i in order:
+                total += self.train_sample(inputs[i], targets[i], lr)
+            history.append(total / len(inputs))
+        return history
+
+    def as_dense_weights(self) -> np.ndarray:
+        """Dense ``(output_dim, table_size)`` view of the weight table.
+
+        This is the matrix the accelerator's associative layer holds; the
+        active-cell selection is realised by the connection box.
+        """
+        return self.weights.T.copy()

@@ -1,0 +1,249 @@
+"""Numpy implementations of the layer-level operations.
+
+Spatial tensors are ``(channels, height, width)``; batched variants take
+``(batch, channels, height, width)``.  Convolution is implemented through
+``im2col`` so forward and backward both reduce to matrix products, which
+is also how the synergy-neuron datapath consumes data after Method-1
+layouting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def pad2d(image: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two trailing axes of a (…, H, W) array."""
+    if pad == 0:
+        return image
+    width = [(0, 0)] * (image.ndim - 2) + [(pad, pad), (pad, pad)]
+    return np.pad(image, width, mode="constant")
+
+
+def im2col(image: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndarray:
+    """Unfold ``(C, H, W)`` into columns ``(out_h*out_w, C*k*k)``.
+
+    Each row is one receptive field in channel-major order, so a
+    convolution is ``columns @ weights.reshape(Dout, -1).T``.
+    """
+    if image.ndim != 3:
+        raise ShapeError(f"im2col expects (C, H, W), got shape {image.shape}")
+    image = pad2d(image, pad)
+    channels, height, width = image.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"kernel {kernel} stride {stride} does not fit {height}x{width}"
+        )
+    strides = image.strides
+    windows = np.lib.stride_tricks.as_strided(
+        image,
+        shape=(channels, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1] * stride, strides[2] * stride,
+                 strides[1], strides[2]),
+        writeable=False,
+    )
+    # (out_h, out_w, C, k, k) -> (out_h*out_w, C*k*k)
+    return windows.transpose(1, 2, 0, 3, 4).reshape(out_h * out_w, channels * kernel * kernel)
+
+
+def col2im(
+    columns: np.ndarray,
+    image_shape: tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+) -> np.ndarray:
+    """Scatter-add columns back into an image (im2col adjoint)."""
+    channels, height, width = image_shape
+    padded = np.zeros((channels, height + 2 * pad, width + 2 * pad))
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    cols = columns.reshape(out_h, out_w, channels, kernel, kernel)
+    for row in range(out_h):
+        for col in range(out_w):
+            top, left = row * stride, col * stride
+            padded[:, top:top + kernel, left:left + kernel] += cols[row, col]
+    if pad:
+        return padded[:, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d(
+    image: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """2-D convolution (cross-correlation, Caffe convention).
+
+    ``image`` is ``(Cin, H, W)``, ``weights`` is ``(Dout, Cin/groups,
+    k, k)``.  With ``groups > 1`` input and output channels are split
+    into that many independent groups (AlexNet's two-GPU convolutions).
+    Returns ``(Dout, out_h, out_w)``.
+    """
+    if weights.ndim != 4:
+        raise ShapeError(f"conv weights must be (Dout, Cin, k, k), got {weights.shape}")
+    dout, cin_per_group, kernel, kernel_w = weights.shape
+    if kernel != kernel_w:
+        raise ShapeError("only square kernels are supported")
+    if groups < 1 or dout % groups or image.shape[0] % groups:
+        raise ShapeError(
+            f"groups={groups} does not divide Dout={dout} and "
+            f"Cin={image.shape[0]}"
+        )
+    if image.shape[0] != cin_per_group * groups:
+        raise ShapeError(
+            f"input has {image.shape[0]} channels, weights expect "
+            f"{cin_per_group * groups} ({groups} groups of {cin_per_group})"
+        )
+    if groups > 1:
+        dout_per_group = dout // groups
+        parts = []
+        for g in range(groups):
+            part = conv2d(
+                image[g * cin_per_group:(g + 1) * cin_per_group],
+                weights[g * dout_per_group:(g + 1) * dout_per_group],
+                bias[g * dout_per_group:(g + 1) * dout_per_group]
+                if bias is not None else None,
+                stride=stride, pad=pad,
+            )
+            parts.append(part)
+        return np.concatenate(parts, axis=0)
+    columns = im2col(image, kernel, stride, pad)
+    out = columns @ weights.reshape(dout, -1).T
+    if bias is not None:
+        out = out + bias
+    out_h = (image.shape[1] + 2 * pad - kernel) // stride + 1
+    out_w = (image.shape[2] + 2 * pad - kernel) // stride + 1
+    return out.T.reshape(dout, out_h, out_w)
+
+
+def _pool_windows(image: np.ndarray, kernel: int, stride: int,
+                  pad: int = 0,
+                  pad_value: float = 0.0) -> tuple[np.ndarray, int, int]:
+    """All pooling windows with Caffe ceil semantics (edge-padded)."""
+    if pad:
+        image = np.pad(
+            image, ((0, 0), (pad, pad), (pad, pad)),
+            mode="constant", constant_values=pad_value,
+        )
+    channels, height, width = image.shape
+    out_h = -(-(height - kernel) // stride) + 1
+    out_w = -(-(width - kernel) // stride) + 1
+    need_h = (out_h - 1) * stride + kernel
+    need_w = (out_w - 1) * stride + kernel
+    if need_h > height or need_w > width:
+        image = np.pad(
+            image,
+            ((0, 0), (0, max(0, need_h - height)), (0, max(0, need_w - width))),
+            mode="edge",
+        )
+    strides = image.strides
+    windows = np.lib.stride_tricks.as_strided(
+        image,
+        shape=(channels, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1] * stride, strides[2] * stride,
+                 strides[1], strides[2]),
+        writeable=False,
+    )
+    return windows, out_h, out_w
+
+
+def max_pool2d(image: np.ndarray, kernel: int, stride: int,
+               pad: int = 0) -> np.ndarray:
+    """Max pooling over ``(C, H, W)``; padding never wins the max."""
+    pad_value = float(np.min(image)) if pad and image.size else 0.0
+    windows, out_h, out_w = _pool_windows(image, kernel, stride, pad,
+                                          pad_value)
+    return windows.max(axis=(3, 4))
+
+
+def avg_pool2d(image: np.ndarray, kernel: int, stride: int,
+               pad: int = 0) -> np.ndarray:
+    """Average pooling over ``(C, H, W)`` (Caffe: zero-padded, full-window
+    denominator)."""
+    windows, out_h, out_w = _pool_windows(image, kernel, stride, pad, 0.0)
+    return windows.mean(axis=(3, 4))
+
+
+def linear(x: np.ndarray, weights: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully-connected layer: ``weights @ x + bias``.
+
+    ``weights`` is ``(out, in)`` and ``x`` is flattened first.
+    """
+    flat = np.ravel(x)
+    if weights.shape[1] != flat.size:
+        raise ShapeError(
+            f"linear expects {weights.shape[1]} inputs, got {flat.size}"
+        )
+    out = weights @ flat
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Split by sign for numerical stability at large |x|.
+    out = np.empty_like(np.asarray(x, dtype=np.float64))
+    x = np.asarray(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    expx = np.exp(x[~positive])
+    out[~positive] = expx / (1.0 + expx)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    flat = np.ravel(np.asarray(x, dtype=np.float64))
+    shifted = flat - flat.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def lrn(x: np.ndarray, local_size: int = 5, alpha: float = 1e-4,
+        beta: float = 0.75, k: float = 1.0) -> np.ndarray:
+    """Local response normalization across channels (Krizhevsky form)."""
+    if x.ndim != 3:
+        raise ShapeError(f"LRN expects (C, H, W), got shape {x.shape}")
+    channels = x.shape[0]
+    squared = x.astype(np.float64) ** 2
+    half = local_size // 2
+    scale = np.full_like(squared, k)
+    for c in range(channels):
+        lo = max(0, c - half)
+        hi = min(channels, c + half + 1)
+        scale[c] += (alpha / local_size) * squared[lo:hi].sum(axis=0)
+    return x / scale ** beta
+
+
+def dropout_mask(shape: tuple[int, ...], ratio: float, rng: np.random.Generator) -> np.ndarray:
+    """Bernoulli keep-mask scaled by 1/(1-ratio) (inverted dropout)."""
+    keep = rng.random(shape) >= ratio
+    return keep.astype(np.float64) / (1.0 - ratio)
+
+
+def argmax_classifier(x: np.ndarray, top_k: int = 1) -> np.ndarray:
+    """Indices of the ``top_k`` largest activations, best first.
+
+    Mirrors the k-sorter classifier block in the component library.
+    """
+    flat = np.ravel(x)
+    if top_k >= flat.size:
+        order = np.argsort(-flat, kind="stable")
+        return order.astype(np.int64)
+    order = np.argsort(-flat, kind="stable")[:top_k]
+    return order.astype(np.int64)

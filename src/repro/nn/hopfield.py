@@ -1,0 +1,193 @@
+"""Hopfield network dynamics, including the TSP energy formulation.
+
+The paper's Hopfield benchmark is a 2-layer recurrent net used as a TSP
+solver.  This module provides both the generic binary Hopfield network
+(pattern storage / recall) and the Hopfield-Tank mapping of the
+travelling-salesman problem onto a recurrent energy landscape, which is
+what the benchmark's weights encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.functional import sigmoid
+
+
+class HopfieldNetwork:
+    """Binary Hopfield network with Hebbian pattern storage."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ShapeError("Hopfield network needs a positive size")
+        self.size = size
+        self.weights = np.zeros((size, size))
+
+    def store(self, patterns: np.ndarray) -> None:
+        """Store ±1 patterns with the Hebbian outer-product rule."""
+        patterns = np.asarray(patterns, dtype=np.float64)
+        if patterns.ndim == 1:
+            patterns = patterns[None, :]
+        if patterns.shape[1] != self.size:
+            raise ShapeError(
+                f"patterns have width {patterns.shape[1]}, network is {self.size}"
+            )
+        for pattern in patterns:
+            self.weights += np.outer(pattern, pattern)
+        np.fill_diagonal(self.weights, 0.0)
+        self.weights /= self.size
+
+    def energy(self, state: np.ndarray) -> float:
+        state = np.asarray(state, dtype=np.float64)
+        return float(-0.5 * state @ self.weights @ state)
+
+    def step(self, state: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """One asynchronous update sweep in random neuron order."""
+        rng = rng or np.random.default_rng(0)
+        state = np.asarray(state, dtype=np.float64).copy()
+        for neuron in rng.permutation(self.size):
+            drive = self.weights[neuron] @ state
+            state[neuron] = 1.0 if drive >= 0 else -1.0
+        return state
+
+    def recall(self, probe: np.ndarray, max_sweeps: int = 50,
+               rng: np.random.Generator | None = None) -> np.ndarray:
+        """Iterate until a fixed point (or the sweep limit)."""
+        rng = rng or np.random.default_rng(0)
+        state = np.sign(np.asarray(probe, dtype=np.float64))
+        state[state == 0] = 1.0
+        for _ in range(max_sweeps):
+            next_state = self.step(state, rng)
+            if np.array_equal(next_state, state):
+                break
+            state = next_state
+        return state
+
+
+@dataclass
+class TSPInstance:
+    """A travelling-salesman instance on city coordinates."""
+
+    coordinates: np.ndarray  # (cities, 2)
+
+    @property
+    def n_cities(self) -> int:
+        return len(self.coordinates)
+
+    def distances(self) -> np.ndarray:
+        diff = self.coordinates[:, None, :] - self.coordinates[None, :, :]
+        return np.sqrt((diff ** 2).sum(axis=-1))
+
+    def tour_length(self, tour: list[int]) -> float:
+        if sorted(tour) != list(range(self.n_cities)):
+            raise ShapeError("tour must visit every city exactly once")
+        dist = self.distances()
+        return float(
+            sum(dist[tour[i], tour[(i + 1) % len(tour)]] for i in range(len(tour)))
+        )
+
+    @staticmethod
+    def random(n_cities: int, seed: int = 0) -> "TSPInstance":
+        rng = np.random.default_rng(seed)
+        return TSPInstance(rng.random((n_cities, 2)))
+
+
+class HopfieldTSPSolver:
+    """Hopfield-Tank continuous network solving TSP.
+
+    Neurons form an ``n x n`` grid: neuron ``(city, position)`` is active
+    when ``city`` is visited at ``position``.  The energy function
+    penalises duplicate cities/positions and rewards short tours; its
+    quadratic coefficients become the recurrent weight matrix that the
+    benchmark loads into the accelerator.
+    """
+
+    def __init__(self, instance: TSPInstance, penalty_a: float = 500.0,
+                 penalty_b: float = 500.0, penalty_c: float = 200.0,
+                 distance_scale: float = 500.0, gain: float = 50.0) -> None:
+        self.instance = instance
+        self.n = instance.n_cities
+        self.penalty_a = penalty_a
+        self.penalty_b = penalty_b
+        self.penalty_c = penalty_c
+        self.distance_scale = distance_scale
+        self.gain = gain
+        self.weights, self.biases = self._build_weights()
+
+    def _index(self, city: int, position: int) -> int:
+        return city * self.n + position
+
+    def _build_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n
+        size = n * n
+        weights = np.zeros((size, size))
+        dist = self.instance.distances()
+        max_dist = dist.max() or 1.0
+        dist = dist / max_dist
+        for x in range(n):
+            for i in range(n):
+                a = self._index(x, i)
+                for y in range(n):
+                    for j in range(n):
+                        b = self._index(y, j)
+                        value = 0.0
+                        if x == y and i != j:
+                            value -= self.penalty_a
+                        if i == j and x != y:
+                            value -= self.penalty_b
+                        value -= self.penalty_c
+                        if j == (i + 1) % n or j == (i - 1) % n:
+                            value -= self.distance_scale * dist[x, y]
+                        weights[a, b] += value
+        np.fill_diagonal(weights, 0.0)
+        biases = np.full(size, self.penalty_c * n)
+        return weights, biases
+
+    def solve(self, steps: int = 2000, dt: float = 1e-5,
+              seed: int = 0) -> tuple[list[int], np.ndarray]:
+        """Integrate the network dynamics; returns (tour, final activity)."""
+        rng = np.random.default_rng(seed)
+        size = self.n * self.n
+        potential = rng.normal(0.0, 0.01, size)
+        for _ in range(steps):
+            activity = sigmoid(self.gain * potential)
+            gradient = self.weights @ activity + self.biases
+            potential += dt * (gradient - potential)
+        activity = sigmoid(self.gain * potential)
+        return self.decode(activity), activity
+
+    def decode(self, activity: np.ndarray) -> list[int]:
+        """Greedy decode of the activity grid into a valid tour."""
+        grid = np.asarray(activity, dtype=np.float64).reshape(self.n, self.n)
+        tour: list[int] = []
+        taken: set[int] = set()
+        for position in range(self.n):
+            ranked = np.argsort(-grid[:, position])
+            for city in ranked:
+                if int(city) not in taken:
+                    tour.append(int(city))
+                    taken.add(int(city))
+                    break
+        return tour
+
+    def tour_quality(self, tour: list[int]) -> float:
+        """Tour length relative to a nearest-neighbour heuristic (<=1 is good)."""
+        greedy = nearest_neighbour_tour(self.instance)
+        return self.instance.tour_length(tour) / self.instance.tour_length(greedy)
+
+
+def nearest_neighbour_tour(instance: TSPInstance, start: int = 0) -> list[int]:
+    """Classic nearest-neighbour construction — the orthodox comparator."""
+    dist = instance.distances()
+    unvisited = set(range(instance.n_cities))
+    tour = [start]
+    unvisited.discard(start)
+    while unvisited:
+        current = tour[-1]
+        nearest = min(unvisited, key=lambda city: dist[current, city])
+        tour.append(nearest)
+        unvisited.discard(nearest)
+    return tour

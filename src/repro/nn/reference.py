@@ -1,0 +1,172 @@
+"""Float-mode reference execution of a :class:`NetworkGraph`.
+
+This is the paper's "software NN running on CPU": the golden model whose
+outputs the generated accelerator is validated against, and the accuracy
+baseline of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.frontend.graph import NetworkGraph
+from repro.frontend.layers import LayerKind, LayerSpec, PoolMethod
+from repro.frontend.shapes import TensorShape, infer_shapes, weight_shape
+from repro.nn import functional as F
+
+LayerWeights = dict[str, np.ndarray]
+
+
+def init_weights(
+    graph: NetworkGraph,
+    rng: np.random.Generator | None = None,
+    scale: float = 0.1,
+) -> dict[str, LayerWeights]:
+    """Random (Gaussian) weights for every weighted layer in the graph."""
+    rng = rng or np.random.default_rng(0)
+    shapes = infer_shapes(graph)
+    weights: dict[str, LayerWeights] = {}
+    for spec in graph.weighted_layers():
+        in_shape = shapes[spec.bottoms[0]] if spec.bottoms else TensorShape((1,))
+        wshape = weight_shape(spec, in_shape)
+        entry: LayerWeights = {
+            "weight": rng.normal(0.0, scale, size=wshape),
+        }
+        if spec.bias:
+            entry["bias"] = np.zeros(spec.num_output)
+        if spec.kind is LayerKind.RECURRENT:
+            entry["recurrent_weight"] = rng.normal(
+                0.0, scale, size=(spec.num_output, spec.num_output)
+            )
+        weights[spec.name] = entry
+    return weights
+
+
+@dataclass
+class ReferenceNetwork:
+    """Executes a network graph in float64 with explicit recurrent state."""
+
+    graph: NetworkGraph
+    weights: dict[str, LayerWeights]
+    dropout_rng: np.random.Generator | None = None
+    #: When False (inference, the default) drop-out layers pass through,
+    #: matching what the generated accelerator does at inference time.
+    training: bool = False
+    state: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._shapes = infer_shapes(self.graph)
+        self._order = self.graph.topological_order()
+        missing = [
+            spec.name
+            for spec in self.graph.weighted_layers()
+            if spec.name not in self.weights
+        ]
+        if missing:
+            raise ShapeError(f"missing weights for layers: {missing}")
+
+    def reset_state(self) -> None:
+        """Clear recurrent state between independent input sequences."""
+        self.state.clear()
+
+    def forward(self, inputs: np.ndarray | dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """One forward propagation; returns every blob's activation.
+
+        ``inputs`` is either a single array (bound to the sole data layer)
+        or a mapping from data-layer top blob names to arrays.
+        """
+        blobs: dict[str, np.ndarray] = {}
+        data_layers = self.graph.inputs()
+        if isinstance(inputs, np.ndarray):
+            if len(data_layers) != 1:
+                raise ShapeError(
+                    "network has multiple inputs; pass a dict of blobs"
+                )
+            inputs = {data_layers[0].tops[0]: inputs}
+        for blob_name, value in inputs.items():
+            expected = self._shapes[blob_name]
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != expected.dims:
+                if value.size == expected.size:
+                    value = value.reshape(expected.dims)
+                else:
+                    raise ShapeError(
+                        f"input blob '{blob_name}' has shape {value.shape}, "
+                        f"expected {expected.dims}"
+                    )
+            blobs[blob_name] = value
+
+        for spec in self._order:
+            if spec.kind is LayerKind.DATA:
+                if spec.tops[0] not in blobs:
+                    raise ShapeError(f"no input bound to blob '{spec.tops[0]}'")
+                continue
+            result = self._run_layer(spec, [blobs[b] for b in spec.bottoms])
+            for top in spec.tops:
+                blobs[top] = result
+        return blobs
+
+    def output(self, inputs: np.ndarray | dict[str, np.ndarray]) -> np.ndarray:
+        """Activation of the network's final output blob."""
+        blobs = self.forward(inputs)
+        outputs = self.graph.outputs()
+        if not outputs:
+            raise ShapeError("network has no output layer")
+        return blobs[outputs[-1].tops[0]]
+
+    # ------------------------------------------------------------------
+
+    def _run_layer(self, spec: LayerSpec, inputs: list[np.ndarray]) -> np.ndarray:
+        kind = spec.kind
+        first = inputs[0] if inputs else None
+        params = self.weights.get(spec.name, {})
+
+        if kind is LayerKind.CONVOLUTION:
+            return F.conv2d(
+                first, params["weight"], params.get("bias"),
+                stride=spec.stride, pad=spec.pad, groups=spec.group,
+            )
+        if kind is LayerKind.POOLING:
+            if spec.pool_method is PoolMethod.MAX:
+                return F.max_pool2d(first, spec.kernel_size, spec.stride,
+                                    spec.pad)
+            return F.avg_pool2d(first, spec.kernel_size, spec.stride,
+                                spec.pad)
+        if kind is LayerKind.INNER_PRODUCT:
+            return F.linear(first, params["weight"], params.get("bias"))
+        if kind is LayerKind.RECURRENT:
+            drive = F.linear(first, params["weight"], params.get("bias"))
+            state = self.state.get(spec.name)
+            if state is None:
+                state = np.zeros(spec.num_output)
+            drive = drive + params["recurrent_weight"] @ state
+            self.state[spec.name] = drive
+            return drive
+        if kind is LayerKind.ASSOCIATIVE:
+            return F.linear(first, params["weight"], params.get("bias"))
+        if kind is LayerKind.RELU:
+            return F.relu(first)
+        if kind is LayerKind.SIGMOID:
+            return F.sigmoid(first)
+        if kind is LayerKind.TANH:
+            return F.tanh(first)
+        if kind is LayerKind.LRN:
+            return F.lrn(first, spec.local_size, spec.alpha, spec.beta)
+        if kind is LayerKind.DROPOUT:
+            if self.training and self.dropout_rng is not None:
+                mask = F.dropout_mask(first.shape, spec.dropout_ratio,
+                                      self.dropout_rng)
+                return first * mask
+            return first
+        if kind is LayerKind.SOFTMAX:
+            return F.softmax(first)
+        if kind is LayerKind.CLASSIFIER:
+            return F.argmax_classifier(first, spec.top_k).astype(np.float64)
+        if kind is LayerKind.CONCAT:
+            if all(a.ndim == 3 for a in inputs):
+                return np.concatenate(inputs, axis=0)
+            return np.concatenate([np.ravel(a) for a in inputs])
+        raise ShapeError(f"reference execution has no rule for {kind}")

@@ -1,0 +1,357 @@
+"""Minibatch SGD training for the benchmark networks.
+
+The paper trains its models in Matlab/Caffe; this module is the
+stand-in: a small but complete backprop engine for sequential networks
+(convolution, pooling, inner-product, activations, softmax), enough to
+train the ANN approximators, the MNIST digit net and the scaled-down
+CNN variants used in the accuracy experiments.
+
+Trained parameters are exported in the ``{layer: {"weight", "bias"}}``
+form that :class:`~repro.nn.reference.ReferenceNetwork` and the
+accelerator compiler consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+
+
+class Layer:
+    """Base class: forward caches what backward needs."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {}
+
+
+class Dense(Layer):
+    """Fully-connected layer over flattened input (single sample)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, name: str = "") -> None:
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.name = name
+        self.weight = rng.uniform(-limit, limit, size=(out_features, in_features))
+        self.bias = np.zeros(out_features)
+        self._x: np.ndarray | None = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._in_shape: tuple[int, ...] = (in_features,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        flat = np.ravel(x)
+        if flat.size != self.weight.shape[1]:
+            raise ShapeError(
+                f"dense layer expects {self.weight.shape[1]} inputs, got {flat.size}"
+            )
+        self._x = flat
+        return self.weight @ flat + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        self.grad_weight += np.outer(grad, self._x)
+        self.grad_bias += grad
+        return (self.weight.T @ grad).reshape(self._in_shape)
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+
+class Conv2D(Layer):
+    """Convolution layer via im2col (single sample)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int, rng: np.random.Generator, pad: int = 0,
+                 name: str = "") -> None:
+        fan_in = in_channels * kernel * kernel
+        limit = np.sqrt(6.0 / (fan_in + out_channels))
+        self.name = name
+        self.weight = rng.uniform(
+            -limit, limit, size=(out_channels, in_channels, kernel, kernel)
+        )
+        self.bias = np.zeros(out_channels)
+        self.stride = stride
+        self.pad = pad
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._columns: np.ndarray | None = None
+        self._in_shape: tuple[int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        dout, cin, kernel, _ = self.weight.shape
+        self._in_shape = x.shape
+        columns = F.im2col(x, kernel, self.stride, self.pad)
+        self._columns = columns
+        out = columns @ self.weight.reshape(dout, -1).T + self.bias
+        out_h = (x.shape[1] + 2 * self.pad - kernel) // self.stride + 1
+        out_w = (x.shape[2] + 2 * self.pad - kernel) // self.stride + 1
+        self._out_hw = (out_h, out_w)
+        return out.T.reshape(dout, out_h, out_w)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._columns is not None and self._in_shape is not None
+        dout, cin, kernel, _ = self.weight.shape
+        grad_mat = grad.reshape(dout, -1).T  # (positions, Dout)
+        self.grad_weight += (grad_mat.T @ self._columns).reshape(self.weight.shape)
+        self.grad_bias += grad_mat.sum(axis=0)
+        grad_columns = grad_mat @ self.weight.reshape(dout, -1)
+        return F.col2im(grad_columns, self._in_shape, kernel, self.stride, self.pad)
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+
+class MaxPool2D(Layer):
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = kernel
+        self.stride = stride
+        self._x: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._out = F.max_pool2d(x, self.kernel, self.stride)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None and self._out is not None
+        x = self._x
+        out_grad = np.zeros_like(x)
+        channels, out_h, out_w = grad.shape
+        for c in range(channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    top, left = i * self.stride, j * self.stride
+                    window = x[c, top:top + self.kernel, left:left + self.kernel]
+                    if window.size == 0:
+                        continue
+                    idx = np.unravel_index(np.argmax(window), window.shape)
+                    out_grad[c, top + idx[0], left + idx[1]] += grad[c, i, j]
+        return out_grad
+
+
+class AvgPool2D(Layer):
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = kernel
+        self.stride = stride
+        self._in_shape: tuple[int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return F.avg_pool2d(x, self.kernel, self.stride)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._in_shape is not None
+        channels, height, width = self._in_shape
+        out = np.zeros(self._in_shape)
+        share = 1.0 / (self.kernel * self.kernel)
+        _, out_h, out_w = grad.shape
+        for i in range(out_h):
+            for j in range(out_w):
+                top, left = i * self.stride, j * self.stride
+                out[:, top:min(top + self.kernel, height),
+                    left:min(left + self.kernel, width)] += (
+                    grad[:, i, j][:, None, None] * share
+                )
+        return out
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad * self._mask
+
+
+class Sigmoid(Layer):
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = F.sigmoid(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._out is not None
+        return grad * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._out is not None
+        return grad * (1.0 - self._out ** 2)
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return np.ravel(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class SequentialNet:
+    """A chain of layers trained one sample at a time."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = layers
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            for grad in layer.grads().values():
+                grad.fill(0.0)
+
+    def sgd_step(self, lr: float, batch: int = 1, weight_decay: float = 0.0) -> None:
+        for layer in self.layers:
+            params = layer.params()
+            grads = layer.grads()
+            for key, param in params.items():
+                update = grads[key] / batch
+                if weight_decay:
+                    update = update + weight_decay * param
+                param -= lr * update
+
+    def named_weights(self) -> dict[str, dict[str, np.ndarray]]:
+        """Export per-layer weights keyed by each layer's ``name``."""
+        out: dict[str, dict[str, np.ndarray]] = {}
+        for index, layer in enumerate(self.layers):
+            params = layer.params()
+            if not params:
+                continue
+            name = getattr(layer, "name", "") or f"layer{index}"
+            out[name] = {key: value.copy() for key, value in params.items()}
+        return out
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :class:`MLPTrainer`."""
+
+    learning_rate: float = 0.05
+    epochs: int = 30
+    batch_size: int = 8
+    weight_decay: float = 0.0
+    lr_decay: float = 1.0
+    seed: int = 0
+    loss: str = "mse"  # "mse" or "cross_entropy"
+
+
+@dataclass
+class TrainReport:
+    """Loss trajectory and final loss of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class MLPTrainer:
+    """Trains a :class:`SequentialNet` on (input, target) pairs.
+
+    For ``loss="cross_entropy"`` the network's raw outputs are passed
+    through a softmax and targets are integer class labels; for
+    ``loss="mse"`` targets are float vectors.
+    """
+
+    def __init__(self, net: SequentialNet, config: TrainConfig | None = None) -> None:
+        self.net = net
+        self.config = config or TrainConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def _loss_and_grad(self, output: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        if self.config.loss == "cross_entropy":
+            probabilities = F.softmax(output)
+            label = int(target)
+            loss = -float(np.log(max(probabilities[label], 1e-12)))
+            grad = probabilities.copy()
+            grad[label] -= 1.0
+            return loss, grad
+        diff = np.ravel(output) - np.ravel(target)
+        return float(0.5 * np.dot(diff, diff)), diff
+
+    def train(self, inputs: np.ndarray, targets: np.ndarray) -> TrainReport:
+        """Run SGD over the dataset; returns the per-epoch mean loss."""
+        count = len(inputs)
+        if count == 0:
+            raise ShapeError("training set is empty")
+        report = TrainReport()
+        lr = self.config.learning_rate
+        for _ in range(self.config.epochs):
+            order = self._rng.permutation(count)
+            epoch_loss = 0.0
+            batch_fill = 0
+            self.net.zero_grads()
+            for sample_index in order:
+                output = self.net.forward(np.asarray(inputs[sample_index], dtype=np.float64))
+                loss, grad = self._loss_and_grad(output, targets[sample_index])
+                epoch_loss += loss
+                self.net.backward(grad)
+                batch_fill += 1
+                if batch_fill == self.config.batch_size:
+                    self.net.sgd_step(lr, batch_fill, self.config.weight_decay)
+                    self.net.zero_grads()
+                    batch_fill = 0
+            if batch_fill:
+                self.net.sgd_step(lr, batch_fill, self.config.weight_decay)
+                self.net.zero_grads()
+            report.losses.append(epoch_loss / count)
+            lr *= self.config.lr_decay
+        return report
+
+    def evaluate_classification(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy over a labelled set."""
+        correct = 0
+        for x, label in zip(inputs, labels):
+            output = self.net.forward(np.asarray(x, dtype=np.float64))
+            if int(np.argmax(output)) == int(label):
+                correct += 1
+        return correct / max(1, len(inputs))

@@ -1,0 +1,24 @@
+"""NN-Gen: the DeepBurning hardware generator.
+
+Maps a :class:`~repro.frontend.graph.NetworkGraph` onto a datapath built
+from the component library, under a user resource budget.  The result is
+an :class:`~repro.nngen.design.AcceleratorDesign`: configured component
+instances plus a folding plan ("temporal and spatial folding", paper
+§3.3) that the compiler turns into a runnable control program.
+"""
+
+from repro.nngen.design import AcceleratorDesign, DatapathConfig, FoldPhase, FoldingPlan
+from repro.nngen.allocate import choose_datapath, estimate_design_cost
+from repro.nngen.folding import build_folding_plan
+from repro.nngen.generator import NNGen
+
+__all__ = [
+    "AcceleratorDesign",
+    "DatapathConfig",
+    "FoldPhase",
+    "FoldingPlan",
+    "NNGen",
+    "choose_datapath",
+    "estimate_design_cost",
+    "build_folding_plan",
+]

@@ -1,0 +1,190 @@
+"""The NN-Gen generator: script + constraint → accelerator design."""
+
+from __future__ import annotations
+
+from repro.components.library import ComponentLibrary, blocks_for_layer, \
+    default_library
+from repro.devices.device import ResourceBudget
+from repro.errors import ResourceError, UnsupportedLayerError
+from repro.fixedpoint.format import (
+    DEFAULT_DATA_FORMAT,
+    DEFAULT_WEIGHT_FORMAT,
+    QFormat,
+)
+from repro.frontend.graph import NetworkGraph, graph_from_text
+from repro.frontend.layers import LayerKind
+from repro.frontend.shapes import infer_shapes, weight_shape
+from repro.nngen.allocate import (
+    NetworkNeeds,
+    buffer_components,
+    choose_datapath,
+    control_components,
+    functional_components,
+)
+from repro.nngen.design import AcceleratorDesign, DatapathConfig, FoldingPlan
+from repro.nngen.folding import build_folding_plan
+
+
+class NNGen:
+    """The DeepBurning hardware generator (paper Fig. 3).
+
+    Typical use::
+
+        design = NNGen().generate(graph, budget)
+
+    The returned design carries the configured component instances and
+    the folding plan; pass it to
+    :class:`~repro.compiler.compiler.DeepBurningCompiler` for the control
+    program, and to :mod:`repro.rtl.emit` for Verilog.
+    """
+
+    def __init__(self, library: ComponentLibrary | None = None) -> None:
+        self.library = library or default_library()
+
+    def generate(
+        self,
+        graph: NetworkGraph,
+        budget: ResourceBudget,
+        data_format: QFormat = DEFAULT_DATA_FORMAT,
+        weight_format: QFormat = DEFAULT_WEIGHT_FORMAT,
+    ) -> AcceleratorDesign:
+        """Generate an accelerator for ``graph`` within ``budget``."""
+        graph.validate()
+        self._check_layer_support(graph)
+        shapes = infer_shapes(graph)
+
+        feature_demand, weight_demand = self._demands(graph, data_format,
+                                                      weight_format)
+        config = choose_datapath(
+            graph, budget, data_format, weight_format,
+            feature_demand_bits=feature_demand,
+            weight_demand_bits=weight_demand,
+        )
+        needs = NetworkNeeds.of(graph)
+
+        # The datapath search estimates control cost from a nominal plan
+        # size; once the real folding plan exists, control may grow.  If
+        # the realised design overflows the budget, back the datapath off
+        # and re-fold until it fits.
+        while True:
+            design = self._realise(graph, budget, config, needs, shapes,
+                                   feature_demand, weight_demand)
+            used = design.resource_report()
+            if used.fits_in(budget.limit):
+                return design
+            if config.lanes > 1:
+                config = DatapathConfig(
+                    lanes=config.lanes // 2, simd=config.simd,
+                    data_format=config.data_format,
+                    weight_format=config.weight_format,
+                    accumulator_width=config.accumulator_width,
+                )
+            elif config.simd > 1:
+                config = DatapathConfig(
+                    lanes=1, simd=config.simd // 2,
+                    data_format=config.data_format,
+                    weight_format=config.weight_format,
+                    accumulator_width=config.accumulator_width,
+                )
+            else:
+                raise ResourceError(
+                    f"budget {budget.label} cannot fit the minimal design "
+                    f"for '{graph.name}' (needs {used}, has {budget.limit})"
+                )
+
+    def _realise(self, graph, budget, config, needs, shapes,
+                 feature_demand, weight_demand) -> AcceleratorDesign:
+        components = dict(functional_components(config, needs))
+        buffers = buffer_components(config, budget, feature_demand,
+                                    weight_demand)
+        components.update(buffers)
+
+        feature_buffer = buffers["feature_buffer"]
+        weight_buffer = buffers["weight_buffer"]
+        feature_capacity = (
+            feature_buffer.depth_words * feature_buffer.word_bits
+            // config.data_width
+        )
+        weight_capacity = (
+            weight_buffer.depth_words * weight_buffer.word_bits
+            // config.weight_width
+        )
+        folding = build_folding_plan(graph, config, feature_capacity,
+                                     weight_capacity)
+
+        # Control scales with the number of layer templates, not folds:
+        # folds of one layer share a coordinator state parameterised by
+        # the fold counter, exactly as AGU patterns are re-based per fold.
+        layer_templates = len({phase.layer for phase in folding})
+        components.update(control_components(
+            config, n_phases=max(2, 2 * layer_templates),
+            n_patterns=self._pattern_estimate(folding),
+        ))
+
+        return AcceleratorDesign(
+            graph=graph,
+            budget=budget,
+            datapath=config,
+            components=components,
+            folding=folding,
+            shapes=shapes,
+        )
+
+    def generate_from_text(self, script: str, budget: ResourceBudget,
+                           **formats) -> AcceleratorDesign:
+        """Parse a descriptive script and generate in one step."""
+        return self.generate(graph_from_text(script), budget, **formats)
+
+    # ------------------------------------------------------------------
+
+    def _check_layer_support(self, graph: NetworkGraph) -> None:
+        for spec in graph.layers:
+            blocks = blocks_for_layer(spec.kind)
+            missing = [cls.MODULE for cls in blocks
+                       if cls.MODULE not in self.library.blocks]
+            if missing:
+                raise UnsupportedLayerError(
+                    f"layer '{spec.name}' ({spec.kind.value}) needs library "
+                    f"blocks {missing} that are not registered"
+                )
+
+    @staticmethod
+    def _demands(graph: NetworkGraph, data_format: QFormat,
+                 weight_format: QFormat) -> tuple[int, int]:
+        """Peak feature and weight working-set sizes, in bits."""
+        shapes = infer_shapes(graph)
+        feature_peak = 0
+        weight_peak = 0
+        for spec in graph.layers:
+            live = 0
+            for blob in (*spec.bottoms, *spec.tops):
+                live += shapes[blob].size
+            feature_peak = max(feature_peak, live)
+            if spec.kind.has_weights and spec.bottoms:
+                wshape = weight_shape(spec, shapes[spec.bottoms[0]])
+                count = 1
+                for dim in wshape:
+                    count *= dim
+                weight_peak = max(weight_peak, count)
+        if feature_peak == 0:
+            raise ResourceError("network moves no feature data")
+        return (feature_peak * data_format.total_bits,
+                max(1, weight_peak) * weight_format.total_bits)
+
+    @staticmethod
+    def _pattern_estimate(folding: FoldingPlan) -> int:
+        """Distinct AGU patterns: one trio per layer kind/fold geometry.
+
+        Folds of one layer share a pattern parameterised by start address,
+        so the pattern count scales with layers, not folds.
+        """
+        distinct = {
+            (phase.layer, phase.kind) for phase in folding
+        }
+        weighted = sum(
+            3 if kind in (LayerKind.CONVOLUTION, LayerKind.INNER_PRODUCT,
+                          LayerKind.RECURRENT, LayerKind.ASSOCIATIVE)
+            else 2
+            for _, kind in distinct
+        )
+        return max(1, weighted)

@@ -1,0 +1,31 @@
+"""Accelerator simulator substrate.
+
+Stands in for the paper's Zynq board: an event-driven cycle-level model
+of the generated accelerator executing its compiled control program.
+Three cooperating parts:
+
+* :mod:`repro.sim.quantized` — bit-level functional execution: the exact
+  fixed-point + Approx-LUT arithmetic the datapath performs,
+* :mod:`repro.sim.accel` — the timing model: fold phases with
+  double-buffered DRAM transfers over an AXI-like port
+  (:mod:`repro.sim.memory`) and datapath beats
+  (:mod:`repro.sim.datapath`), sequenced by an event kernel
+  (:mod:`repro.sim.events`),
+* :mod:`repro.sim.power` — activity-based energy accounting.
+"""
+
+from repro.sim.events import EventQueue
+from repro.sim.memory import DRAMModel
+from repro.sim.quantized import QuantizedExecutor
+from repro.sim.power import EnergyModel, EnergyReport
+from repro.sim.accel import AcceleratorSimulator, SimulationResult
+
+__all__ = [
+    "EventQueue",
+    "DRAMModel",
+    "QuantizedExecutor",
+    "EnergyModel",
+    "EnergyReport",
+    "AcceleratorSimulator",
+    "SimulationResult",
+]

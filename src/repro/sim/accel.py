@@ -1,0 +1,253 @@
+"""The accelerator simulator.
+
+Executes a compiled :class:`~repro.compiler.program.ControlProgram` on
+the event kernel.  Each coordinator state (fold phase) is modelled as a
+load stage (main AGU moving the fold's tiles over the AXI port) and a
+compute stage (datapath beats); double buffering lets phase *i+1*'s load
+overlap phase *i*'s compute, exactly the behaviour the two-bank buffers
+and the context-buffer triggers implement in hardware.
+
+Functional output is produced by the bit-level
+:class:`~repro.sim.quantized.QuantizedExecutor` (the two views describe
+the same machine; splitting them keeps big networks simulable at full
+scale on a laptop — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.program import ControlProgram
+from repro.errors import SimulationError
+from repro.sim.datapath import buffer_stream_beats, compute_beats
+from repro.sim.events import EventQueue
+from repro.sim.memory import DRAMModel
+from repro.sim.power import EnergyModel, EnergyReport
+from repro.sim.quantized import QuantizedExecutor
+
+
+@dataclass
+class PhaseTrace:
+    """Timing record of one executed fold phase."""
+
+    layer: str
+    phase_index: int
+    event: str
+    load_cycles: int
+    compute_cycles: int
+    start_cycle: float
+    end_cycle: float
+    macs: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one forward propagation on the simulated accelerator."""
+
+    cycles: int
+    time_s: float
+    energy: EnergyReport
+    phase_traces: list[PhaseTrace] = field(default_factory=list)
+    outputs: dict[str, np.ndarray] | None = None
+    dram_words: int = 0
+    macs: int = 0
+
+    @property
+    def output(self) -> np.ndarray:
+        if not self.outputs:
+            raise SimulationError("run was timing-only; no functional output")
+        return self.outputs["__output__"]
+
+    def layer_cycles(self) -> dict[str, float]:
+        """Busy cycles attributed to each layer (compute view)."""
+        per_layer: dict[str, float] = {}
+        for trace in self.phase_traces:
+            per_layer[trace.layer] = per_layer.get(trace.layer, 0.0) \
+                + trace.compute_cycles
+        return per_layer
+
+    def layer_report(self, peak_macs_per_cycle: int | None = None) -> str:
+        """Per-layer breakdown: folds, cycles, load/compute balance.
+
+        ``peak_macs_per_cycle`` (the datapath's multiplier count) adds a
+        utilization column — achieved MACs per busy cycle over peak.
+        """
+        per_layer: dict[str, dict[str, float]] = {}
+        for trace in self.phase_traces:
+            entry = per_layer.setdefault(trace.layer, {
+                "folds": 0, "compute": 0.0, "load": 0.0})
+            entry["folds"] += 1
+            entry["compute"] += trace.compute_cycles
+            entry["load"] += trace.load_cycles
+        macs_per_layer: dict[str, int] = {}
+        for trace in self.phase_traces:
+            macs_per_layer[trace.layer] = \
+                macs_per_layer.get(trace.layer, 0) + trace.macs
+        lines = ["layer            folds  compute    load       bound    "
+                 + ("util" if peak_macs_per_cycle else "")]
+        for layer, entry in per_layer.items():
+            bound = "memory" if entry["load"] > entry["compute"] \
+                else "compute"
+            util = ""
+            if peak_macs_per_cycle:
+                achieved = macs_per_layer[layer] / max(1.0, entry["compute"])
+                util = f"{achieved / peak_macs_per_cycle:6.1%}"
+            lines.append(
+                f"{layer:15s}  {entry['folds']:5d}  {entry['compute']:9.0f}"
+                f"  {entry['load']:9.0f}  {bound:8s} {util}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        return (
+            f"{self.cycles} cycles = {self.time_s * 1e3:.3f} ms, "
+            f"{self.macs} MACs, {self.dram_words} DRAM words, "
+            f"energy {self.energy}"
+        )
+
+
+class AcceleratorSimulator:
+    """Simulates one generated accelerator running its control program."""
+
+    def __init__(self, program: ControlProgram,
+                 weights: dict[str, dict[str, np.ndarray]] | None = None) -> None:
+        self.program = program
+        self.design = program.design
+        self.weights = weights
+        self.device = self.design.budget.device
+        self.dram = DRAMModel.for_device(self.device)
+        self._word_bytes = -(-self.design.datapath.data_width // 8)
+
+    # ------------------------------------------------------------------
+
+    def run(self, inputs: np.ndarray | None = None,
+            functional: bool = True) -> SimulationResult:
+        """Simulate one forward propagation.
+
+        ``functional=False`` skips the bit-level execution (used by the
+        performance sweeps where only timing/energy are measured).
+        """
+        cycles, traces, energy_model = self._run_timing()
+        energy = energy_model.report(cycles)
+        outputs = None
+        if functional:
+            if inputs is None:
+                raise SimulationError("functional run needs an input array")
+            if self.weights is None:
+                raise SimulationError(
+                    "functional run needs the trained weights"
+                )
+            executor = QuantizedExecutor.from_program(self.program,
+                                                      self.weights)
+            blobs = executor.forward(inputs)
+            output_blob = self.design.graph.outputs()[-1].tops[0]
+            outputs = dict(blobs)
+            outputs["__output__"] = blobs[output_blob]
+        return SimulationResult(
+            cycles=cycles,
+            time_s=cycles / self.device.clock_hz,
+            energy=energy,
+            phase_traces=traces,
+            outputs=outputs,
+            dram_words=energy_model.dram_words,
+            macs=energy_model.macs,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _phase_load_cycles(self, plan) -> int:
+        words = plan.dram_read_words() + plan.dram_write_words()
+        bursts = len(plan.main_feature_reads) + len(plan.main_weight_reads) \
+            + len(plan.main_writes)
+        return self.dram.burst_cycles(words * self._word_bytes,
+                                      bursts=max(1, bursts))
+
+    def _phase_compute_cycles(self, plan) -> int:
+        beats = compute_beats(self.design, plan.phase)
+        stream = buffer_stream_beats(self.design, plan.phase)
+        return max(beats, stream)
+
+    def _run_timing(self) -> tuple[int, list[PhaseTrace], EnergyModel]:
+        queue = EventQueue()
+        energy_model = EnergyModel(self.device, self.design,
+                                   word_bytes=self._word_bytes)
+        plans = self.program.address_plans
+        if not plans:
+            raise SimulationError("control program has no phases")
+
+        traces: list[PhaseTrace] = []
+        load_done = [0.0] * len(plans)
+        compute_done = [0.0] * len(plans)
+
+        # Event-driven double-buffered pipeline: load[i] can start once
+        # load[i-1] finished (one main AGU); compute[i] starts when its
+        # operands are on chip AND the shared datapath is free.
+        state = {"next_load": 0, "next_compute": 0, "datapath_busy": False}
+
+        def schedule_load() -> None:
+            index = state["next_load"]
+            if index >= len(plans):
+                return
+            plan = plans[index]
+            load_cycles = self._phase_load_cycles(plan)
+
+            def finish_load(i=index) -> None:
+                load_done[i] = queue.now
+                state["next_load"] += 1
+                schedule_load()
+                maybe_compute()
+
+            queue.schedule(load_cycles, finish_load)
+
+        def maybe_compute() -> None:
+            if state["datapath_busy"]:
+                return
+            index = state["next_compute"]
+            if index >= len(plans):
+                return
+            if state["next_load"] <= index:
+                return  # operands not on chip yet
+            plan = plans[index]
+            compute_cycles = self._phase_compute_cycles(plan)
+            start = queue.now
+            state["datapath_busy"] = True
+
+            def finish_compute(i=index, cycles=compute_cycles,
+                               begun=start) -> None:
+                compute_done[i] = queue.now
+                phase = plans[i].phase
+                energy_model.count_phase(
+                    macs=phase.macs,
+                    sram_words=plans[i].buffer_read_words()
+                    + phase.output_words,
+                    dram_words=plans[i].dram_read_words()
+                    + plans[i].dram_write_words(),
+                )
+                traces.append(PhaseTrace(
+                    layer=phase.layer,
+                    phase_index=phase.phase_index,
+                    event=plans[i].event,
+                    load_cycles=self._phase_load_cycles(plans[i]),
+                    compute_cycles=cycles,
+                    start_cycle=begun,
+                    end_cycle=queue.now,
+                    macs=phase.macs,
+                ))
+                state["next_compute"] += 1
+                state["datapath_busy"] = False
+                maybe_compute()
+
+            queue.schedule(compute_cycles, finish_compute)
+
+        # The host ARM core pays a fixed DMA/launch overhead before the
+        # first pattern trigger reaches the coordinator.
+        queue.schedule(self.device.invocation_overhead_cycles, schedule_load)
+        total = queue.run()
+        if state["next_compute"] != len(plans):
+            raise SimulationError(
+                f"pipeline stalled: {state['next_compute']}/{len(plans)} "
+                "phases completed"
+            )
+        return int(round(total)), traces, energy_model

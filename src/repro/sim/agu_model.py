@@ -1,0 +1,137 @@
+"""Cycle-faithful AGU hardware model.
+
+A Python mirror of the Verilog AGU template in
+:mod:`repro.rtl.templates`: the same two nested counters, the same
+pattern-table fields, stepped one clock at a time.  Property tests drive
+this model with compiled :class:`~repro.compiler.patterns.AccessPattern`
+tables and check the emitted address stream equals the pattern's
+arithmetic expansion — the bridge between the compiler's view and the
+RTL's view of the same FSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.patterns import AccessPattern
+from repro.errors import SimulationError
+
+
+@dataclass
+class AGUHardwareModel:
+    """The template AGU's sequential logic, clock by clock."""
+
+    patterns: list[AccessPattern]
+    #: Which template fields the reduced hardware keeps.
+    has_stride: bool = True
+    has_outer: bool = True
+
+    # Architectural registers (mirroring the Verilog regs).
+    running: bool = False
+    done: bool = False
+    addr: int = 0
+    row_base: int = 0
+    x_count: int = 0
+    y_count: int = 0
+    _selected: int = 0
+    emitted: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise SimulationError("AGU model needs at least one pattern")
+        for pattern in self.patterns:
+            if not self.has_stride and pattern.x_length > 1 \
+                    and pattern.stride != 1:
+                raise SimulationError(
+                    "pattern needs the stride field the hardware dropped"
+                )
+            if not self.has_outer and pattern.y_length > 1:
+                raise SimulationError(
+                    "pattern needs the outer loop the hardware dropped"
+                )
+
+    # -- table fields ----------------------------------------------------
+
+    def _tab(self, index: int) -> AccessPattern:
+        try:
+            return self.patterns[index]
+        except IndexError:
+            raise SimulationError(
+                f"pattern select {index} outside table of "
+                f"{len(self.patterns)}"
+            ) from None
+
+    # -- clocked behaviour -------------------------------------------------
+
+    def reset(self) -> None:
+        self.running = False
+        self.done = False
+        self.addr = 0
+        self.row_base = 0
+        self.x_count = 0
+        self.y_count = 0
+        self.emitted = []
+
+    def step(self, event_trigger: bool = False, pattern_select: int = 0,
+             stall: bool = False) -> int | None:
+        """One clock edge; returns the address emitted this cycle (if any).
+
+        Mirrors the template's priority: trigger (when idle) loads the
+        selected pattern; while running and not stalled, the inner
+        counter advances, wrapping into the outer counter; the terminal
+        wrap drops ``running`` and pulses ``done``.
+        """
+        emitted: int | None = None
+        if event_trigger and not self.running:
+            self._selected = pattern_select
+            pattern = self._tab(pattern_select)
+            self.running = True
+            self.done = False
+            self.addr = pattern.start_address
+            self.row_base = pattern.start_address
+            self.x_count = 0
+            self.y_count = 0
+            return None
+        if self.running and not stall:
+            pattern = self._tab(self._selected)
+            # address_valid is high this cycle: the current addr goes out.
+            emitted = self.addr
+            self.emitted.append(self.addr)
+            stride = pattern.stride if self.has_stride else 1
+            if self.x_count + 1 < pattern.x_length:
+                self.x_count += 1
+                self.addr += stride
+            elif self.has_outer and self.y_count + 1 < pattern.y_length:
+                self.y_count += 1
+                self.x_count = 0
+                self.row_base += pattern.offset
+                self.addr = self.row_base
+            else:
+                self.running = False
+                self.done = True
+        else:
+            self.done = False
+        return emitted
+
+    def run_pattern(self, pattern_select: int, max_cycles: int = 1_000_000) -> list[int]:
+        """Trigger one pattern and run it to completion."""
+        before = len(self.emitted)
+        self.step(event_trigger=True, pattern_select=pattern_select)
+        cycles = 0
+        while self.running:
+            self.step()
+            cycles += 1
+            if cycles > max_cycles:
+                raise SimulationError("AGU never finished its pattern")
+        return self.emitted[before:]
+
+
+def verify_pattern_on_hardware(pattern: AccessPattern) -> bool:
+    """The compiler/RTL equivalence check for one pattern."""
+    model = AGUHardwareModel(
+        patterns=[pattern],
+        has_stride=("stride" in pattern.fields_used()
+                    or pattern.stride == 1),
+        has_outer="y_length" in pattern.fields_used(),
+    )
+    return model.run_pattern(0) == pattern.expand()

@@ -1,0 +1,174 @@
+"""Cycle-faithful models of the streaming datapath blocks.
+
+Python mirrors of the Verilog templates in :mod:`repro.rtl.templates`,
+stepped element by element exactly as the hardware consumes its input
+stream.  Tests drive these models and the vectorised numpy operations of
+:mod:`repro.nn.functional` with the same data and assert equality — the
+same RTL-vs-golden methodology the AGU model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class KSorterModel:
+    """The streaming top-k compare-exchange chain (classifier block)."""
+
+    k: int
+    score_width: int = 16
+
+    scores: list[int] = field(default_factory=list)
+    indices: list[int] = field(default_factory=list)
+    counter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise SimulationError("k-sorter needs k >= 1")
+        self.clear()
+
+    def clear(self) -> None:
+        minimum = -(1 << (self.score_width - 1))
+        self.scores = [minimum] * self.k
+        self.indices = [0] * self.k
+        self.counter = 0
+
+    def insert(self, score: int) -> None:
+        """One valid_in beat: bubble the candidate down the chain.
+
+        A fresh candidate must *strictly* beat a held score (earlier
+        ties rank first); once the bubble carries a displaced held
+        element it wins ties below it (it was already ranked higher) —
+        one ``displaced`` flag in the hardware chain.
+        """
+        bubble_score = int(score)
+        bubble_index = self.counter
+        displaced = False
+        for position in range(self.k):
+            wins = (bubble_score >= self.scores[position] if displaced
+                    else bubble_score > self.scores[position])
+            if wins:
+                self.scores[position], bubble_score = \
+                    bubble_score, self.scores[position]
+                self.indices[position], bubble_index = \
+                    bubble_index, self.indices[position]
+                displaced = True
+        self.counter += 1
+
+    def run(self, stream: np.ndarray) -> list[int]:
+        """Stream every score through; returns the top-k indices."""
+        self.clear()
+        for score in np.ravel(stream):
+            self.insert(int(score))
+        valid = min(self.k, self.counter)
+        return self.indices[:valid]
+
+
+@dataclass
+class PoolingLaneModel:
+    """One pooling lane: running max and running sum with window_start."""
+
+    width: int = 16
+
+    best: int = 0
+    run_sum: int = 0
+    _primed: bool = False
+
+    def step(self, value: int, window_start: bool) -> None:
+        value = int(value)
+        if window_start or not self._primed:
+            self.best = value
+            self.run_sum = value
+            self._primed = True
+        else:
+            if value > self.best:
+                self.best = value
+            self.run_sum += value
+
+    def pool_window(self, window: np.ndarray, mode_max: bool) -> int:
+        """Stream one window through the lane, return its pooled value."""
+        flat = np.ravel(window)
+        if flat.size == 0:
+            raise SimulationError("empty pooling window")
+        for position, value in enumerate(flat):
+            self.step(int(value), window_start=(position == 0))
+        return self.best if mode_max else self.run_sum
+
+
+@dataclass
+class AccumulatorLaneModel:
+    """One saturating accumulator lane."""
+
+    width: int = 32
+    total: int = 0
+
+    @property
+    def max_int(self) -> int:
+        return (1 << (self.width - 1)) - 1
+
+    @property
+    def min_int(self) -> int:
+        return -(1 << (self.width - 1))
+
+    def clear(self) -> None:
+        self.total = 0
+
+    def add(self, partial: int) -> int:
+        self.total = max(self.min_int, min(self.max_int,
+                                           self.total + int(partial)))
+        return self.total
+
+    def accumulate(self, partials: np.ndarray) -> int:
+        self.clear()
+        for partial in np.ravel(partials):
+            self.add(int(partial))
+        return self.total
+
+
+@dataclass
+class DropoutLFSRModel:
+    """The drop-out inserter's 16-bit Fibonacci LFSR and gate.
+
+    Matches the Verilog: feedback from the maximal-length polynomial
+    ``x^16 + x^14 + x^13 + x^11 + 1`` (period 2^16 - 1), seeded to 1 on
+    reset; a lane passes its value when ``bypass`` or
+    ``lfsr >= threshold``.
+    """
+
+    WIDTH = 16
+    state: int = 1
+
+    def reset(self) -> None:
+        self.state = 1
+
+    def step(self) -> int:
+        bit = lambda n: (self.state >> n) & 1  # noqa: E731 - local probe
+        feedback = bit(15) ^ bit(13) ^ bit(12) ^ bit(10)
+        self.state = ((self.state << 1) & ((1 << self.WIDTH) - 1)) \
+            | feedback
+        return self.state
+
+    def gate(self, values: np.ndarray, threshold: int,
+             bypass: bool = False) -> np.ndarray:
+        """Gate one value per clock; threshold sets the drop rate."""
+        out = np.zeros_like(np.asarray(values))
+        for index, value in enumerate(np.ravel(values)):
+            keep = bypass or self.state >= threshold
+            out.flat[index] = value if keep else 0
+            self.step()
+        return out
+
+    def period(self, max_steps: int = 1 << 17) -> int:
+        """Cycle length of the LFSR from the reset state."""
+        self.reset()
+        seen_first = self.state
+        for count in range(1, max_steps + 1):
+            self.step()
+            if self.state == seen_first:
+                return count
+        raise SimulationError("LFSR period exceeds the search bound")

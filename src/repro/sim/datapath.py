@@ -1,0 +1,92 @@
+"""Per-fold datapath timing.
+
+Compute beats of one fold on the shared data-driven datapath: the
+functional blocks on the fold's route each contribute their beat count;
+MAC-dominated folds are bounded by the synergy-neuron array, streaming
+folds by the slowest block they traverse, plus a pipeline fill/drain of
+a few cycles per block.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.frontend.layers import LayerKind
+from repro.nngen.design import AcceleratorDesign, FoldPhase
+
+#: Pipeline registers each routed block adds (fill + drain).
+PIPELINE_FILL_PER_BLOCK = 3
+
+
+def compute_beats(design: AcceleratorDesign, phase: FoldPhase) -> int:
+    """Clock cycles the datapath spends computing one fold."""
+    kind = phase.kind
+    neurons = design.components.get("neurons")
+
+    if kind in (LayerKind.CONVOLUTION, LayerKind.INNER_PRODUCT,
+                LayerKind.RECURRENT, LayerKind.ASSOCIATIVE,
+                LayerKind.INCEPTION):
+        if neurons is None:
+            raise SimulationError("design has no synergy-neuron array")
+        beats = neurons.beats_for(phase.macs_per_output, phase.out_count)
+        # Activation of the produced outputs rides the same pipeline for
+        # ReLU; LUT-backed activations serialise through the shared table.
+        activation = design.components.get("activation")
+        if activation is not None and activation.needs_lut and not phase.partial:
+            beats += activation.beats_for(phase.out_count, "sigmoid")
+        return beats + 2 * PIPELINE_FILL_PER_BLOCK
+
+    if kind is LayerKind.POOLING:
+        pool = design.components.get("pooling")
+        if pool is None:
+            raise SimulationError("design has no pooling unit")
+        kernel = max(1, int(round(phase.macs_per_output ** 0.5)))
+        return pool.beats_for(phase.out_count, kernel) + PIPELINE_FILL_PER_BLOCK
+
+    if kind is LayerKind.LRN:
+        lrn = design.components.get("lrn")
+        if lrn is None:
+            raise SimulationError("design has no LRN unit")
+        return lrn.beats_for(phase.out_count) + PIPELINE_FILL_PER_BLOCK
+
+    if kind is LayerKind.DROPOUT:
+        dropout = design.components.get("dropout")
+        if dropout is None:
+            return phase.out_count
+        return dropout.beats_for(phase.out_count) + PIPELINE_FILL_PER_BLOCK
+
+    if kind in (LayerKind.RELU, LayerKind.SIGMOID, LayerKind.TANH):
+        activation = design.components.get("activation")
+        if activation is None:
+            raise SimulationError("design has no activation unit")
+        function = {"RELU": "relu", "SIGMOID": "sigmoid",
+                    "TANH": "tanh"}[kind.value]
+        return (activation.beats_for(phase.out_count, function)
+                + PIPELINE_FILL_PER_BLOCK)
+
+    if kind in (LayerKind.SOFTMAX, LayerKind.CLASSIFIER):
+        classifier = design.components.get("classifier")
+        if classifier is not None:
+            return classifier.beats_for(phase.in_count or phase.out_count) \
+                + PIPELINE_FILL_PER_BLOCK
+        return phase.out_count + PIPELINE_FILL_PER_BLOCK
+
+    if kind is LayerKind.CONCAT:
+        return phase.out_count + PIPELINE_FILL_PER_BLOCK
+
+    raise SimulationError(f"no datapath timing rule for {kind}")
+
+
+def buffer_stream_beats(design: AcceleratorDesign, phase: FoldPhase) -> int:
+    """Cycles the data/weight AGUs need to stream the fold's operands.
+
+    The feature port delivers ``simd`` words per beat and the weight port
+    ``lanes * simd`` words per beat (Method-1 alignment), so on a MAC
+    fold operand streaming never outruns compute — but on streaming folds
+    it can dominate.
+    """
+    simd = design.datapath.simd
+    lanes = design.datapath.lanes
+    feature_beats = -(-phase.input_words // simd)
+    weight_beats = -(-phase.weight_words // (lanes * simd)) \
+        if phase.weight_words else 0
+    return max(feature_beats, weight_beats)

@@ -1,0 +1,73 @@
+"""A minimal discrete-event simulation kernel.
+
+Events are ``(time, sequence, callback)`` triples in a heap; callbacks
+may schedule further events.  Time is in clock cycles (integers), but
+any monotonic number works.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """A deterministic event queue.
+
+    Ties at the same timestamp fire in scheduling order, which keeps the
+    simulator reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now: float = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` after the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self.now = time
+        callback()
+        self._processed += 1
+        return True
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Run to quiescence; returns the final time."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a scheduling loop"
+                )
+        return self.now

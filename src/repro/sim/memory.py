@@ -1,0 +1,71 @@
+"""External-memory timing model.
+
+The generated accelerator reaches the board DRAM through AXI switches
+(paper §4.1).  The model is a bandwidth/latency pipe: a burst of ``n``
+bytes costs the fixed first-beat latency plus ``n / bytes_per_cycle``
+transfer cycles; independent bursts within one fold phase are assumed
+pipelined, so only distinct patterns re-pay the latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.device import Device
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Cycle cost model of the off-chip memory port."""
+
+    bytes_per_cycle: float
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise SimulationError("DRAM bandwidth must be positive")
+        if self.latency_cycles < 0:
+            raise SimulationError("DRAM latency cannot be negative")
+
+    @staticmethod
+    def for_device(device: Device) -> "DRAMModel":
+        return DRAMModel(
+            bytes_per_cycle=device.dram_bandwidth / device.clock_hz,
+            latency_cycles=device.dram_latency_cycles,
+        )
+
+    def burst_cycles(self, n_bytes: int, bursts: int = 1) -> int:
+        """Cycles to move ``n_bytes`` split over ``bursts`` bursts."""
+        if n_bytes < 0 or bursts < 0:
+            raise SimulationError("negative transfer size")
+        if n_bytes == 0:
+            return 0
+        transfer = -(-n_bytes // self.bytes_per_cycle)
+        return int(self.latency_cycles * max(1, bursts) + transfer)
+
+
+@dataclass
+class BufferState:
+    """Occupancy tracking of one on-chip buffer bank pair."""
+
+    capacity_words: int
+    occupied_words: int = 0
+
+    def fill(self, words: int) -> None:
+        if words < 0:
+            raise SimulationError("cannot fill a negative word count")
+        if self.occupied_words + words > self.capacity_words:
+            raise SimulationError(
+                f"buffer overflow: {self.occupied_words} + {words} > "
+                f"{self.capacity_words}"
+            )
+        self.occupied_words += words
+
+    def drain(self, words: int | None = None) -> None:
+        if words is None:
+            self.occupied_words = 0
+            return
+        if words > self.occupied_words:
+            raise SimulationError("buffer underflow")
+        self.occupied_words -= words

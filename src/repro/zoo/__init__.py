@@ -1,0 +1,45 @@
+"""Model zoo: the paper's benchmark networks as descriptive scripts.
+
+Every builder returns a validated :class:`~repro.frontend.graph.NetworkGraph`
+parsed from a Caffe-compatible script, exercising the same frontend path
+a user's ``*.prototxt`` takes.  The inventory matches paper Tables 1/2:
+three 4-layer ANNs (AxBench approximators), 2-layer Hopfield, 2-layer
+CMAC, 5-layer MNIST, AlexNet, NiN and Cifar, plus a GoogLeNet-style
+inception sample used by the Table 1 decomposition.
+"""
+
+from repro.zoo.models import (
+    BENCHMARKS,
+    alexnet,
+    ann,
+    ann_fft,
+    ann_jpeg,
+    ann_kmeans,
+    benchmark_graph,
+    cifar,
+    cmac_net,
+    googlenet_sample,
+    googlenet_stem,
+    hopfield_net,
+    inception_block,
+    mnist,
+    nin,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "benchmark_graph",
+    "ann",
+    "ann_fft",
+    "ann_jpeg",
+    "ann_kmeans",
+    "hopfield_net",
+    "cmac_net",
+    "mnist",
+    "alexnet",
+    "nin",
+    "cifar",
+    "googlenet_sample",
+    "googlenet_stem",
+    "inception_block",
+]

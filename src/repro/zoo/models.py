@@ -1,0 +1,320 @@
+"""Benchmark network builders (paper §4.1, Tables 1 and 2)."""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.frontend.graph import NetworkGraph, graph_from_text
+
+
+def _layer(name: str, kind: str, bottom: str | None, top: str,
+           params: str = "", extra: str = "") -> str:
+    bottom_line = f'  bottom: "{bottom}"\n' if bottom else ""
+    param_block = f"  param {{ {params} }}\n" if params else ""
+    return (
+        "layers {\n"
+        f'  name: "{name}"\n'
+        f"  type: {kind}\n"
+        f"{bottom_line}"
+        f'  top: "{top}"\n'
+        f"{param_block}"
+        f"{extra}"
+        "}\n"
+    )
+
+
+def _data(shape: tuple[int, ...]) -> str:
+    dims = " ".join(f"dim: {d}" for d in shape)
+    return _layer("data", "DATA", None, "data", dims)
+
+
+def ann(name: str, layer_sizes: list[int],
+        activation: str = "SIGMOID") -> NetworkGraph:
+    """A fully-connected ANN: one FC + activation per hidden layer.
+
+    ``layer_sizes`` is ``[input, hidden..., output]`` — the paper's
+    "4-layer ANN" is ``[in, h1, h2, out]``.
+    """
+    if len(layer_sizes) < 2:
+        raise GraphError("an ANN needs at least input and output sizes")
+    text = f'name: "{name}"\n' + _data((layer_sizes[0],))
+    previous = "data"
+    for index, width in enumerate(layer_sizes[1:], start=1):
+        layer_name = f"ip{index}"
+        text += _layer(layer_name, "INNER_PRODUCT", previous, layer_name,
+                       f"num_output: {width}")
+        if index < len(layer_sizes) - 1:
+            text += _layer(f"act{index}", activation, layer_name, layer_name)
+        previous = layer_name
+    return graph_from_text(text)
+
+
+def ann_fft() -> NetworkGraph:
+    """ANN-0: the AxBench ``fft`` approximator (1 -> 4 -> 4 -> 2)."""
+    return ann("ann0_fft", [1, 4, 4, 2])
+
+
+def ann_jpeg() -> NetworkGraph:
+    """ANN-1: the AxBench ``jpeg`` block approximator (64 -> 16 -> 8 -> 64)."""
+    return ann("ann1_jpeg", [64, 16, 8, 64])
+
+
+def ann_kmeans() -> NetworkGraph:
+    """ANN-2: the AxBench ``kmeans`` approximator (6 -> 8 -> 4 -> 1)."""
+    return ann("ann2_kmeans", [6, 8, 4, 1])
+
+
+def hopfield_net(neurons: int = 25) -> NetworkGraph:
+    """2-layer Hopfield TSP solver: one recurrent layer of n^2 neurons."""
+    text = 'name: "hopfield"\n' + _data((neurons,))
+    text += _layer(
+        "hop", "RECURRENT", "data", "hop", f"num_output: {neurons}",
+        '  connect { name: "feedback" direction: recurrent type: full }\n',
+    )
+    text += _layer("act", "SIGMOID", "hop", "hop")
+    return graph_from_text(text)
+
+
+def cmac_net(table_size: int = 4096, outputs: int = 2) -> NetworkGraph:
+    """2-layer CMAC: an associative (memory) layer over the tile table.
+
+    The input blob is the active-cell selector vector produced by the
+    tiling hash; the associative layer holds the weight table (paper
+    Table 1 marks CMAC's associative layer).
+    """
+    text = 'name: "cmac"\n' + _data((table_size,))
+    text += _layer(
+        "assoc", "ASSOCIATIVE", "data", "assoc", f"num_output: {outputs}",
+        '  connect { name: "recall" direction: recurrent '
+        'type: file_specified }\n',
+    )
+    text += _layer("act", "SIGMOID", "assoc", "assoc")
+    return graph_from_text(text)
+
+
+def mnist() -> NetworkGraph:
+    """5-layer MNIST digit net (LeNet shape, with LRN as in paper Table 1)."""
+    text = 'name: "mnist"\n' + _data((1, 28, 28))
+    text += _layer("conv1", "CONVOLUTION", "data", "conv1",
+                   "num_output: 20 kernel_size: 5 stride: 1")
+    text += _layer("pool1", "POOLING", "conv1", "pool1",
+                   "pool: MAX kernel_size: 2 stride: 2")
+    text += _layer("norm1", "LRN", "pool1", "norm1", "local_size: 5")
+    text += _layer("conv2", "CONVOLUTION", "norm1", "conv2",
+                   "num_output: 50 kernel_size: 5 stride: 1")
+    text += _layer("pool2", "POOLING", "conv2", "pool2",
+                   "pool: MAX kernel_size: 2 stride: 2")
+    text += _layer("ip1", "INNER_PRODUCT", "pool2", "ip1", "num_output: 500")
+    text += _layer("relu1", "RELU", "ip1", "ip1")
+    text += _layer("ip2", "INNER_PRODUCT", "ip1", "ip2", "num_output: 10")
+    text += _layer("prob", "SOFTMAX", "ip2", "prob")
+    return graph_from_text(text)
+
+
+def alexnet() -> NetworkGraph:
+    """AlexNet (Krizhevsky et al. NIPS'12), single-input inference shape."""
+    text = 'name: "alexnet"\n' + _data((3, 227, 227))
+    text += _layer("conv1", "CONVOLUTION", "data", "conv1",
+                   "num_output: 96 kernel_size: 11 stride: 4")
+    text += _layer("relu1", "RELU", "conv1", "conv1")
+    text += _layer("norm1", "LRN", "conv1", "norm1", "local_size: 5")
+    text += _layer("pool1", "POOLING", "norm1", "pool1",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    text += _layer("conv2", "CONVOLUTION", "pool1", "conv2",
+                   "num_output: 256 kernel_size: 5 stride: 1 pad: 2 group: 2")
+    text += _layer("relu2", "RELU", "conv2", "conv2")
+    text += _layer("norm2", "LRN", "conv2", "norm2", "local_size: 5")
+    text += _layer("pool2", "POOLING", "norm2", "pool2",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    text += _layer("conv3", "CONVOLUTION", "pool2", "conv3",
+                   "num_output: 384 kernel_size: 3 stride: 1 pad: 1")
+    text += _layer("relu3", "RELU", "conv3", "conv3")
+    text += _layer("conv4", "CONVOLUTION", "conv3", "conv4",
+                   "num_output: 384 kernel_size: 3 stride: 1 pad: 1 group: 2")
+    text += _layer("relu4", "RELU", "conv4", "conv4")
+    text += _layer("conv5", "CONVOLUTION", "conv4", "conv5",
+                   "num_output: 256 kernel_size: 3 stride: 1 pad: 1 group: 2")
+    text += _layer("relu5", "RELU", "conv5", "conv5")
+    text += _layer("pool5", "POOLING", "conv5", "pool5",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    text += _layer("fc6", "INNER_PRODUCT", "pool5", "fc6", "num_output: 4096")
+    text += _layer("relu6", "RELU", "fc6", "fc6")
+    text += _layer("drop6", "DROPOUT", "fc6", "fc6", "dropout_ratio: 0.5")
+    text += _layer("fc7", "INNER_PRODUCT", "fc6", "fc7", "num_output: 4096")
+    text += _layer("relu7", "RELU", "fc7", "fc7")
+    text += _layer("drop7", "DROPOUT", "fc7", "fc7", "dropout_ratio: 0.5")
+    text += _layer("fc8", "INNER_PRODUCT", "fc7", "fc8", "num_output: 1000")
+    text += _layer("prob", "SOFTMAX", "fc8", "prob")
+    return graph_from_text(text)
+
+
+def nin() -> NetworkGraph:
+    """Network-in-Network (Lin et al.), ImageNet configuration."""
+    text = 'name: "nin"\n' + _data((3, 227, 227))
+
+    def mlpconv(block: int, bottom: str, outputs: int, kernel: int,
+                stride: int, pad: int) -> tuple[str, str]:
+        nonlocal text
+        conv = f"conv{block}"
+        text += _layer(conv, "CONVOLUTION", bottom, conv,
+                       f"num_output: {outputs} kernel_size: {kernel} "
+                       f"stride: {stride} pad: {pad}")
+        text += _layer(f"relu{block}0", "RELU", conv, conv)
+        cccp_a = f"cccp{block}a"
+        text += _layer(cccp_a, "CONVOLUTION", conv, cccp_a,
+                       f"num_output: {outputs} kernel_size: 1 stride: 1")
+        text += _layer(f"relu{block}a", "RELU", cccp_a, cccp_a)
+        cccp_b = f"cccp{block}b"
+        text += _layer(cccp_b, "CONVOLUTION", cccp_a, cccp_b,
+                       f"num_output: {outputs} kernel_size: 1 stride: 1")
+        text += _layer(f"relu{block}b", "RELU", cccp_b, cccp_b)
+        return cccp_b, conv
+
+    top, _ = mlpconv(1, "data", 96, 11, 4, 0)
+    text += _layer("pool1", "POOLING", top, "pool1",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    top, _ = mlpconv(2, "pool1", 256, 5, 1, 2)
+    text += _layer("pool2", "POOLING", top, "pool2",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    top, _ = mlpconv(3, "pool2", 384, 3, 1, 1)
+    text += _layer("pool3", "POOLING", top, "pool3",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    text += _layer("drop", "DROPOUT", "pool3", "pool3", "dropout_ratio: 0.5")
+    top, _ = mlpconv(4, "pool3", 1000, 3, 1, 1)
+    text += _layer("pool4", "POOLING", top, "pool4",
+                   "pool: AVE kernel_size: 6 stride: 1")
+    text += _layer("prob", "SOFTMAX", "pool4", "prob")
+    return graph_from_text(text)
+
+
+def cifar() -> NetworkGraph:
+    """The Caffe ``cifar10_quick`` network."""
+    text = 'name: "cifar"\n' + _data((3, 32, 32))
+    text += _layer("conv1", "CONVOLUTION", "data", "conv1",
+                   "num_output: 32 kernel_size: 5 stride: 1 pad: 2")
+    text += _layer("pool1", "POOLING", "conv1", "pool1",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    text += _layer("relu1", "RELU", "pool1", "pool1")
+    text += _layer("conv2", "CONVOLUTION", "pool1", "conv2",
+                   "num_output: 32 kernel_size: 5 stride: 1 pad: 2")
+    text += _layer("relu2", "RELU", "conv2", "conv2")
+    text += _layer("pool2", "POOLING", "conv2", "pool2",
+                   "pool: AVE kernel_size: 3 stride: 2")
+    text += _layer("conv3", "CONVOLUTION", "pool2", "conv3",
+                   "num_output: 64 kernel_size: 5 stride: 1 pad: 2")
+    text += _layer("relu3", "RELU", "conv3", "conv3")
+    text += _layer("pool3", "POOLING", "conv3", "pool3",
+                   "pool: AVE kernel_size: 3 stride: 2")
+    text += _layer("ip1", "INNER_PRODUCT", "pool3", "ip1", "num_output: 64")
+    text += _layer("ip2", "INNER_PRODUCT", "ip1", "ip2", "num_output: 10")
+    text += _layer("prob", "SOFTMAX", "ip2", "prob")
+    return graph_from_text(text)
+
+
+def inception_block(block: str, bottom: str, b1x1: int, b3x3_reduce: int,
+                    b3x3: int, b5x5_reduce: int, b5x5: int,
+                    pool_proj: int) -> str:
+    """Script text of one executable GoogLeNet inception block.
+
+    The paper maps the inception layer onto "pooling-unit + synergy
+    neuron + accumulators"; here the block is decomposed into its four
+    branches (1x1, 3x3 with reduction, 5x5 with reduction, pool
+    projection) concatenated along channels, so the reference and
+    quantized executors can run it layer by layer.
+    """
+    text = ""
+
+    def conv(name: str, source: str, outputs: int, kernel: int,
+             pad: int = 0) -> str:
+        nonlocal text
+        text += _layer(name, "CONVOLUTION", source, name,
+                       f"num_output: {outputs} kernel_size: {kernel} "
+                       f"stride: 1 pad: {pad}")
+        text += _layer(f"{name}_relu", "RELU", name, name)
+        return name
+
+    branch1 = conv(f"{block}_1x1", bottom, b1x1, 1)
+    reduce3 = conv(f"{block}_3x3_reduce", bottom, b3x3_reduce, 1)
+    branch3 = conv(f"{block}_3x3", reduce3, b3x3, 3, pad=1)
+    reduce5 = conv(f"{block}_5x5_reduce", bottom, b5x5_reduce, 1)
+    branch5 = conv(f"{block}_5x5", reduce5, b5x5, 5, pad=2)
+    pool_name = f"{block}_pool"
+    text += _layer(pool_name, "POOLING", bottom, pool_name,
+                   "pool: MAX kernel_size: 3 stride: 1 pad: 1")
+    proj = conv(f"{block}_pool_proj", pool_name, pool_proj, 1)
+    text += (
+        "layers {\n"
+        f'  name: "{block}_output"\n'
+        "  type: CONCAT\n"
+        f'  bottom: "{branch1}"\n'
+        f'  bottom: "{branch3}"\n'
+        f'  bottom: "{branch5}"\n'
+        f'  bottom: "{proj}"\n'
+        f'  top: "{block}_output"\n'
+        "}\n"
+    )
+    return text
+
+
+def googlenet_stem(input_size: int = 32) -> NetworkGraph:
+    """An executable GoogLeNet fragment: stem + inception(3a) + classifier.
+
+    Unlike :func:`googlenet_sample` (which uses the abstract INCEPTION
+    layer kind for the Table 1 decomposition), this model decomposes the
+    inception block into runnable branches.
+    """
+    text = 'name: "googlenet_stem"\n' + _data((3, input_size, input_size))
+    text += _layer("conv1", "CONVOLUTION", "data", "conv1",
+                   "num_output: 16 kernel_size: 3 stride: 1 pad: 1")
+    text += _layer("relu1", "RELU", "conv1", "conv1")
+    text += _layer("pool1", "POOLING", "conv1", "pool1",
+                   "pool: MAX kernel_size: 2 stride: 2")
+    text += inception_block("incep3a", "pool1", b1x1=8, b3x3_reduce=6,
+                            b3x3=12, b5x5_reduce=2, b5x5=4, pool_proj=4)
+    text += _layer("pool5", "POOLING", "incep3a_output", "pool5",
+                   "pool: AVE kernel_size: 2 stride: 2")
+    text += _layer("fc", "INNER_PRODUCT", "pool5", "fc", "num_output: 10")
+    text += _layer("prob", "SOFTMAX", "fc", "prob")
+    return graph_from_text(text)
+
+
+def googlenet_sample() -> NetworkGraph:
+    """A GoogLeNet-style stem + inception block (Table 1 sample only)."""
+    text = 'name: "googlenet_sample"\n' + _data((3, 56, 56))
+    text += _layer("conv1", "CONVOLUTION", "data", "conv1",
+                   "num_output: 64 kernel_size: 7 stride: 2 pad: 3")
+    text += _layer("relu1", "RELU", "conv1", "conv1")
+    text += _layer("pool1", "POOLING", "conv1", "pool1",
+                   "pool: MAX kernel_size: 3 stride: 2")
+    text += _layer("norm1", "LRN", "pool1", "norm1", "local_size: 5")
+    text += _layer("incep1", "INCEPTION", "norm1", "incep1",
+                   "num_output: 256")
+    text += _layer("drop", "DROPOUT", "incep1", "incep1",
+                   "dropout_ratio: 0.4")
+    text += _layer("fc", "INNER_PRODUCT", "incep1", "fc", "num_output: 100")
+    text += _layer("prob", "SOFTMAX", "fc", "prob")
+    return graph_from_text(text)
+
+
+#: The Table 2 benchmark inventory: name -> (builder, application).
+BENCHMARKS = {
+    "ann0": (ann_fft, "fft (approximate computing)"),
+    "ann1": (ann_jpeg, "jpeg (approximate computing)"),
+    "ann2": (ann_kmeans, "kmeans (approximate computing)"),
+    "alexnet": (alexnet, "Image recognition"),
+    "nin": (nin, "Image recognition"),
+    "cifar": (cifar, "Image classification"),
+    "cmac": (cmac_net, "Robot arm control"),
+    "hopfield": (hopfield_net, "TSP solver"),
+    "mnist": (mnist, "Number recognition"),
+}
+
+
+def benchmark_graph(name: str) -> NetworkGraph:
+    """Build one of the paper's benchmarks by name."""
+    try:
+        builder, _ = BENCHMARKS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown benchmark '{name}'; options: {sorted(BENCHMARKS)}"
+        ) from None
+    return builder()

@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis deadlines are disabled globally: several property tests drive
+whole generate/compile pipelines whose first call warms caches, and
+per-example deadlines would flake on slow machines.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

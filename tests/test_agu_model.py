@@ -1,0 +1,136 @@
+"""Tests: the RTL-faithful AGU model replays compiled patterns exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import DeepBurningCompiler
+from repro.compiler.patterns import AccessPattern
+from repro.devices import Z7020, budget_fraction
+from repro.errors import SimulationError
+from repro.frontend.graph import graph_from_text
+from repro.nngen import NNGen
+from repro.sim.agu_model import AGUHardwareModel, verify_pattern_on_hardware
+
+MLP_TEXT = """
+name: "mlp"
+layers { name: "data" type: DATA top: "data" param { dim: 16 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 32 } }
+layers { name: "sig1" type: SIGMOID bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 8 } }
+"""
+
+CNN_TEXT = """
+name: "cnn"
+layers { name: "data" type: DATA top: "data" param { dim: 1 dim: 12 dim: 12 } }
+layers { name: "conv1" type: CONVOLUTION bottom: "data" top: "conv1" param { num_output: 4 kernel_size: 3 stride: 1 } }
+layers { name: "relu1" type: RELU bottom: "conv1" top: "conv1" }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "conv1" top: "ip1" param { num_output: 10 } }
+"""
+
+
+class TestStepSemantics:
+    def test_simple_sweep(self):
+        pattern = AccessPattern(start_address=10, x_length=4)
+        model = AGUHardwareModel([pattern])
+        assert model.run_pattern(0) == [10, 11, 12, 13]
+        assert model.done
+
+    def test_strided_sweep(self):
+        pattern = AccessPattern(start_address=0, x_length=3, stride=5)
+        model = AGUHardwareModel([pattern])
+        assert model.run_pattern(0) == [0, 5, 10]
+
+    def test_grid_sweep(self):
+        pattern = AccessPattern(start_address=0, x_length=2, stride=1,
+                                y_length=3, offset=10)
+        model = AGUHardwareModel([pattern])
+        assert model.run_pattern(0) == [0, 1, 10, 11, 20, 21]
+
+    def test_stall_freezes_address(self):
+        pattern = AccessPattern(start_address=0, x_length=3)
+        model = AGUHardwareModel([pattern])
+        model.step(event_trigger=True, pattern_select=0)
+        assert model.step() == 0
+        assert model.step(stall=True) is None
+        assert model.step() == 1
+
+    def test_trigger_while_running_ignored(self):
+        pattern_a = AccessPattern(start_address=0, x_length=3)
+        pattern_b = AccessPattern(start_address=100, x_length=2)
+        model = AGUHardwareModel([pattern_a, pattern_b])
+        model.step(event_trigger=True, pattern_select=0)
+        model.step()
+        model.step(event_trigger=True, pattern_select=1)  # busy: ignored
+        while model.running:
+            model.step()
+        assert model.emitted[:3] == [0, 1, 2]
+
+    def test_done_pulses_one_cycle(self):
+        pattern = AccessPattern(start_address=0, x_length=1)
+        model = AGUHardwareModel([pattern])
+        model.step(event_trigger=True, pattern_select=0)
+        model.step()
+        assert model.done
+        model.step()
+        assert not model.done
+
+    def test_multiple_patterns_in_table(self):
+        table = [
+            AccessPattern(start_address=0, x_length=2),
+            AccessPattern(start_address=50, x_length=3, stride=2),
+        ]
+        model = AGUHardwareModel(table)
+        assert model.run_pattern(1) == [50, 52, 54]
+        assert model.run_pattern(0) == [0, 1]
+
+    def test_bad_select_rejected(self):
+        model = AGUHardwareModel([AccessPattern(start_address=0, x_length=1)])
+        with pytest.raises(SimulationError):
+            model.run_pattern(5)
+
+    def test_reduced_hardware_rejects_rich_pattern(self):
+        grid = AccessPattern(start_address=0, x_length=2, y_length=2,
+                             offset=8)
+        with pytest.raises(SimulationError):
+            AGUHardwareModel([grid], has_outer=False)
+
+    def test_reset(self):
+        model = AGUHardwareModel([AccessPattern(start_address=0, x_length=4)])
+        model.run_pattern(0)
+        model.reset()
+        assert not model.running
+        assert model.emitted == []
+
+
+class TestEquivalenceWithCompiler:
+    @given(
+        start=st.integers(0, 1000),
+        x_length=st.integers(1, 20),
+        stride=st.integers(1, 8),
+        y_length=st.integers(1, 10),
+        offset=st.integers(0, 300),
+    )
+    @settings(max_examples=200)
+    def test_hardware_matches_expansion(self, start, x_length, stride,
+                                        y_length, offset):
+        pattern = AccessPattern(start_address=start, x_length=x_length,
+                                stride=stride, y_length=y_length,
+                                offset=offset)
+        assert verify_pattern_on_hardware(pattern)
+
+    @pytest.mark.parametrize("text", [MLP_TEXT, CNN_TEXT],
+                             ids=["mlp", "cnn"])
+    def test_every_compiled_pattern_replays(self, text):
+        graph = graph_from_text(text)
+        design = NNGen().generate(graph, budget_fraction(Z7020, 0.3))
+        program = DeepBurningCompiler().compile(design)
+        tables = (program.coordinator.main_table,
+                  program.coordinator.data_table,
+                  program.coordinator.weight_table)
+        checked = 0
+        for table in tables:
+            for pattern in table:
+                assert verify_pattern_on_hardware(pattern), pattern
+                checked += 1
+        assert checked > 5

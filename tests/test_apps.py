@@ -1,0 +1,223 @@
+"""Tests for the golden applications and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    TwoLinkArm,
+    block_dataset,
+    dct2,
+    distance_dataset,
+    fft_radix2,
+    idct2,
+    inverse_kinematics_dataset,
+    jpeg_roundtrip,
+    kmeans_cluster,
+    relative_accuracy,
+    synthetic_cifar,
+    synthetic_digits,
+    twiddle_targets,
+)
+from repro.apps.datasets import train_test_split
+from repro.apps.jpeg import encode_block, jpeg_image
+from repro.apps.kmeans import exact_distance, quantize_image, random_pixel_image
+from repro.apps.metrics import classification_accuracy
+from repro.errors import SimulationError
+
+
+class TestFFT:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        signal = rng.normal(size=64) + 1j * rng.normal(size=64)
+        assert np.allclose(fft_radix2(signal), np.fft.fft(signal))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(SimulationError):
+            fft_radix2(np.zeros(12))
+
+    def test_impulse_is_flat(self):
+        signal = np.zeros(16)
+        signal[0] = 1.0
+        assert np.allclose(fft_radix2(signal), np.ones(16))
+
+    def test_twiddle_targets_on_unit_circle(self):
+        angles, targets = twiddle_targets(50)
+        norms = np.linalg.norm(targets, axis=1)
+        assert np.allclose(norms, 1.0)
+        assert angles.shape == (50, 1)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(1)
+        signal = rng.normal(size=32)
+        spectrum = fft_radix2(signal)
+        assert np.sum(np.abs(signal) ** 2) * 32 == pytest.approx(
+            np.sum(np.abs(spectrum) ** 2))
+
+
+class TestJPEG:
+    def test_dct_orthonormal(self):
+        rng = np.random.default_rng(0)
+        block = rng.normal(size=(8, 8))
+        assert np.allclose(idct2(dct2(block)), block)
+
+    def test_dct_dc_term(self):
+        block = np.full((8, 8), 10.0)
+        coefficients = dct2(block)
+        assert coefficients[0, 0] == pytest.approx(80.0)
+        assert np.allclose(coefficients.ravel()[1:], 0.0, atol=1e-9)
+
+    def test_roundtrip_close_for_smooth_blocks(self):
+        yy, xx = np.mgrid[0:8, 0:8]
+        block = 100.0 + 5.0 * xx + 3.0 * yy
+        out = jpeg_roundtrip(block)
+        assert np.max(np.abs(out - block)) < 12.0
+
+    def test_quality_controls_error(self):
+        rng = np.random.default_rng(2)
+        block = np.clip(rng.normal(128, 40, (8, 8)), 0, 255)
+        fine = jpeg_roundtrip(block, quality=0.5)
+        coarse = jpeg_roundtrip(block, quality=4.0)
+        assert (np.abs(fine - block).mean()
+                <= np.abs(coarse - block).mean() + 1e-9)
+
+    def test_encode_quantizes_to_integers(self):
+        rng = np.random.default_rng(3)
+        block = np.clip(rng.normal(128, 30, (8, 8)), 0, 255)
+        quantized = encode_block(block)
+        assert np.allclose(quantized, np.rint(quantized))
+
+    def test_jpeg_image_blockwise(self):
+        rng = np.random.default_rng(4)
+        image = np.clip(rng.normal(128, 20, (16, 24)), 0, 255)
+        out = jpeg_image(image)
+        assert out.shape == image.shape
+
+    def test_jpeg_image_bad_shape(self):
+        with pytest.raises(SimulationError):
+            jpeg_image(np.zeros((10, 16)))
+
+    def test_block_dataset_scaled(self):
+        inputs, targets = block_dataset(10)
+        assert inputs.shape == (10, 64)
+        assert np.all(inputs >= 0) and np.all(inputs <= 1)
+        assert np.all(targets >= 0) and np.all(targets <= 1)
+
+
+class TestKMeans:
+    def test_clusters_separate_colors(self):
+        pixels = random_pixel_image(200, clusters=3, seed=1)
+        assignments, centroids = kmeans_cluster(pixels, k=3, seed=2)
+        assert centroids.shape == (3, 3)
+        # Quantized image should be close to the original.
+        quantized = quantize_image(pixels, assignments, centroids)
+        assert np.mean(np.abs(quantized - pixels)) < 0.15
+
+    def test_distance_kernel_swap(self):
+        pixels = random_pixel_image(60, clusters=2, seed=3)
+        exact_asg, _ = kmeans_cluster(pixels, k=2, seed=4)
+        noisy_asg, _ = kmeans_cluster(
+            pixels, k=2, seed=4,
+            distance=lambda p, c: exact_distance(p, c) + 0.001)
+        assert np.array_equal(exact_asg, noisy_asg)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(SimulationError):
+            kmeans_cluster(np.zeros((5, 3)), k=6)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SimulationError):
+            kmeans_cluster(np.zeros((5, 4)))
+
+    def test_distance_dataset_in_range(self):
+        inputs, targets = distance_dataset(40)
+        assert inputs.shape == (40, 6)
+        assert np.all(targets >= 0) and np.all(targets <= 1)
+
+
+class TestRobotArm:
+    def test_forward_inverse_roundtrip(self):
+        arm = TwoLinkArm()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            theta1 = rng.uniform(0, np.pi)
+            theta2 = rng.uniform(0.2, np.pi - 0.2)
+            x, y = arm.forward(theta1, theta2)
+            sol = arm.inverse(x, y)
+            assert arm.position_error((x, y), sol) < 1e-9
+
+    def test_out_of_reach_rejected(self):
+        arm = TwoLinkArm()
+        with pytest.raises(SimulationError):
+            arm.inverse(5.0, 0.0)
+
+    def test_dataset_targets_reachable(self):
+        arm = TwoLinkArm()
+        inputs, targets = inverse_kinematics_dataset(arm, 30, seed=1)
+        assert inputs.shape == (30, 2)
+        assert np.all(targets >= 0) and np.all(targets <= 1)
+
+    def test_bad_links_rejected(self):
+        with pytest.raises(SimulationError):
+            TwoLinkArm(link1=0.0)
+
+
+class TestDatasets:
+    def test_digits_shapes_and_range(self):
+        images, labels = synthetic_digits(20, size=28)
+        assert images.shape == (20, 1, 28, 28)
+        assert np.all(images >= 0) and np.all(images <= 1)
+        assert np.all((labels >= 0) & (labels < 10))
+
+    def test_digits_deterministic(self):
+        a, la = synthetic_digits(5, seed=7)
+        b, lb = synthetic_digits(5, seed=7)
+        assert np.array_equal(a, b)
+        assert np.array_equal(la, lb)
+
+    def test_digits_classes_differ(self):
+        rng = np.random.default_rng(0)
+        from repro.apps.datasets import _draw_digit
+        one = _draw_digit(1, 28, np.random.default_rng(1))
+        eight = _draw_digit(8, 28, np.random.default_rng(1))
+        assert np.abs(one - eight).sum() > 10
+
+    def test_cifar_shapes(self):
+        images, labels = synthetic_cifar(12, size=32, classes=4)
+        assert images.shape == (12, 3, 32, 32)
+        assert np.all((labels >= 0) & (labels < 4))
+
+    def test_cifar_class_bounds(self):
+        with pytest.raises(SimulationError):
+            synthetic_cifar(4, classes=1)
+
+    def test_split(self):
+        images, labels = synthetic_digits(40)
+        tr_x, tr_y, te_x, te_y = train_test_split(images, labels,
+                                                  test_fraction=0.25)
+        assert len(tr_x) == 30 and len(te_x) == 10
+        assert len(tr_y) == 30 and len(te_y) == 10
+
+
+class TestMetrics:
+    def test_perfect_match(self):
+        golden = np.array([1.0, 2.0, -3.0])
+        assert relative_accuracy(golden, golden) == pytest.approx(100.0)
+
+    def test_small_error_high_accuracy(self):
+        golden = np.array([1.0, 2.0])
+        approx = golden * 1.01
+        assert relative_accuracy(approx, golden) > 99.9
+
+    def test_garbage_clamped_at_zero(self):
+        golden = np.array([1.0])
+        approx = np.array([100.0])
+        assert relative_accuracy(approx, golden) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            relative_accuracy(np.zeros(3), np.zeros(4))
+
+    def test_classification_accuracy(self):
+        assert classification_accuracy(np.array([1, 2, 3]),
+                                       np.array([1, 0, 3])) == pytest.approx(
+            200.0 / 3)

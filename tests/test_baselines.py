@@ -1,0 +1,92 @@
+"""Tests for the CPU, Custom and Zhang FPGA'15 baselines."""
+
+import pytest
+
+from repro.baselines import (
+    CustomAccelerator,
+    XEON_2_4GHZ,
+    ZhangFPGA15,
+    custom_design,
+)
+from repro.devices import Z7045, budget_fraction
+from repro.errors import SimulationError
+from repro.zoo import alexnet, ann_fft, cifar, mnist
+
+
+class TestCPUModel:
+    def test_alexnet_time_plausible(self):
+        # 2015-era single-socket Caffe: hundreds of ms per AlexNet image.
+        time_s = XEON_2_4GHZ.forward_time_s(alexnet())
+        assert 0.1 < time_s < 5.0
+
+    def test_tiny_ann_dominated_by_overhead(self):
+        graph = ann_fft()
+        time_s = XEON_2_4GHZ.forward_time_s(graph)
+        n_layers = len(graph.layers) - 1
+        overhead = n_layers * XEON_2_4GHZ.layer_overhead_s
+        assert time_s < overhead * 1.5
+
+    def test_bigger_network_slower(self):
+        assert (XEON_2_4GHZ.forward_time_s(alexnet())
+                > XEON_2_4GHZ.forward_time_s(mnist())
+                > XEON_2_4GHZ.forward_time_s(ann_fft()))
+
+    def test_energy_is_time_times_power(self):
+        graph = mnist()
+        assert XEON_2_4GHZ.forward_energy_j(graph) == pytest.approx(
+            XEON_2_4GHZ.forward_time_s(graph) * XEON_2_4GHZ.active_power_w)
+
+
+class TestCustomBaseline:
+    @pytest.fixture(scope="class")
+    def custom(self):
+        return custom_design(mnist(), budget_fraction(Z7045, 0.25))
+
+    def test_same_dsp_fewer_lut(self, custom):
+        generated = custom.design.resource_report()
+        tuned = custom.resource_report()
+        assert tuned.dsp == generated.dsp
+        assert tuned.lut < generated.lut
+        assert tuned.ff < generated.ff
+
+    def test_custom_faster_than_generated(self, custom):
+        from repro.compiler import DeepBurningCompiler
+        from repro.sim import AcceleratorSimulator
+        program = DeepBurningCompiler().compile(custom.design)
+        generated = AcceleratorSimulator(program).run(functional=False)
+        tuned = custom.simulate()
+        assert tuned.cycles < generated.cycles
+
+    def test_custom_lower_energy(self, custom):
+        from repro.compiler import DeepBurningCompiler
+        from repro.sim import AcceleratorSimulator
+        program = DeepBurningCompiler().compile(custom.design)
+        generated = AcceleratorSimulator(program).run(functional=False)
+        tuned = custom.simulate()
+        assert tuned.energy.total_j < generated.energy.total_j
+
+
+class TestZhangFPGA15:
+    def test_alexnet_conv_time_near_reported(self):
+        model = ZhangFPGA15()
+        time_s = model.conv_time_s(alexnet())
+        # Reported: 21.61 ms.  The analytic model should land within 2x.
+        assert 0.010 < time_s < 0.045
+
+    def test_conv_energy_near_half_joule(self):
+        model = ZhangFPGA15()
+        energy = model.conv_energy_j(alexnet())
+        assert 0.2 < energy < 0.9
+
+    def test_whole_network_slower_than_conv_only(self):
+        model = ZhangFPGA15()
+        assert model.forward_time_s(alexnet()) > model.conv_time_s(alexnet())
+
+    def test_needs_conv_layers(self):
+        model = ZhangFPGA15()
+        with pytest.raises(SimulationError):
+            model.conv_time_s(ann_fft())
+
+    def test_cifar_works_too(self):
+        model = ZhangFPGA15()
+        assert model.conv_time_s(cifar()) > 0

@@ -1,0 +1,149 @@
+"""RTL-fidelity tests: streaming block models vs the functional ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.nn import functional as F
+from repro.sim.block_models import (
+    AccumulatorLaneModel,
+    DropoutLFSRModel,
+    KSorterModel,
+    PoolingLaneModel,
+)
+
+
+class TestKSorter:
+    def test_top1_matches_argmax(self):
+        scores = np.array([3, 9, 1, 7])
+        assert KSorterModel(k=1).run(scores) == [1]
+
+    def test_topk_matches_functional(self):
+        rng = np.random.default_rng(0)
+        scores = rng.integers(-1000, 1000, 50)
+        got = KSorterModel(k=5).run(scores)
+        expected = list(F.argmax_classifier(scores.astype(float), top_k=5))
+        assert got == expected
+
+    def test_fewer_candidates_than_k(self):
+        assert KSorterModel(k=4).run(np.array([5, 2])) == [0, 1]
+
+    def test_clear_between_runs(self):
+        sorter = KSorterModel(k=2)
+        sorter.run(np.array([100, 200]))
+        assert sorter.run(np.array([1, 2])) == [1, 0]
+
+    def test_k_positive(self):
+        with pytest.raises(SimulationError):
+            KSorterModel(k=0)
+
+    @given(st.lists(st.integers(-30000, 30000), min_size=1, max_size=40),
+           st.integers(1, 8))
+    @settings(max_examples=150)
+    def test_streaming_equals_sort(self, scores, k):
+        arr = np.array(scores)
+        got = KSorterModel(k=k).run(arr)
+        expected = list(F.argmax_classifier(arr.astype(float),
+                                            top_k=min(k, arr.size)))
+        assert got == expected
+
+
+class TestPoolingLane:
+    def test_max_window(self):
+        lane = PoolingLaneModel()
+        window = np.array([[1, 9], [3, 4]])
+        assert lane.pool_window(window, mode_max=True) == 9
+
+    def test_sum_window(self):
+        lane = PoolingLaneModel()
+        window = np.array([[1, 2], [3, 4]])
+        assert lane.pool_window(window, mode_max=False) == 10
+
+    def test_window_start_resets(self):
+        lane = PoolingLaneModel()
+        assert lane.pool_window(np.array([100]), mode_max=True) == 100
+        assert lane.pool_window(np.array([5]), mode_max=True) == 5
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(SimulationError):
+            PoolingLaneModel().pool_window(np.array([]), mode_max=True)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(4, 10))
+    @settings(max_examples=60)
+    def test_streaming_matches_max_pool(self, kernel, stride, size):
+        kernel = min(kernel, size)
+        rng = np.random.default_rng(42)
+        image = rng.integers(-100, 100, (1, size, size)).astype(np.int64)
+        expected = F.max_pool2d(image, kernel, stride)
+        windows, out_h, out_w = F._pool_windows(image, kernel, stride)
+        lane = PoolingLaneModel()
+        for i in range(out_h):
+            for j in range(out_w):
+                got = lane.pool_window(windows[0, i, j], mode_max=True)
+                assert got == expected[0, i, j]
+
+
+class TestAccumulatorLane:
+    def test_accumulates(self):
+        lane = AccumulatorLaneModel()
+        assert lane.accumulate(np.array([1, 2, 3, 4])) == 10
+
+    def test_saturates_high(self):
+        lane = AccumulatorLaneModel(width=8)  # max 127
+        assert lane.accumulate(np.array([100, 100])) == 127
+
+    def test_saturates_low(self):
+        lane = AccumulatorLaneModel(width=8)
+        assert lane.accumulate(np.array([-100, -100])) == -128
+
+    def test_clear(self):
+        lane = AccumulatorLaneModel()
+        lane.accumulate(np.array([5]))
+        lane.clear()
+        assert lane.total == 0
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_matches_sum_when_in_range(self, partials):
+        lane = AccumulatorLaneModel(width=32)
+        assert lane.accumulate(np.array(partials)) == sum(partials)
+
+
+class TestDropoutLFSR:
+    def test_maximal_length_period(self):
+        # Taps 16,14 give a maximal-length sequence: period 2^16 - 1.
+        assert DropoutLFSRModel().period() == (1 << 16) - 1
+
+    def test_never_zero(self):
+        lfsr = DropoutLFSRModel()
+        for _ in range(10_000):
+            assert lfsr.state != 0
+            lfsr.step()
+
+    def test_bypass_keeps_everything(self):
+        lfsr = DropoutLFSRModel()
+        values = np.arange(1, 101)
+        out = lfsr.gate(values, threshold=60_000, bypass=True)
+        assert np.array_equal(out, values)
+
+    def test_threshold_zero_keeps_everything(self):
+        lfsr = DropoutLFSRModel()
+        values = np.arange(1, 101)
+        assert np.array_equal(lfsr.gate(values, threshold=0), values)
+
+    def test_drop_rate_tracks_threshold(self):
+        lfsr = DropoutLFSRModel()
+        values = np.ones(20_000, dtype=np.int64)
+        half = 1 << 15
+        kept = lfsr.gate(values, threshold=half).sum()
+        # Threshold at mid-range drops ~half the beats.
+        assert abs(kept / values.size - 0.5) < 0.02
+
+    def test_deterministic_after_reset(self):
+        lfsr = DropoutLFSRModel()
+        first = lfsr.gate(np.ones(64, dtype=np.int64), threshold=1 << 15)
+        lfsr.reset()
+        second = lfsr.gate(np.ones(64, dtype=np.int64), threshold=1 << 15)
+        assert np.array_equal(first, second)

@@ -1,0 +1,112 @@
+"""Caffe-compatibility tests: legacy deploy headers and new-style types."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.frontend.graph import graph_from_text
+from repro.frontend.layers import LayerKind
+from repro.frontend.shapes import infer_shapes
+
+LEGACY_DEPLOY = """
+name: "legacy"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 32
+input_dim: 32
+layers { name: "conv1" type: CONVOLUTION bottom: "data" top: "conv1"
+         param { num_output: 8 kernel_size: 3 } }
+"""
+
+NEW_STYLE = """
+name: "newstyle"
+layer { name: "data" type: "Input" top: "data"
+        input_param { shape { dim: 1 dim: 16 dim: 16 } } }
+layer { name: "conv1" type: "Convolution" bottom: "data" top: "conv1"
+        convolution_param { num_output: 4 kernel_size: 3 } }
+layer { name: "relu1" type: "ReLU" bottom: "conv1" top: "conv1" }
+layer { name: "pool1" type: "Pooling" bottom: "conv1" top: "pool1"
+        pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+layer { name: "fc" type: "InnerProduct" bottom: "pool1" top: "fc"
+        inner_product_param { num_output: 10 } }
+layer { name: "prob" type: "Softmax" bottom: "fc" top: "prob" }
+"""
+
+
+class TestLegacyDeployHeader:
+    def test_input_dim_header(self):
+        graph = graph_from_text(LEGACY_DEPLOY)
+        shapes = infer_shapes(graph)
+        # The batch dimension is dropped.
+        assert shapes["data"].dims == (3, 32, 32)
+        assert shapes["conv1"].dims == (8, 30, 30)
+
+    def test_data_layer_synthesized(self):
+        graph = graph_from_text(LEGACY_DEPLOY)
+        assert graph.layer("data").kind is LayerKind.DATA
+
+    def test_input_shape_block(self):
+        text = """
+        input: "data"
+        input_shape { dim: 1 dim: 8 dim: 8 }
+        layers { name: "p" type: POOLING bottom: "data" top: "p"
+                 param { pool: MAX kernel_size: 2 stride: 2 } }
+        """
+        shapes = infer_shapes(graph_from_text(text))
+        assert shapes["data"].dims == (1, 8, 8)
+
+    def test_three_entry_dims_kept_whole(self):
+        text = """
+        input: "data"
+        input_dim: 4
+        input_dim: 8
+        input_dim: 8
+        layers { name: "p" type: POOLING bottom: "data" top: "p"
+                 param { pool: MAX kernel_size: 2 stride: 2 } }
+        """
+        shapes = infer_shapes(graph_from_text(text))
+        assert shapes["data"].dims == (4, 8, 8)
+
+    def test_missing_dims_rejected(self):
+        text = """
+        input: "data"
+        layers { name: "r" type: RELU bottom: "data" top: "r" }
+        """
+        with pytest.raises(GraphError):
+            graph_from_text(text)
+
+    def test_multiple_inputs(self):
+        text = """
+        input: "a"
+        input: "b"
+        input_dim: 1
+        input_dim: 4
+        input_dim: 1
+        input_dim: 4
+        layers { name: "cat" type: CONCAT bottom: "a" bottom: "b" top: "c" }
+        """
+        graph = graph_from_text(text)
+        shapes = infer_shapes(graph)
+        assert shapes["a"].dims == (4,)
+        assert shapes["c"].dims == (8,)
+
+
+class TestNewStyleLayerBlocks:
+    def test_quoted_camelcase_types(self):
+        graph = graph_from_text(NEW_STYLE)
+        assert graph.layer("conv1").kind is LayerKind.CONVOLUTION
+        assert graph.layer("relu1").kind is LayerKind.RELU
+        assert graph.layer("fc").kind is LayerKind.INNER_PRODUCT
+        assert graph.layer("prob").kind is LayerKind.SOFTMAX
+
+    def test_shapes_flow_through(self):
+        shapes = infer_shapes(graph_from_text(NEW_STYLE))
+        assert shapes["conv1"].dims == (4, 14, 14)
+        assert shapes["fc"].dims == (10,)
+
+    def test_full_flow_on_new_style(self):
+        from repro.devices import Z7020, budget_fraction
+        from repro.nngen import NNGen
+        design = NNGen().generate(graph_from_text(NEW_STYLE),
+                                  budget_fraction(Z7020, 0.3))
+        assert design.resource_report().fits_in(design.budget.limit)

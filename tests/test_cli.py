@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCRIPT = """
+name: "cli_net"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "relu1" type: RELU bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+
+@pytest.fixture
+def script_file(tmp_path):
+    path = tmp_path / "net.prototxt"
+    path.write_text(SCRIPT)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--script", "x.prototxt", "--device", "Z-7020",
+             "--fraction", "0.25", "--out", "rtl"])
+        assert args.device == "Z-7020"
+        assert args.fraction == 0.25
+
+    def test_unknown_device_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--script", "x", "--device", "UltraScale"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestGenerate:
+    def test_generate_prints_summary(self, script_file, capsys):
+        code = main(["generate", "--script", script_file,
+                     "--device", "Z-7020", "--fraction", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accelerator for 'cli_net'" in out
+        assert "control program" in out
+
+    def test_generate_writes_rtl(self, script_file, tmp_path, capsys):
+        out_dir = str(tmp_path / "rtl")
+        code = main(["generate", "--script", script_file,
+                     "--device", "Z-7020", "--fraction", "0.3",
+                     "--out", out_dir])
+        assert code == 0
+        assert os.path.exists(os.path.join(out_dir, "accelerator_top.v"))
+        assert os.path.exists(os.path.join(out_dir, "filelist.f"))
+
+    def test_missing_script_errors(self, capsys):
+        code = main(["generate", "--script", "/nonexistent/net.prototxt"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_script_errors(self, tmp_path, capsys):
+        path = tmp_path / "broken.prototxt"
+        path.write_text("layers { name: }")
+        code = main(["generate", "--script", str(path)])
+        assert code == 1
+
+    def test_too_small_budget_errors(self, script_file, capsys):
+        code = main(["generate", "--script", script_file,
+                     "--device", "Z-7020", "--fraction", "0.001"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_simulate_full(self, script_file, capsys):
+        code = main(["simulate", "--script", script_file,
+                     "--device", "Z-7020", "--fraction", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "output" in out
+
+    def test_simulate_timing_only(self, script_file, capsys):
+        code = main(["simulate", "--script", script_file,
+                     "--device", "Z-7020", "--fraction", "0.3",
+                     "--timing-only"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "output (first values)" not in out
+
+    def test_seed_changes_weights_not_structure(self, script_file, capsys):
+        main(["simulate", "--script", script_file, "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["simulate", "--script", script_file, "--seed", "2"])
+        second = capsys.readouterr().out
+        # Same datapath line, different functional outputs.
+        datapath_line = [l for l in first.splitlines() if "datapath" in l]
+        assert datapath_line == [l for l in second.splitlines()
+                                 if "datapath" in l]
+        assert first != second
+
+
+class TestExperimentCommand:
+    def test_table1_runs(self, capsys):
+        code = main(["experiment", "table1"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table2_runs(self, capsys):
+        code = main(["experiment", "table2"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestSimulateReport:
+    def test_report_flag_prints_layer_table(self, script_file, capsys):
+        code = main(["simulate", "--script", script_file,
+                     "--device", "Z-7020", "--fraction", "0.3",
+                     "--timing-only", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bound" in out
+        assert "ip1" in out
+        assert "%" in out

@@ -1,0 +1,131 @@
+"""Tests for the CMAC associative network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.cmac import CMAC
+
+
+class TestActiveCells:
+    def test_count_matches_tilings(self):
+        cmac = CMAC(input_dim=2, output_dim=1, n_tilings=8)
+        cells = cmac.active_cells(np.array([0.5, 0.5]))
+        assert cells.shape == (8,)
+
+    def test_cells_in_table_range(self):
+        cmac = CMAC(input_dim=2, output_dim=1, table_size=512)
+        cells = cmac.active_cells(np.array([0.3, 0.7]))
+        assert np.all(cells >= 0)
+        assert np.all(cells < 512)
+
+    def test_deterministic(self):
+        cmac = CMAC(input_dim=3, output_dim=2, seed=5)
+        x = np.array([0.1, 0.9, 0.4])
+        assert np.array_equal(cmac.active_cells(x), cmac.active_cells(x))
+
+    def test_nearby_inputs_share_cells(self):
+        cmac = CMAC(input_dim=1, output_dim=1, n_tilings=16, resolution=16)
+        a = cmac.active_cells(np.array([0.500]))
+        b = cmac.active_cells(np.array([0.501]))
+        shared = len(set(a.tolist()) & set(b.tolist()))
+        assert shared >= 12  # generalization: most tilings unchanged
+
+    def test_distant_inputs_share_few_cells(self):
+        cmac = CMAC(input_dim=1, output_dim=1, n_tilings=16, resolution=16)
+        a = cmac.active_cells(np.array([0.1]))
+        b = cmac.active_cells(np.array([0.9]))
+        shared = len(set(a.tolist()) & set(b.tolist()))
+        assert shared <= 2
+
+    def test_wrong_input_shape(self):
+        cmac = CMAC(input_dim=2, output_dim=1)
+        with pytest.raises(ShapeError):
+            cmac.active_cells(np.zeros(3))
+
+    def test_out_of_range_inputs_clamped(self):
+        cmac = CMAC(input_dim=1, output_dim=1)
+        cells = cmac.active_cells(np.array([5.0]))
+        assert np.all(cells < cmac.table_size)
+
+
+class TestValidation:
+    def test_positive_dims(self):
+        with pytest.raises(ShapeError):
+            CMAC(input_dim=0, output_dim=1)
+
+    def test_resolution_minimum(self):
+        with pytest.raises(ShapeError):
+            CMAC(input_dim=1, output_dim=1, resolution=1)
+
+    def test_range_not_empty(self):
+        with pytest.raises(ShapeError):
+            CMAC(input_dim=1, output_dim=1, input_low=1.0, input_high=1.0)
+
+
+class TestLearning:
+    def test_single_sample_convergence(self):
+        cmac = CMAC(input_dim=1, output_dim=1, n_tilings=8)
+        x = np.array([0.5])
+        target = np.array([2.0])
+        for _ in range(50):
+            cmac.train_sample(x, target, lr=0.5)
+        assert cmac.predict(x)[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_learns_smooth_function(self):
+        cmac = CMAC(input_dim=1, output_dim=1, n_tilings=16, resolution=32,
+                    table_size=8192)
+        xs = np.linspace(0.05, 0.95, 60)[:, None]
+        ys = np.sin(2 * np.pi * xs)
+        history = cmac.train(xs, ys, epochs=40, lr=0.3)
+        assert history[-1] < history[0]
+        errors = [abs(cmac.predict(x)[0] - y[0]) for x, y in zip(xs, ys)]
+        assert float(np.mean(errors)) < 0.08
+
+    def test_multi_output(self):
+        cmac = CMAC(input_dim=2, output_dim=3, n_tilings=8)
+        x = np.array([0.4, 0.6])
+        target = np.array([1.0, -1.0, 0.5])
+        for _ in range(60):
+            cmac.train_sample(x, target, lr=0.5)
+        assert np.allclose(cmac.predict(x), target, atol=1e-2)
+
+    def test_train_length_mismatch(self):
+        cmac = CMAC(input_dim=1, output_dim=1)
+        with pytest.raises(ShapeError):
+            cmac.train(np.zeros((3, 1)), np.zeros((2, 1)))
+
+    def test_error_reported_before_update(self):
+        cmac = CMAC(input_dim=1, output_dim=1)
+        err = cmac.train_sample(np.array([0.5]), np.array([1.0]), lr=0.5)
+        assert err == pytest.approx(1.0)  # prediction was 0
+
+
+class TestDenseView:
+    def test_dense_weights_shape(self):
+        cmac = CMAC(input_dim=2, output_dim=3, table_size=256)
+        assert cmac.as_dense_weights().shape == (3, 256)
+
+    def test_dense_view_matches_prediction(self):
+        cmac = CMAC(input_dim=1, output_dim=2, n_tilings=4, table_size=128)
+        cmac.train(np.array([[0.3], [0.7]]), np.array([[1.0, 0.0], [0.0, 1.0]]),
+                   epochs=30, lr=0.4)
+        x = np.array([0.3])
+        dense = cmac.as_dense_weights()
+        selector = np.zeros(128)
+        for cell in cmac.active_cells(x):
+            selector[cell] += 1.0
+        assert np.allclose(dense @ selector, cmac.predict(x))
+
+
+class TestProperties:
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=50)
+    def test_prediction_is_sum_of_active_cells(self, a, b):
+        cmac = CMAC(input_dim=2, output_dim=1, seed=1)
+        cmac.weights[:] = np.arange(cmac.table_size)[:, None]
+        x = np.array([a, b])
+        cells = cmac.active_cells(x)
+        assert cmac.predict(x)[0] == pytest.approx(float(cells.sum()))

@@ -1,0 +1,308 @@
+"""Tests for the NN component library building blocks."""
+
+import pytest
+
+from repro.components import (
+    AGURole,
+    AccumulatorArray,
+    ActivationUnit,
+    AddressGenerationUnit,
+    ApproxLUT,
+    ConnectionBox,
+    DropOutUnit,
+    KSorterClassifier,
+    LRNUnit,
+    OnChipBuffer,
+    PoolingUnit,
+    SchedulingCoordinator,
+    SynergyNeuronArray,
+    default_library,
+)
+from repro.components.base import PortDirection, dsp_for_multiplier
+from repro.components.buffers import size_buffer
+from repro.components.library import blocks_for_layer
+from repro.errors import ResourceError, UnsupportedLayerError
+from repro.frontend.layers import LayerKind
+
+
+class TestSynergyNeuronArray:
+    def test_multipliers(self):
+        array = SynergyNeuronArray("n", lanes=8, simd=4)
+        assert array.multipliers == 32
+        assert array.macs_per_cycle() == 32
+
+    def test_dsp_cost_scales_with_multipliers(self):
+        small = SynergyNeuronArray("a", lanes=2, simd=2).resource_cost()
+        large = SynergyNeuronArray("b", lanes=8, simd=2).resource_cost()
+        assert large.dsp == 4 * small.dsp
+
+    def test_wide_datapath_needs_more_dsp(self):
+        narrow = SynergyNeuronArray("a", lanes=1, simd=1, data_width=16)
+        wide = SynergyNeuronArray("b", lanes=1, simd=1, data_width=24,
+                                  weight_width=24)
+        assert wide.resource_cost().dsp > narrow.resource_cost().dsp
+
+    def test_beats_exact_division(self):
+        array = SynergyNeuronArray("n", lanes=4, simd=8)
+        # 32 outputs of depth 16: 2 beats per output, 8 waves.
+        assert array.beats_for(macs_per_output=16, outputs=32) == 16
+
+    def test_beats_rounding_up(self):
+        array = SynergyNeuronArray("n", lanes=4, simd=8)
+        assert array.beats_for(macs_per_output=9, outputs=5) == 4
+
+    def test_beats_zero_outputs(self):
+        array = SynergyNeuronArray("n", lanes=4, simd=8)
+        assert array.beats_for(16, 0) == 0
+
+    def test_ports_widths(self):
+        array = SynergyNeuronArray("n", lanes=2, simd=4, data_width=16,
+                                   weight_width=16)
+        ports = {p.name: p for p in array.ports()}
+        assert ports["feature_in"].width == 64
+        assert ports["weight_in"].width == 128
+        assert ports["sum_out"].direction is PortDirection.OUTPUT
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ResourceError):
+            SynergyNeuronArray("n", lanes=0, simd=1)
+
+    def test_module_name_includes_config(self):
+        a = SynergyNeuronArray("x", lanes=2, simd=4)
+        b = SynergyNeuronArray("y", lanes=4, simd=4)
+        assert a.module_name != b.module_name
+
+
+class TestDSPModel:
+    def test_dsp_for_multiplier_tiers(self):
+        assert dsp_for_multiplier(16) == 1
+        assert dsp_for_multiplier(18) == 1
+        assert dsp_for_multiplier(24) == 2
+        assert dsp_for_multiplier(32) == 4
+
+
+class TestAccumulator:
+    def test_cost_scales_with_lanes(self):
+        a = AccumulatorArray("a", lanes=2).resource_cost()
+        b = AccumulatorArray("b", lanes=4).resource_cost()
+        assert b.lut == 2 * a.lut
+        assert b.dsp == 0
+
+    def test_port_width(self):
+        acc = AccumulatorArray("a", lanes=4, width=32)
+        ports = {p.name: p for p in acc.ports()}
+        assert ports["partial_in"].width == 128
+
+
+class TestPoolingUnit:
+    def test_needs_some_mode(self):
+        with pytest.raises(ResourceError):
+            PoolingUnit("p", lanes=1, max_kernel=2,
+                        support_max=False, support_avg=False)
+
+    def test_max_only_cheaper(self):
+        both = PoolingUnit("p", lanes=4, max_kernel=3).resource_cost()
+        max_only = PoolingUnit("q", lanes=4, max_kernel=3,
+                               support_avg=False).resource_cost()
+        assert max_only.lut < both.lut
+
+    def test_beats(self):
+        pool = PoolingUnit("p", lanes=4, max_kernel=3)
+        # 10 outputs of 2x2 windows = 40 elements over 4 lanes.
+        assert pool.beats_for(outputs=10, kernel=2) == 10
+
+    def test_window(self):
+        assert PoolingUnit("p", lanes=1, max_kernel=3).window == 9
+
+
+class TestActivation:
+    def test_relu_only_has_no_lut(self):
+        unit = ActivationUnit("a", lanes=4, functions=("relu",))
+        assert not unit.needs_lut
+        assert unit.resource_cost().bram_bits == 0
+
+    def test_sigmoid_brings_lut(self):
+        unit = ActivationUnit("a", lanes=4, functions=("relu", "sigmoid"))
+        assert unit.needs_lut
+        assert unit.resource_cost().bram_bits > 0
+
+    def test_two_lut_functions_two_tables(self):
+        unit = ActivationUnit("a", lanes=4, functions=("sigmoid", "tanh"))
+        assert len(unit.lut_components()) == 2
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ResourceError):
+            ActivationUnit("a", lanes=4, functions=("softplus",))
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(ResourceError):
+            ActivationUnit("a", lanes=4, functions=())
+
+    def test_beats_relu_parallel(self):
+        unit = ActivationUnit("a", lanes=4, functions=("relu",))
+        assert unit.beats_for(10, "relu") == 3
+
+    def test_beats_lut_serial(self):
+        unit = ActivationUnit("a", lanes=4, functions=("sigmoid",))
+        assert unit.beats_for(10, "sigmoid") == 10
+
+    def test_duplicate_functions_deduped(self):
+        unit = ActivationUnit("a", lanes=2, functions=("relu", "relu"))
+        assert unit.functions == ("relu",)
+
+
+class TestApproxLUT:
+    def test_entries_power_of_two(self):
+        with pytest.raises(ResourceError):
+            ApproxLUT("l", entries=100)
+
+    def test_bram_scales_with_entries(self):
+        small = ApproxLUT("a", entries=128).resource_cost()
+        big = ApproxLUT("b", entries=512).resource_cost()
+        assert big.bram_bits == 4 * small.bram_bits
+
+    def test_interpolation_needs_dsp(self):
+        interp = ApproxLUT("a", entries=128, interpolate=True).resource_cost()
+        plain = ApproxLUT("b", entries=128, interpolate=False).resource_cost()
+        assert interp.dsp > plain.dsp == 0
+
+
+class TestLRNUnit:
+    def test_has_dsps_and_lut_table(self):
+        cost = LRNUnit("l").resource_cost()
+        assert cost.dsp >= 2
+        assert cost.bram_bits > 0
+
+    def test_beats_include_window_fill(self):
+        unit = LRNUnit("l", max_local_size=5)
+        assert unit.beats_for(100) == 105
+
+
+class TestDropOut:
+    def test_cheap(self):
+        cost = DropOutUnit("d", lanes=8).resource_cost()
+        assert cost.dsp == 0
+        assert cost.lut < 100
+
+    def test_beats(self):
+        assert DropOutUnit("d", lanes=8).beats_for(20) == 3
+
+
+class TestConnectionBox:
+    def test_cost_grows_with_ports(self):
+        small = ConnectionBox("c", in_ports=2, out_ports=2).resource_cost()
+        big = ConnectionBox("d", in_ports=8, out_ports=8).resource_cost()
+        assert big.lut > small.lut
+
+    def test_select_width(self):
+        assert ConnectionBox("c", in_ports=8, out_ports=2).select_width == 3
+        assert ConnectionBox("c", in_ports=1, out_ports=1).select_width == 1
+
+
+class TestClassifier:
+    def test_beats_stream_plus_drain(self):
+        sorter = KSorterClassifier("k", k=5)
+        assert sorter.beats_for(100) == 105
+
+    def test_cost_scales_with_k(self):
+        a = KSorterClassifier("a", k=1).resource_cost()
+        b = KSorterClassifier("b", k=5).resource_cost()
+        assert b.ff > a.ff
+
+
+class TestBuffers:
+    def test_capacity(self):
+        buffer = OnChipBuffer("b", depth_words=1024, word_bits=64, banks=2)
+        assert buffer.capacity_bits == 1024 * 64 * 2
+        assert buffer.capacity_bytes == buffer.capacity_bits // 8
+
+    def test_address_width(self):
+        assert OnChipBuffer("b", 1024, 16).address_width == 10
+        assert OnChipBuffer("b", 1, 16).address_width == 1
+
+    def test_size_buffer_rounds_to_power_of_two(self):
+        buffer = size_buffer("b", payload_bits=100 * 16, word_bits=16)
+        assert buffer.depth_words == 128
+
+    def test_size_buffer_respects_cap(self):
+        with pytest.raises(ResourceError):
+            size_buffer("b", payload_bits=1 << 20, word_bits=16,
+                        max_bits=1 << 10)
+
+    def test_size_buffer_rejects_empty(self):
+        with pytest.raises(ResourceError):
+            size_buffer("b", payload_bits=0, word_bits=16)
+
+
+class TestAGU:
+    def test_reduced_fields(self):
+        agu = AddressGenerationUnit("a", AGURole.DATA, n_patterns=4,
+                                    fields=("start_address", "x_length"))
+        assert len(agu.fields) == 2
+
+    def test_start_address_mandatory(self):
+        with pytest.raises(ResourceError):
+            AddressGenerationUnit("a", AGURole.DATA, n_patterns=1,
+                                  fields=("x_length",))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ResourceError):
+            AddressGenerationUnit("a", AGURole.DATA, n_patterns=1,
+                                  fields=("start_address", "zigzag"))
+
+    def test_fewer_fields_cheaper(self):
+        full = AddressGenerationUnit("a", AGURole.MAIN, n_patterns=8)
+        reduced = AddressGenerationUnit(
+            "b", AGURole.MAIN, n_patterns=8,
+            fields=("start_address", "footprint"))
+        assert reduced.resource_cost().lut < full.resource_cost().lut
+
+    def test_pattern_select_width(self):
+        agu = AddressGenerationUnit("a", AGURole.WEIGHT, n_patterns=9)
+        assert agu.pattern_select_width == 4
+
+
+class TestCoordinator:
+    def test_state_width(self):
+        assert SchedulingCoordinator("c", n_states=10).state_width == 4
+
+    def test_context_buffer_scales(self):
+        small = SchedulingCoordinator("a", n_states=4).resource_cost()
+        big = SchedulingCoordinator("b", n_states=64).resource_cost()
+        assert big.bram_bits > small.bram_bits
+
+
+class TestLibrary:
+    def test_default_library_complete(self):
+        library = default_library()
+        for kind in LayerKind:
+            assert library.supports(kind), f"no support for {kind}"
+
+    def test_blocks_for_layer_rules(self):
+        from repro.components.neuron import SynergyNeuronArray as SNA
+        assert SNA in blocks_for_layer(LayerKind.CONVOLUTION)
+        assert blocks_for_layer(LayerKind.DATA) == ()
+
+    def test_register_rejects_non_component(self):
+        library = default_library()
+        with pytest.raises(UnsupportedLayerError):
+            library.register(dict)
+
+    def test_get_unknown_block(self):
+        with pytest.raises(UnsupportedLayerError):
+            default_library().get("warp_drive")
+
+    def test_names_sorted(self):
+        names = default_library().names()
+        assert names == sorted(names)
+        assert "synergy_neuron_array" in names
+
+
+class TestInstanceNames:
+    def test_bad_instance_name_rejected(self):
+        with pytest.raises(ResourceError):
+            AccumulatorArray("bad name!", lanes=1)
+
+    def test_repr_mentions_params(self):
+        text = repr(SynergyNeuronArray("n", lanes=2, simd=4))
+        assert "LANES=2" in text

@@ -1,0 +1,108 @@
+"""Tests for device models, budgets and resource cost arithmetic."""
+
+import pytest
+
+from repro.devices import (
+    ResourceBudget,
+    ResourceCost,
+    VX485T,
+    Z7020,
+    Z7045,
+    budget_fraction,
+)
+from repro.errors import ResourceError
+
+
+class TestResourceCost:
+    def test_add(self):
+        total = ResourceCost(1, 10, 20, 100) + ResourceCost(2, 5, 5, 50)
+        assert total == ResourceCost(3, 15, 25, 150)
+
+    def test_scaled(self):
+        assert ResourceCost(1, 2, 3, 4).scaled(3) == ResourceCost(3, 6, 9, 12)
+
+    def test_scaled_zero(self):
+        assert ResourceCost(1, 2, 3, 4).scaled(0) == ResourceCost()
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceCost(1, 1, 1, 1).scaled(-1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceCost(dsp=-1)
+
+    def test_fits_in(self):
+        small = ResourceCost(1, 10, 10, 10)
+        big = ResourceCost(2, 20, 20, 20)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+    def test_fits_requires_all_dimensions(self):
+        a = ResourceCost(dsp=1, lut=100)
+        b = ResourceCost(dsp=10, lut=50)
+        assert not a.fits_in(b)
+
+    def test_total(self):
+        costs = [ResourceCost(dsp=1), ResourceCost(lut=2), ResourceCost(ff=3)]
+        assert ResourceCost.total(costs) == ResourceCost(1, 2, 3, 0)
+
+    def test_str(self):
+        assert "dsp=2" in str(ResourceCost(dsp=2))
+
+
+class TestDevices:
+    def test_z7045_larger_than_z7020(self):
+        assert Z7020.resources.fits_in(Z7045.resources)
+
+    def test_vx485t_largest(self):
+        assert Z7045.resources.fits_in(VX485T.resources)
+
+    def test_clock_default_100mhz(self):
+        assert Z7045.clock_hz == pytest.approx(100e6)
+
+    def test_known_dsp_counts(self):
+        assert Z7020.resources.dsp == 220
+        assert Z7045.resources.dsp == 900
+        assert VX485T.resources.dsp == 2800
+
+
+class TestBudget:
+    def test_fraction_carving(self):
+        budget = budget_fraction(Z7045, 0.5)
+        assert budget.limit.dsp == 450
+        assert budget.limit.fits_in(Z7045.resources)
+
+    def test_full_fraction(self):
+        budget = budget_fraction(Z7020, 1.0)
+        assert budget.limit == Z7020.resources
+
+    def test_label_default(self):
+        assert "Z-7045" in budget_fraction(Z7045, 0.25).label
+
+    def test_custom_label(self):
+        assert budget_fraction(Z7045, 0.25, label="DB").label == "DB"
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ResourceError):
+            budget_fraction(Z7045, 0.0)
+        with pytest.raises(ResourceError):
+            budget_fraction(Z7045, 1.5)
+
+    def test_budget_exceeding_device_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceBudget(device=Z7020,
+                           limit=ResourceCost(dsp=10_000, lut=100, ff=100,
+                                              bram_bits=100))
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceBudget(device=Z7020, limit=ResourceCost(dsp=0, lut=8))
+
+    def test_utilization(self):
+        budget = budget_fraction(Z7045, 1.0)
+        used = ResourceCost(dsp=450, lut=0, ff=0, bram_bits=0)
+        assert budget.utilization(used)["dsp"] == pytest.approx(0.5)
+
+    def test_device_budget_helper(self):
+        assert Z7045.budget(0.5).limit.dsp == 450

@@ -1,0 +1,56 @@
+"""Smoke tests: the fast examples run end to end.
+
+The training-heavy examples (approximate_computing, digit_recognition)
+are exercised through their cached building blocks in the experiment
+tests; here the quick ones run whole.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(f"{EXAMPLES_DIR}/{name}.py", run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "parsed 'quickstart_net'" in out
+        assert "emitted" in out
+        assert "forward propagation" in out
+        assert "class scores" in out
+
+
+class TestDesignSpaceExploration:
+    def test_runs_and_sweeps(self, capsys):
+        out = run_example("design_space_exploration", capsys)
+        assert "MNIST accelerator design space" in out
+        # All five budget rows present.
+        for fraction in ("5%", "10%", "20%", "40%", "80%"):
+            assert fraction in out
+
+
+class TestExamplesAreListed:
+    def test_readme_mentions_every_example(self):
+        import os
+        with open("README.md", encoding="utf-8") as handle:
+            readme = handle.read()
+        for name in os.listdir(EXAMPLES_DIR):
+            if name.endswith(".py"):
+                assert name in readme, f"README missing {name}"
+
+    def test_examples_have_docstrings(self):
+        import ast
+        import os
+        for name in os.listdir(EXAMPLES_DIR):
+            if not name.endswith(".py"):
+                continue
+            with open(os.path.join(EXAMPLES_DIR, name), encoding="utf-8") as f:
+                tree = ast.parse(f.read())
+            assert ast.get_docstring(tree), f"{name} lacks a docstring"

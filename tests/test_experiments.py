@@ -1,0 +1,162 @@
+"""Unit tests for the experiment harness (fast paths only).
+
+The heavy end-to-end sweeps live in ``benchmarks/``; here we pin the
+harness machinery: configs, report rendering, runner caching and the
+per-figure aggregation helpers, using the small benchmarks.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.config import (
+    BUDGET_SCHEMES,
+    PAPER_BENCHMARKS,
+    benchmark_case,
+    scheme_budget,
+)
+from repro.experiments.report import (
+    format_energy,
+    format_ratio,
+    format_time,
+    render_table,
+)
+from repro.experiments.runner import PerfRecord, simulate_scheme
+
+
+class TestConfig:
+    def test_three_schemes(self):
+        assert set(BUDGET_SCHEMES) == {"DB-S", "DB", "DB-L"}
+
+    def test_scheme_budget_devices(self):
+        assert scheme_budget("DB-S").device.name == "Z-7020"
+        assert scheme_budget("DB").device.name == "Z-7045"
+        assert scheme_budget("DB-L").device.name == "Z-7045"
+
+    def test_dbl_bigger_than_db(self):
+        assert (scheme_budget("DB-L").limit.dsp
+                > scheme_budget("DB").limit.dsp)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(SimulationError):
+            scheme_budget("DB-XXL")
+
+    def test_nine_paper_benchmarks(self):
+        assert len(PAPER_BENCHMARKS) == 9
+        names = [case.name for case in PAPER_BENCHMARKS]
+        assert len(set(names)) == 9
+
+    def test_benchmark_case_lookup(self):
+        case = benchmark_case("hopfield")
+        assert case.application == "TSP solver"
+        assert case.has_recurrent
+        with pytest.raises(SimulationError):
+            benchmark_case("transformer")
+
+    def test_case_graph_builds(self):
+        graph = benchmark_case("ann0").graph()
+        assert graph.name == "ann0_fft"
+
+
+class TestReport:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bbbb"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "longer" in lines[-1]
+        # All rows equal width or less than header rule.
+        rule = lines[1]
+        assert set(rule) == {"-"}
+
+    def test_render_table_title(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_format_time_scales(self):
+        assert format_time(5e-6) == "5.0us"
+        assert format_time(5e-3) == "5.00ms"
+        assert format_time(5.0) == "5.000s"
+
+    def test_format_energy_scales(self):
+        assert format_energy(5e-6) == "5.0uJ"
+        assert format_energy(5e-3) == "5.00mJ"
+        assert format_energy(5.0) == "5.000J"
+
+    def test_format_ratio(self):
+        assert format_ratio(3.456) == "3.46x"
+
+
+class TestRunner:
+    def test_cpu_record(self):
+        record = simulate_scheme("ann0", "CPU")
+        assert record.scheme == "CPU"
+        assert record.time_s > 0
+        assert record.resources is None
+
+    def test_db_record_has_resources(self):
+        record = simulate_scheme("ann0", "DB")
+        assert record.resources is not None
+        assert record.lanes >= 1
+        assert record.fold_phases >= 1
+
+    def test_custom_record(self):
+        custom = simulate_scheme("ann0", "Custom")
+        generated = simulate_scheme("ann0", "DB")
+        assert custom.time_s < generated.time_s
+        assert custom.resources.dsp == generated.resources.dsp
+
+    def test_caching_returns_same_object(self):
+        first = simulate_scheme("ann0", "DB")
+        second = simulate_scheme("ann0", "DB")
+        assert first is second
+
+    def test_zhang_requires_conv(self):
+        with pytest.raises(SimulationError):
+            simulate_scheme("ann0", "[7]")
+
+    def test_record_is_frozen(self):
+        record = simulate_scheme("ann0", "CPU")
+        with pytest.raises(Exception):
+            record.time_s = 0.0
+
+
+class TestAggregations:
+    @pytest.fixture(scope="class")
+    def small_records(self):
+        """Fig-8-shaped records for the three tiny ANN benchmarks."""
+        records = {}
+        for name in ("ann0", "ann1", "ann2"):
+            records[name] = {
+                scheme: simulate_scheme(name, scheme)
+                for scheme in ("Custom", "DB", "DB-L", "DB-S", "CPU")
+            }
+        return records
+
+    def test_speedups_vs_cpu(self, small_records):
+        from repro.experiments.fig8_performance import speedups_vs_cpu
+        speedups = speedups_vs_cpu(small_records)
+        assert set(speedups) == {"ann0", "ann1", "ann2"}
+        assert all(s > 1.0 for s in speedups.values())
+
+    def test_dbl_over_db_all_benchmarks(self, small_records):
+        from repro.experiments.fig8_performance import dbl_over_db
+        ratio = dbl_over_db(small_records, conv_only=False)
+        # Tiny ANNs cannot use the bigger datapath: ratio near 1.
+        assert 0.9 <= ratio <= 1.5
+
+    def test_energy_ratios(self, small_records):
+        from repro.experiments.fig9_energy import cpu_over_db, db_over_custom
+        assert cpu_over_db(small_records) > 10.0
+        assert db_over_custom(small_records) > 1.0
+
+
+class TestTrainingSpeedupHelpers:
+    def test_search_point_math(self):
+        from repro.experiments.training_speedup import SearchPoint
+        point = SearchPoint("x", 10, 20, 1000, cpu_hours=2.0, db_hours=0.5)
+        assert point.speedup == pytest.approx(4.0)
+
+    def test_search_cost_scales_linearly(self):
+        from repro.experiments.training_speedup import search_cost
+        small = search_cost("ann0", candidates=2, epochs=2, samples=100)
+        big = search_cost("ann0", candidates=4, epochs=2, samples=100)
+        assert big.cpu_hours == pytest.approx(2 * small.cpu_hours)

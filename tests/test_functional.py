@@ -1,0 +1,193 @@
+"""Tests for the numpy layer operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+
+
+def naive_conv2d(image, weights, bias, stride, pad):
+    """Direct nested-loop convolution used as an oracle."""
+    dout, cin, kernel, _ = weights.shape
+    image = F.pad2d(image, pad)
+    _, height, width = image.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    out = np.zeros((dout, out_h, out_w))
+    for d in range(dout):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = image[:, i * stride:i * stride + kernel,
+                              j * stride:j * stride + kernel]
+                out[d, i, j] = np.sum(patch * weights[d])
+                if bias is not None:
+                    out[d, i, j] += bias[d]
+    return out
+
+
+class TestIm2col:
+    def test_shape(self):
+        cols = F.im2col(np.zeros((3, 8, 8)), kernel=3, stride=1)
+        assert cols.shape == (36, 27)
+
+    def test_content_single_channel(self):
+        image = np.arange(16, dtype=np.float64).reshape(1, 4, 4)
+        cols = F.im2col(image, kernel=2, stride=2)
+        assert cols.shape == (4, 4)
+        assert np.array_equal(cols[0], [0, 1, 4, 5])
+        assert np.array_equal(cols[3], [10, 11, 14, 15])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            F.im2col(np.zeros((4, 4)), 2, 1)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            F.im2col(np.zeros((1, 3, 3)), kernel=5, stride=1)
+
+    def test_col2im_is_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 6, 6))
+        cols = F.im2col(x, kernel=3, stride=1)
+        y = rng.normal(size=cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * F.col2im(y, (2, 6, 6), kernel=3, stride=1))
+        assert lhs == pytest.approx(rhs)
+
+
+class TestConv2d:
+    @given(st.integers(1, 3), st.integers(1, 4), st.integers(1, 3),
+           st.integers(1, 2), st.integers(0, 2), st.integers(5, 9))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, cin, dout, kernel, stride, pad, size):
+        if kernel > size + 2 * pad:
+            return
+        rng = np.random.default_rng(42)
+        image = rng.normal(size=(cin, size, size))
+        weights = rng.normal(size=(dout, cin, kernel, kernel))
+        bias = rng.normal(size=dout)
+        got = F.conv2d(image, weights, bias, stride=stride, pad=pad)
+        expected = naive_conv2d(image, weights, bias, stride, pad)
+        assert np.allclose(got, expected)
+
+    def test_identity_kernel(self):
+        image = np.arange(9, dtype=np.float64).reshape(1, 3, 3)
+        weights = np.zeros((1, 1, 1, 1))
+        weights[0, 0, 0, 0] = 1.0
+        assert np.array_equal(F.conv2d(image, weights), image)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(np.zeros((2, 4, 4)), np.zeros((1, 3, 3, 3)))
+
+    def test_non_square_kernel_rejected(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(np.zeros((1, 4, 4)), np.zeros((1, 1, 2, 3)))
+
+
+class TestPooling:
+    def test_max_pool_basic(self):
+        image = np.array([[[1, 2], [3, 4]]], dtype=np.float64)
+        assert F.max_pool2d(image, 2, 2)[0, 0, 0] == 4
+
+    def test_avg_pool_basic(self):
+        image = np.array([[[1, 2], [3, 4]]], dtype=np.float64)
+        assert F.avg_pool2d(image, 2, 2)[0, 0, 0] == pytest.approx(2.5)
+
+    def test_ceil_mode_partial_window(self):
+        image = np.arange(25, dtype=np.float64).reshape(1, 5, 5)
+        pooled = F.max_pool2d(image, 2, 2)
+        assert pooled.shape == (1, 3, 3)
+        # Bottom-right partial window is edge-padded, max is 24.
+        assert pooled[0, 2, 2] == 24
+
+    def test_max_pool_channels_independent(self):
+        rng = np.random.default_rng(0)
+        image = rng.normal(size=(3, 6, 6))
+        pooled = F.max_pool2d(image, 2, 2)
+        for c in range(3):
+            alone = F.max_pool2d(image[c:c + 1], 2, 2)
+            assert np.array_equal(pooled[c], alone[0])
+
+    @given(st.integers(2, 8), st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=50)
+    def test_max_ge_avg(self, size, kernel, stride):
+        kernel = min(kernel, size)
+        rng = np.random.default_rng(1)
+        image = rng.normal(size=(2, size, size))
+        assert np.all(F.max_pool2d(image, kernel, stride) >=
+                      F.avg_pool2d(image, kernel, stride) - 1e-12)
+
+
+class TestActivationsAndFriends:
+    def test_relu(self):
+        assert np.array_equal(F.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_sigmoid_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        assert np.allclose(F.sigmoid(x) + F.sigmoid(-x), 1.0)
+
+    def test_sigmoid_extremes_stable(self):
+        out = F.sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_softmax_sums_to_one(self):
+        probs = F.softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.argmax(probs) == 2
+
+    def test_softmax_shift_invariant(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(F.softmax(x), F.softmax(x + 100.0))
+
+    def test_linear(self):
+        weights = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = F.linear(np.array([1.0, 1.0]), weights, np.array([0.5, -0.5]))
+        assert np.allclose(out, [3.5, 6.5])
+
+    def test_linear_flattens_input(self):
+        weights = np.ones((1, 4))
+        assert F.linear(np.ones((1, 2, 2)), weights)[0] == 4.0
+
+    def test_linear_size_mismatch(self):
+        with pytest.raises(ShapeError):
+            F.linear(np.ones(3), np.ones((2, 4)))
+
+    def test_lrn_identity_channel(self):
+        x = np.ones((1, 2, 2))
+        out = F.lrn(x, local_size=5, alpha=0.0)
+        assert np.allclose(out, x)
+
+    def test_lrn_suppresses_strong_neighbours(self):
+        x = np.ones((5, 1, 1))
+        x[2] = 10.0
+        out = F.lrn(x, local_size=5, alpha=1.0, beta=0.75)
+        # The channel next to the strong one is suppressed more than a
+        # distant one.
+        assert out[1, 0, 0] < out[4, 0, 0] < 1.0
+
+    def test_lrn_needs_spatial(self):
+        with pytest.raises(ShapeError):
+            F.lrn(np.ones(5))
+
+    def test_dropout_mask_scaling(self):
+        rng = np.random.default_rng(0)
+        mask = F.dropout_mask((10000,), 0.5, rng)
+        assert mask.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(mask)) <= {0.0, 2.0}
+
+    def test_argmax_classifier_top1(self):
+        assert F.argmax_classifier(np.array([0.1, 0.9, 0.3]))[0] == 1
+
+    def test_argmax_classifier_topk_order(self):
+        out = F.argmax_classifier(np.array([0.1, 0.9, 0.3, 0.7]), top_k=3)
+        assert list(out) == [1, 3, 2]
+
+    def test_argmax_classifier_k_too_big(self):
+        out = F.argmax_classifier(np.array([0.5, 0.2]), top_k=5)
+        assert list(out) == [0, 1]

@@ -1,0 +1,142 @@
+"""Tests for the network graph IR."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.frontend.graph import NetworkGraph, build_graph, graph_from_text
+from repro.frontend.layers import LayerKind, LayerSpec
+from repro.frontend.prototxt import parse_prototxt
+
+MLP_TEXT = """
+name: "mlp"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "sig1" type: SIGMOID bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+RECURRENT_TEXT = """
+name: "rnn"
+layers { name: "data" type: DATA top: "data" param { dim: 4 } }
+layers {
+  name: "rec" type: RECURRENT bottom: "data" top: "rec"
+  param { num_output: 6 }
+  connect { name: "loop" direction: recurrent }
+}
+layers { name: "out" type: INNER_PRODUCT bottom: "rec" top: "out" param { num_output: 2 } }
+"""
+
+
+class TestBuildGraph:
+    def test_builds_and_names(self):
+        graph = graph_from_text(MLP_TEXT)
+        assert graph.name == "mlp"
+        assert graph.layer_names == ["data", "ip1", "sig1", "ip2"]
+
+    def test_layer_lookup(self):
+        graph = graph_from_text(MLP_TEXT)
+        assert graph.layer("ip1").num_output == 16
+        with pytest.raises(GraphError):
+            graph.layer("nope")
+
+    def test_contains(self):
+        graph = graph_from_text(MLP_TEXT)
+        assert "ip2" in graph
+        assert "zzz" not in graph
+
+    def test_recurrent_edges_extracted(self):
+        graph = graph_from_text(RECURRENT_TEXT)
+        assert len(graph.recurrent_edges) == 1
+        edge = graph.recurrent_edges[0]
+        assert edge.source == "rec"
+        assert edge.target == "rec"
+
+    def test_undefined_blob_rejected(self):
+        text = 'layers { name: "a" type: RELU bottom: "ghost" top: "a" }'
+        with pytest.raises(GraphError):
+            graph_from_text(text)
+
+    def test_duplicate_names_rejected(self):
+        text = (
+            'layers { name: "data" type: DATA top: "x" param { dim: 4 } }\n'
+            'layers { name: "a" type: RELU bottom: "x" top: "y" }\n'
+            'layers { name: "a" type: RELU bottom: "y" top: "z" }'
+        )
+        with pytest.raises(GraphError):
+            graph_from_text(text)
+
+    def test_no_input_rejected(self):
+        graph = NetworkGraph(name="n", layers=[
+            LayerSpec(name="r", kind=LayerKind.RELU, bottoms=("r",), tops=("r",)),
+        ])
+        with pytest.raises(GraphError):
+            graph.validate()
+
+
+class TestTopology:
+    def test_topological_order(self):
+        graph = graph_from_text(MLP_TEXT)
+        order = [spec.name for spec in graph.topological_order()]
+        assert order.index("data") < order.index("ip1")
+        assert order.index("ip1") < order.index("sig1")
+        assert order.index("sig1") < order.index("ip2")
+
+    def test_inputs_outputs(self):
+        graph = graph_from_text(MLP_TEXT)
+        assert [s.name for s in graph.inputs()] == ["data"]
+        assert graph.outputs()[-1].name == "ip2"
+
+    def test_predecessors_successors(self):
+        graph = graph_from_text(MLP_TEXT)
+        assert graph.predecessors("ip1") == ["data"]
+        assert "ip2" in graph.successors("sig1")
+
+    def test_producers_consumers(self):
+        graph = graph_from_text(MLP_TEXT)
+        producers = graph.producers()
+        assert producers["ip2"] == "ip2"
+        # In-place sigmoid re-produces ip1; the later producer wins.
+        assert producers["ip1"] == "sig1"
+        consumers = graph.consumers()
+        assert "ip1" in consumers["data"]
+
+    def test_weighted_layers(self):
+        graph = graph_from_text(MLP_TEXT)
+        assert [s.name for s in graph.weighted_layers()] == ["ip1", "ip2"]
+
+    def test_iteration_and_len(self):
+        graph = graph_from_text(MLP_TEXT)
+        assert len(graph) == 4
+        assert [s.name for s in graph] == graph.layer_names
+
+    def test_forward_cycle_detected(self):
+        # a -> b -> a through distinct blobs forms a genuine forward cycle.
+        graph = NetworkGraph(name="cyc", layers=[
+            LayerSpec(name="data", kind=LayerKind.DATA, tops=("d",),
+                      input_shape=(4,)),
+            LayerSpec(name="a", kind=LayerKind.RELU, bottoms=("d", "bo"), tops=("ao",)),
+            LayerSpec(name="b", kind=LayerKind.RELU, bottoms=("ao",), tops=("bo",)),
+        ])
+        with pytest.raises(GraphError):
+            graph.topological_order()
+
+    def test_branching_graph(self):
+        text = """
+        layers { name: "data" type: DATA top: "data" param { dim: 3 dim: 8 dim: 8 } }
+        layers { name: "c1" type: CONVOLUTION bottom: "data" top: "c1" param { num_output: 4 kernel_size: 3 } }
+        layers { name: "c2" type: CONVOLUTION bottom: "data" top: "c2" param { num_output: 4 kernel_size: 3 } }
+        layers { name: "cat" type: CONCAT bottom: "c1" bottom: "c2" top: "cat" }
+        """
+        graph = graph_from_text(text)
+        assert sorted(graph.predecessors("cat")) == ["c1", "c2"]
+        order = [s.name for s in graph.topological_order()]
+        assert order.index("cat") == 3
+
+
+class TestBuildGraphDocument:
+    def test_build_graph_uses_default_name(self):
+        doc = parse_prototxt(
+            'layers { name: "data" type: DATA top: "d" param { dim: 2 } }'
+        )
+        graph = build_graph(doc)
+        assert graph.name == "net"

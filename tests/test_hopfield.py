@@ -1,0 +1,117 @@
+"""Tests for Hopfield dynamics and the TSP solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.hopfield import (
+    HopfieldNetwork,
+    HopfieldTSPSolver,
+    TSPInstance,
+    nearest_neighbour_tour,
+)
+
+
+class TestHopfieldNetwork:
+    def test_store_and_recall_pattern(self):
+        net = HopfieldNetwork(16)
+        rng = np.random.default_rng(0)
+        pattern = rng.choice([-1.0, 1.0], size=16)
+        net.store(pattern)
+        noisy = pattern.copy()
+        noisy[:2] *= -1
+        recalled = net.recall(noisy, rng=np.random.default_rng(1))
+        assert np.array_equal(recalled, pattern) or np.array_equal(recalled, -pattern)
+
+    def test_energy_decreases_under_updates(self):
+        net = HopfieldNetwork(20)
+        rng = np.random.default_rng(2)
+        patterns = rng.choice([-1.0, 1.0], size=(2, 20))
+        net.store(patterns)
+        state = rng.choice([-1.0, 1.0], size=20)
+        energy = net.energy(state)
+        for _ in range(5):
+            state = net.step(state, rng)
+            new_energy = net.energy(state)
+            assert new_energy <= energy + 1e-9
+            energy = new_energy
+
+    def test_zero_diagonal(self):
+        net = HopfieldNetwork(8)
+        net.store(np.ones(8))
+        assert np.all(np.diag(net.weights) == 0)
+
+    def test_symmetric_weights(self):
+        net = HopfieldNetwork(12)
+        rng = np.random.default_rng(3)
+        net.store(rng.choice([-1.0, 1.0], size=(3, 12)))
+        assert np.allclose(net.weights, net.weights.T)
+
+    def test_wrong_width_rejected(self):
+        net = HopfieldNetwork(8)
+        with pytest.raises(ShapeError):
+            net.store(np.ones(9))
+
+    def test_positive_size_required(self):
+        with pytest.raises(ShapeError):
+            HopfieldNetwork(0)
+
+    def test_stored_pattern_is_fixed_point(self):
+        net = HopfieldNetwork(16)
+        rng = np.random.default_rng(4)
+        pattern = rng.choice([-1.0, 1.0], size=16)
+        net.store(pattern)
+        assert np.array_equal(net.step(pattern, rng), pattern)
+
+
+class TestTSPInstance:
+    def test_distances_symmetric_zero_diag(self):
+        inst = TSPInstance.random(6, seed=0)
+        dist = inst.distances()
+        assert np.allclose(dist, dist.T)
+        assert np.all(np.diag(dist) == 0)
+
+    def test_tour_length_square(self):
+        inst = TSPInstance(np.array([[0, 0], [1, 0], [1, 1], [0, 1]],
+                                    dtype=np.float64))
+        assert inst.tour_length([0, 1, 2, 3]) == pytest.approx(4.0)
+
+    def test_invalid_tour_rejected(self):
+        inst = TSPInstance.random(4)
+        with pytest.raises(ShapeError):
+            inst.tour_length([0, 1, 2, 2])
+
+
+class TestNearestNeighbour:
+    def test_visits_all_cities(self):
+        inst = TSPInstance.random(7, seed=1)
+        tour = nearest_neighbour_tour(inst)
+        assert sorted(tour) == list(range(7))
+
+    def test_square_optimal(self):
+        inst = TSPInstance(np.array([[0, 0], [1, 0], [1, 1], [0, 1]],
+                                    dtype=np.float64))
+        tour = nearest_neighbour_tour(inst)
+        assert inst.tour_length(tour) == pytest.approx(4.0)
+
+
+class TestHopfieldTSP:
+    def test_weight_matrix_symmetric(self):
+        solver = HopfieldTSPSolver(TSPInstance.random(5, seed=0))
+        assert np.allclose(solver.weights, solver.weights.T)
+        assert np.all(np.diag(solver.weights) == 0)
+
+    def test_decode_produces_valid_tour(self):
+        solver = HopfieldTSPSolver(TSPInstance.random(5, seed=1))
+        rng = np.random.default_rng(0)
+        tour = solver.decode(rng.random(25))
+        assert sorted(tour) == list(range(5))
+
+    def test_solve_produces_reasonable_tour(self):
+        inst = TSPInstance.random(5, seed=2)
+        solver = HopfieldTSPSolver(inst)
+        tour, activity = solver.solve(steps=1500, seed=3)
+        assert sorted(tour) == list(range(5))
+        assert activity.shape == (25,)
+        # Not pathological: within 2x of the nearest-neighbour heuristic.
+        assert solver.tour_quality(tour) < 2.0

@@ -1,0 +1,72 @@
+"""Tests for the per-layer performance report."""
+
+import pytest
+
+from repro.compiler import DeepBurningCompiler
+from repro.devices import Z7045, budget_fraction
+from repro.nngen import NNGen
+from repro.sim import AcceleratorSimulator
+from repro.zoo import mnist
+
+
+@pytest.fixture(scope="module")
+def result_and_design():
+    design = NNGen().generate(mnist(), budget_fraction(Z7045, 0.3))
+    program = DeepBurningCompiler().compile(design)
+    result = AcceleratorSimulator(program).run(functional=False)
+    return result, design
+
+
+class TestLayerReport:
+    def test_every_layer_present(self, result_and_design):
+        result, design = result_and_design
+        report = result.layer_report()
+        for spec in design.graph.layers:
+            if spec.kind.value != "DATA":
+                assert spec.name in report
+
+    def test_bound_column(self, result_and_design):
+        result, _ = result_and_design
+        report = result.layer_report()
+        assert "compute" in report or "memory" in report
+
+    def test_utilization_column(self, result_and_design):
+        result, design = result_and_design
+        report = result.layer_report(
+            peak_macs_per_cycle=design.datapath.multipliers)
+        assert "util" in report.splitlines()[0]
+        assert "%" in report
+
+    def test_utilization_bounded(self, result_and_design):
+        result, design = result_and_design
+        peak = design.datapath.multipliers
+        macs_per_layer = {}
+        compute_per_layer = {}
+        for trace in result.phase_traces:
+            macs_per_layer[trace.layer] = \
+                macs_per_layer.get(trace.layer, 0) + trace.macs
+            compute_per_layer[trace.layer] = \
+                compute_per_layer.get(trace.layer, 0) + trace.compute_cycles
+        for layer, macs in macs_per_layer.items():
+            utilization = macs / max(1, compute_per_layer[layer]) / peak
+            assert utilization <= 1.0 + 1e-9, layer
+
+    def test_conv_layers_better_utilized_than_activations(self,
+                                                          result_and_design):
+        result, design = result_and_design
+        peak = design.datapath.multipliers
+        per = {}
+        for trace in result.phase_traces:
+            entry = per.setdefault(trace.layer, [0, 0])
+            entry[0] += trace.macs
+            entry[1] += trace.compute_cycles
+
+        def util(layer):
+            macs, cycles = per[layer]
+            return macs / max(1, cycles) / peak
+
+        assert util("conv2") > util("relu1")
+
+    def test_trace_macs_sum_to_total(self, result_and_design):
+        result, _ = result_and_design
+        assert sum(t.macs for t in result.phase_traces) == result.macs

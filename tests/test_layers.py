@@ -1,0 +1,182 @@
+"""Tests for typed layer specs built from parsed messages."""
+
+import pytest
+
+from repro.errors import ParseError, UnsupportedLayerError
+from repro.frontend.layers import (
+    ConnectDirection,
+    ConnectType,
+    LayerKind,
+    LayerSpec,
+    PoolMethod,
+    layer_from_message,
+    layers_from_document,
+    parse_kind,
+)
+from repro.frontend.prototxt import parse_prototxt
+
+
+def layer_of(text: str):
+    doc = parse_prototxt(text)
+    return layer_from_message(doc.get_messages("layers")[0])
+
+
+class TestParseKind:
+    def test_canonical_names(self):
+        assert parse_kind("CONVOLUTION") is LayerKind.CONVOLUTION
+        assert parse_kind("POOLING") is LayerKind.POOLING
+        assert parse_kind("RELU") is LayerKind.RELU
+
+    def test_aliases(self):
+        assert parse_kind("conv") is LayerKind.CONVOLUTION
+        assert parse_kind("FC") is LayerKind.INNER_PRODUCT
+        assert parse_kind("rnn") is LayerKind.RECURRENT
+        assert parse_kind("MEMORY") is LayerKind.ASSOCIATIVE
+
+    def test_unknown_kind(self):
+        with pytest.raises(UnsupportedLayerError):
+            parse_kind("TELEPORT")
+
+    def test_kind_predicates(self):
+        assert LayerKind.RELU.is_activation
+        assert not LayerKind.POOLING.is_activation
+        assert LayerKind.CONVOLUTION.has_weights
+        assert not LayerKind.POOLING.has_weights
+
+
+class TestLayerFromMessage:
+    def test_convolution_params(self):
+        spec = layer_of(
+            'layers { name: "c1" type: CONVOLUTION bottom: "data" top: "c1"\n'
+            "  param { num_output: 20 kernel_size: 5 stride: 1 } }"
+        )
+        assert spec.kind is LayerKind.CONVOLUTION
+        assert spec.num_output == 20
+        assert spec.kernel_size == 5
+        assert spec.stride == 1
+        assert spec.bottoms == ("data",)
+        assert spec.tops == ("c1",)
+
+    def test_caffe_style_param_block(self):
+        spec = layer_of(
+            'layers { name: "c1" type: CONVOLUTION bottom: "d" top: "c"\n'
+            "  convolution_param { num_output: 6 kernel_size: 3 pad: 1 } }"
+        )
+        assert spec.num_output == 6
+        assert spec.pad == 1
+
+    def test_flat_params_accepted(self):
+        spec = layer_of(
+            'layers { name: "c1" type: CONVOLUTION bottom: "d" top: "c"\n'
+            "  num_output: 6 kernel_size: 3 }"
+        )
+        assert spec.num_output == 6
+
+    def test_pooling_method(self):
+        spec = layer_of(
+            'layers { name: "p" type: POOLING bottom: "c" top: "p"\n'
+            "  pooling_param { pool: AVE kernel_size: 2 stride: 2 } }"
+        )
+        assert spec.pool_method is PoolMethod.AVE
+
+    def test_bad_pool_method(self):
+        with pytest.raises(ParseError):
+            layer_of(
+                'layers { name: "p" type: POOLING bottom: "c" top: "p"\n'
+                "  pooling_param { pool: MEDIAN kernel_size: 2 stride: 2 } }"
+            )
+
+    def test_data_layer_shape(self):
+        spec = layer_of(
+            'layers { name: "data" type: DATA top: "data"\n'
+            "  input_param { shape { dim: 1 dim: 28 dim: 28 } } }"
+        )
+        assert spec.input_shape == (1, 28, 28)
+
+    def test_data_layer_flat_dims(self):
+        spec = layer_of(
+            'layers { name: "data" type: DATA top: "data"\n'
+            "  param { dim: 64 } }"
+        )
+        assert spec.input_shape == (64,)
+
+    def test_connect_block(self):
+        spec = layer_of(
+            'layers { name: "r" type: RELU bottom: "x" top: "x"\n'
+            '  connect { name: "p2f2" direction: recurrent type: file_specified } }'
+        )
+        assert len(spec.connections) == 1
+        conn = spec.connections[0]
+        assert conn.direction is ConnectDirection.RECURRENT
+        assert conn.type is ConnectType.FILE_SPECIFIED
+        assert spec.is_recurrent
+
+    def test_connect_defaults(self):
+        spec = layer_of(
+            'layers { name: "r" type: RELU bottom: "x" top: "x"\n'
+            '  connect { name: "c" } }'
+        )
+        assert spec.connections[0].direction is ConnectDirection.FORWARD
+        assert spec.connections[0].type is ConnectType.FULL
+
+    def test_bad_connect_direction(self):
+        with pytest.raises(ParseError):
+            layer_of(
+                'layers { name: "r" type: RELU bottom: "x" top: "x"\n'
+                '  connect { name: "c" direction: sideways } }'
+            )
+
+    def test_missing_name(self):
+        with pytest.raises(ParseError):
+            layer_of('layers { type: RELU bottom: "x" top: "x" }')
+
+    def test_missing_type(self):
+        with pytest.raises(ParseError):
+            layer_of('layers { name: "r" bottom: "x" top: "x" }')
+
+    def test_dropout_ratio(self):
+        spec = layer_of(
+            'layers { name: "d" type: DROPOUT bottom: "x" top: "x"\n'
+            "  dropout_param { dropout_ratio: 0.4 } }"
+        )
+        assert spec.dropout_ratio == pytest.approx(0.4)
+
+
+class TestLayerSpecValidation:
+    def test_conv_requires_num_output(self):
+        with pytest.raises(ParseError):
+            LayerSpec(name="c", kind=LayerKind.CONVOLUTION, kernel_size=3)
+
+    def test_conv_requires_kernel(self):
+        with pytest.raises(ParseError):
+            LayerSpec(name="c", kind=LayerKind.CONVOLUTION, num_output=4)
+
+    def test_pool_requires_positive_stride(self):
+        with pytest.raises(ParseError):
+            LayerSpec(name="p", kind=LayerKind.POOLING, kernel_size=2, stride=0)
+
+    def test_dropout_ratio_bounds(self):
+        with pytest.raises(ParseError):
+            LayerSpec(name="d", kind=LayerKind.DROPOUT, dropout_ratio=1.0)
+
+    def test_recurrent_kind_is_recurrent(self):
+        spec = LayerSpec(name="r", kind=LayerKind.RECURRENT, num_output=4)
+        assert spec.is_recurrent
+
+
+class TestLayersFromDocument:
+    def test_multiple_layers_in_order(self):
+        doc = parse_prototxt(
+            'layers { name: "a" type: RELU bottom: "x" top: "x" }\n'
+            'layers { name: "b" type: RELU bottom: "x" top: "x" }'
+        )
+        specs = layers_from_document(doc)
+        assert [s.name for s in specs] == ["a", "b"]
+
+    def test_layer_singular_accepted(self):
+        doc = parse_prototxt('layer { name: "a" type: RELU bottom: "x" top: "x" }')
+        assert len(layers_from_document(doc)) == 1
+
+    def test_no_layers_raises(self):
+        with pytest.raises(ParseError):
+            layers_from_document(parse_prototxt('name: "empty"'))

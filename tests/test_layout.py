@@ -1,0 +1,188 @@
+"""Tests for Method-1 data tiling and partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.layout import (
+    FeatureLayout,
+    WeightLayout,
+    choose_tile_side,
+    method1_layout,
+    row_major_layout,
+)
+from repro.errors import LayoutError
+
+
+class TestChooseTileSide:
+    def test_kernel_area_matches_port(self):
+        # k=4, d=16: one port row holds a whole window -> k x k tiles.
+        side, interleave = choose_tile_side(kernel=4, stride=1, port_width=16)
+        assert side == 4
+        assert not interleave
+
+    def test_stride_divides_kernel_and_port(self):
+        # The paper's Fig. 7 case: k=12, s=4, d=16 -> 4x4 sub-blocks.
+        side, interleave = choose_tile_side(kernel=12, stride=4, port_width=16)
+        assert side == 4
+        assert not interleave
+
+    def test_fallback_gcd(self):
+        side, interleave = choose_tile_side(kernel=5, stride=3, port_width=8)
+        assert side == 1
+        assert interleave
+
+    def test_fallback_common_divisor(self):
+        side, interleave = choose_tile_side(kernel=6, stride=3, port_width=9)
+        assert side == 3
+
+    def test_bad_parameters(self):
+        with pytest.raises(LayoutError):
+            choose_tile_side(0, 1, 1)
+
+
+class TestFeatureLayoutBijection:
+    def test_all_addresses_distinct(self):
+        layout = FeatureLayout(maps=3, height=8, width=8, side=4)
+        addresses = {
+            layout.address_of(m, y, x)
+            for m in range(3) for y in range(8) for x in range(8)
+        }
+        assert len(addresses) == 3 * 64
+
+    def test_addresses_within_footprint(self):
+        layout = FeatureLayout(maps=2, height=7, width=9, side=4)
+        for m in range(2):
+            for y in range(7):
+                for x in range(9):
+                    assert 0 <= layout.address_of(m, y, x) < layout.total_elements
+
+    def test_out_of_range_rejected(self):
+        layout = FeatureLayout(maps=1, height=4, width=4, side=2)
+        with pytest.raises(LayoutError):
+            layout.address_of(0, 4, 0)
+        with pytest.raises(LayoutError):
+            layout.address_of(1, 0, 0)
+
+    def test_tile_interior_contiguous(self):
+        layout = FeatureLayout(maps=1, height=8, width=8, side=4)
+        # Pixels of one tile occupy one aligned tile_elements block.
+        base = layout.address_of(0, 0, 0)
+        addresses = [layout.address_of(0, y, x)
+                     for y in range(4) for x in range(4)]
+        assert addresses == list(range(base, base + 16))
+
+    def test_interleaved_maps_alternate(self):
+        layout = FeatureLayout(maps=2, height=4, width=4, side=2,
+                               interleave_maps=True)
+        tile0_map0 = layout.address_of(0, 0, 0) // layout.tile_elements
+        tile0_map1 = layout.address_of(1, 0, 0) // layout.tile_elements
+        assert tile0_map1 == tile0_map0 + 1
+
+    @given(st.integers(1, 3), st.integers(2, 12), st.integers(2, 12),
+           st.integers(1, 5), st.booleans())
+    @settings(max_examples=80)
+    def test_linearize_delinearize_roundtrip(self, maps, height, width,
+                                             side, interleave):
+        layout = FeatureLayout(maps=maps, height=height, width=width,
+                               side=min(side, height, width),
+                               interleave_maps=interleave)
+        rng = np.random.default_rng(0)
+        tensor = rng.integers(0, 100, size=(maps, height, width))
+        flat = layout.linearize(tensor)
+        assert np.array_equal(layout.delinearize(flat), tensor)
+
+    def test_linearize_shape_mismatch(self):
+        layout = FeatureLayout(maps=1, height=4, width=4, side=2)
+        with pytest.raises(LayoutError):
+            layout.linearize(np.zeros((2, 4, 4)))
+
+    def test_delinearize_too_small(self):
+        layout = FeatureLayout(maps=1, height=4, width=4, side=2)
+        with pytest.raises(LayoutError):
+            layout.delinearize(np.zeros(3))
+
+
+class TestLocality:
+    def test_method1_beats_row_major_for_strided_windows(self):
+        """The paper's Fig. 7 argument: 12x12 windows at stride 4 on a
+        57x57 image touch fewer memory rows under 4x4 tiling than under
+        the continuous row-major layout."""
+        tiled = method1_layout(maps=1, height=57, width=57, kernel=12,
+                               stride=4, port_width=16)
+        naive = row_major_layout(maps=1, height=57, width=57)
+        assert tiled.side == 4
+
+        def rows_for(layout, granularity):
+            total = 0
+            for top in range(0, 57 - 12 + 1, 4):
+                for left in range(0, 57 - 12 + 1, 4):
+                    window = layout.window_addresses(0, top, left, kernel=12)
+                    total += len({a // granularity for a in window})
+            return total
+
+        # Compare at equal fetch granularity (16-element memory rows).
+        assert rows_for(tiled, 16) < rows_for(naive, 16)
+
+    def test_window_addresses_count(self):
+        layout = method1_layout(maps=1, height=16, width=16, kernel=4,
+                                stride=4, port_width=16)
+        window = layout.window_addresses(0, 4, 8, kernel=4)
+        assert len(window) == 16
+        # An aligned window under k x k tiling is exactly one tile row.
+        assert max(window) - min(window) == 15
+
+    def test_aligned_window_single_tile(self):
+        layout = FeatureLayout(maps=1, height=8, width=8, side=4)
+        window = layout.window_addresses(0, 4, 4, kernel=4)
+        assert layout.rows_touched(window) == 1
+
+
+class TestWeightLayout:
+    def test_addresses_row_major(self):
+        layout = WeightLayout(layer="fc", base_address=100, rows=4, depth=10)
+        assert layout.address_of(0, 0) == 100
+        assert layout.address_of(1, 0) == 110
+        assert layout.address_of(3, 9) == 139
+
+    def test_bias_after_weights(self):
+        layout = WeightLayout(layer="fc", base_address=0, rows=4, depth=10)
+        assert layout.bias_address == 40
+        assert layout.total_elements == 44
+
+    def test_no_bias(self):
+        layout = WeightLayout(layer="fc", base_address=0, rows=4, depth=10,
+                              has_bias=False)
+        assert layout.total_elements == 40
+
+    def test_block_address(self):
+        layout = WeightLayout(layer="fc", base_address=0, rows=8, depth=100)
+        assert layout.block_address(2, 30) == 230
+
+    def test_out_of_range(self):
+        layout = WeightLayout(layer="fc", base_address=0, rows=2, depth=3)
+        with pytest.raises(LayoutError):
+            layout.address_of(2, 0)
+
+    def test_linearize_with_bias(self):
+        layout = WeightLayout(layer="fc", base_address=0, rows=2, depth=3)
+        weights = np.arange(6).reshape(2, 3)
+        bias = np.array([10.0, 20.0])
+        flat = layout.linearize(weights, bias)
+        assert np.array_equal(flat, [0, 1, 2, 3, 4, 5, 10, 20])
+
+    def test_linearize_size_mismatch(self):
+        layout = WeightLayout(layer="fc", base_address=0, rows=2, depth=3)
+        with pytest.raises(LayoutError):
+            layout.linearize(np.zeros(5))
+
+    def test_linearize_default_bias(self):
+        layout = WeightLayout(layer="fc", base_address=0, rows=2, depth=2)
+        flat = layout.linearize(np.ones((2, 2)))
+        assert flat.size == 6
+        assert np.array_equal(flat[4:], [0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            WeightLayout(layer="x", base_address=0, rows=0, depth=4)

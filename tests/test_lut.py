@@ -1,0 +1,157 @@
+"""Tests for Approx LUT content generation and interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.lut import (
+    ApproxLUTContent,
+    KNOWN_FUNCTIONS,
+    build_lut,
+    choose_entries,
+    lut_range_for_activation,
+    lut_size_for_format,
+    resolve_function,
+)
+from repro.errors import CompileError
+from repro.fixedpoint.format import QFormat
+
+
+def sigmoid(x):
+    return KNOWN_FUNCTIONS["sigmoid"](np.asarray(x, dtype=np.float64))
+
+
+class TestBuildLut:
+    def test_keys_hit_table_exactly(self):
+        lut = build_lut("sigmoid", -8, 8, entries=64)
+        # Sampled keys evaluate to the stored value with no error.
+        assert np.allclose(lut.evaluate(lut.keys), lut.values)
+
+    def test_interpolation_between_keys(self):
+        lut = build_lut("tanh", -4, 4, entries=16)
+        x = (lut.keys[3] + lut.keys[4]) / 2
+        expected = (lut.values[3] + lut.values[4]) / 2
+        assert lut.evaluate(np.array([x]))[0] == pytest.approx(expected)
+
+    def test_clamps_out_of_range(self):
+        lut = build_lut("sigmoid", -8, 8, entries=64)
+        assert lut.evaluate(np.array([100.0]))[0] == pytest.approx(
+            lut.values[-1])
+        assert lut.evaluate(np.array([-100.0]))[0] == pytest.approx(
+            lut.values[0])
+
+    def test_error_shrinks_with_entries(self):
+        coarse = build_lut("sigmoid", -8, 8, entries=16)
+        fine = build_lut("sigmoid", -8, 8, entries=256)
+        assert fine.max_error(sigmoid) < coarse.max_error(sigmoid)
+
+    def test_sigmoid_256_entries_accurate(self):
+        lut = build_lut("sigmoid", -8, 8, entries=256)
+        assert lut.max_error(sigmoid) < 1e-3
+
+    def test_value_format_quantizes(self):
+        fmt = QFormat(3, 8)
+        lut = build_lut("sigmoid", -8, 8, entries=64, value_format=fmt)
+        assert np.all(np.abs(lut.values * 256 - np.rint(lut.values * 256))
+                      < 1e-9)
+
+    def test_custom_callable_extension(self):
+        def softplus(x):
+            return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0)
+
+        lut = build_lut(softplus, -4, 4, entries=512)
+        grid = np.linspace(-4, 4, 100)
+        assert np.allclose(lut.evaluate(grid), softplus(grid), atol=1e-3)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CompileError):
+            build_lut("warp", -1, 1)
+
+    def test_too_few_entries_rejected(self):
+        with pytest.raises(CompileError):
+            build_lut("sigmoid", -1, 1, entries=1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(CompileError):
+            build_lut("sigmoid", 1, 1)
+
+    def test_nonfinite_function_rejected(self):
+        with np.errstate(divide="ignore"), pytest.raises(CompileError):
+            # 17 odd entries sample x=0 exactly, where 1/x blows up.
+            build_lut(lambda x: 1.0 / x, -1, 1, entries=17)
+
+    def test_mismatched_keys_values_rejected(self):
+        with pytest.raises(CompileError):
+            ApproxLUTContent(function="f", input_low=0, input_high=1,
+                             keys=np.zeros(4), values=np.zeros(3))
+
+
+class TestChooseEntries:
+    def test_meets_budget(self):
+        entries = choose_entries("sigmoid", -8, 8, error_budget=1e-3)
+        lut = build_lut("sigmoid", -8, 8, entries)
+        assert lut.max_error(sigmoid) <= 1e-3
+
+    def test_power_of_two(self):
+        entries = choose_entries("sigmoid", -8, 8, error_budget=1e-4)
+        assert entries & (entries - 1) == 0
+
+    def test_tighter_budget_more_entries(self):
+        loose = choose_entries("tanh", -4, 4, error_budget=1e-2)
+        tight = choose_entries("tanh", -4, 4, error_budget=1e-5)
+        assert tight > loose
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(CompileError):
+            choose_entries("sigmoid", -8, 8, error_budget=1e-12,
+                           max_entries=64)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(CompileError):
+            choose_entries("sigmoid", -8, 8, error_budget=0.0)
+
+
+class TestHelpers:
+    def test_resolve_known(self):
+        fn, name = resolve_function("tanh")
+        assert name == "tanh"
+        assert fn(np.array([0.0]))[0] == 0.0
+
+    def test_resolve_callable(self):
+        fn, name = resolve_function(np.square)
+        assert fn is np.square
+
+    def test_range_with_samples(self):
+        low, high = lut_range_for_activation("sigmoid",
+                                             samples=np.array([0.5, -3.0]))
+        assert low == -high
+        assert high >= 3.0
+
+    def test_range_defaults(self):
+        assert lut_range_for_activation("sigmoid") == (-8.0, 8.0)
+        assert lut_range_for_activation("tanh") == (-4.0, 4.0)
+
+    def test_lut_size_for_format(self):
+        fmt = QFormat(7, 8)
+        entries = lut_size_for_format(fmt, -8, 8)
+        assert entries & (entries - 1) == 0
+        assert entries >= 256  # span 16 at 4 LSB steps needs >= 1024... capped
+
+
+class TestInterpolationProperties:
+    @given(st.floats(-7.9, 7.9))
+    @settings(max_examples=200)
+    def test_monotone_function_monotone_lut(self, x):
+        lut = build_lut("sigmoid", -8, 8, entries=128)
+        y1 = lut.evaluate(np.array([x]))[0]
+        y2 = lut.evaluate(np.array([x + 0.05]))[0]
+        assert y2 >= y1 - 1e-12
+
+    @given(st.lists(st.floats(-8, 8), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_lut_within_value_hull(self, xs):
+        lut = build_lut("tanh", -4, 4, entries=64)
+        out = lut.evaluate(np.array(xs))
+        assert np.all(out >= lut.values.min() - 1e-12)
+        assert np.all(out <= lut.values.max() + 1e-12)

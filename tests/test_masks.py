@@ -1,0 +1,158 @@
+"""Tests for file_specified partial connections."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.frontend.graph import graph_from_text
+from repro.frontend.masks import (
+    apply_masks,
+    connection_density,
+    masked_layers,
+    random_mask,
+    validate_mask,
+)
+from repro.nn.reference import ReferenceNetwork, init_weights
+
+SPARSE_TEXT = """
+name: "sparse"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers {
+  name: "fc1" type: INNER_PRODUCT bottom: "data" top: "fc1"
+  param { num_output: 6 }
+  connect { name: "wiring" type: file_specified }
+}
+layers { name: "fc2" type: INNER_PRODUCT bottom: "fc1" top: "fc2" param { num_output: 3 } }
+"""
+
+
+@pytest.fixture
+def sparse_graph():
+    return graph_from_text(SPARSE_TEXT)
+
+
+class TestMaskedLayers:
+    def test_detects_declared_layers(self, sparse_graph):
+        assert masked_layers(sparse_graph) == ["fc1"]
+
+    def test_plain_graph_has_none(self):
+        text = """
+        layers { name: "data" type: DATA top: "d" param { dim: 4 } }
+        layers { name: "fc" type: INNER_PRODUCT bottom: "d" top: "o" param { num_output: 2 } }
+        """
+        assert masked_layers(graph_from_text(text)) == []
+
+
+class TestValidateMask:
+    def test_accepts_binary(self):
+        mask = validate_mask(np.eye(4), (4, 4), "x")
+        assert mask.dtype == np.float64
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(GraphError):
+            validate_mask(np.ones((3, 3)), (4, 4), "x")
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(GraphError):
+            validate_mask(np.full((2, 2), 0.5), (2, 2), "x")
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(GraphError):
+            validate_mask(np.zeros((2, 2)), (2, 2), "x")
+
+
+class TestApplyMasks:
+    def test_masked_synapses_zeroed(self, sparse_graph):
+        weights = init_weights(sparse_graph, np.random.default_rng(0))
+        mask = np.zeros((6, 8))
+        mask[:, :4] = 1.0
+        masked = apply_masks(sparse_graph, weights, {"fc1": mask})
+        assert np.all(masked["fc1"]["weight"][:, 4:] == 0.0)
+        assert np.any(masked["fc1"]["weight"][:, :4] != 0.0)
+        # Unmasked layers untouched.
+        assert np.array_equal(masked["fc2"]["weight"],
+                              weights["fc2"]["weight"])
+
+    def test_original_weights_not_mutated(self, sparse_graph):
+        weights = init_weights(sparse_graph, np.random.default_rng(0))
+        before = weights["fc1"]["weight"].copy()
+        mask = np.zeros((6, 8))
+        mask[:, 0] = 1.0
+        apply_masks(sparse_graph, weights, {"fc1": mask})
+        assert np.array_equal(weights["fc1"]["weight"], before)
+
+    def test_undeclared_layer_rejected(self, sparse_graph):
+        weights = init_weights(sparse_graph)
+        with pytest.raises(GraphError):
+            apply_masks(sparse_graph, weights,
+                        {"fc2": np.ones((3, 6))})
+
+    def test_masked_inputs_have_no_influence(self, sparse_graph):
+        weights = init_weights(sparse_graph, np.random.default_rng(1))
+        mask = np.zeros((6, 8))
+        mask[:, :4] = 1.0
+        masked = apply_masks(sparse_graph, weights, {"fc1": mask})
+        net = ReferenceNetwork(sparse_graph, masked)
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=8)
+        out_a = net.output(base)
+        jiggled = base.copy()
+        jiggled[4:] += 100.0  # only masked-off inputs change
+        out_b = net.output(jiggled)
+        assert np.allclose(out_a, out_b)
+
+    def test_quantized_executor_respects_mask(self, sparse_graph):
+        from repro.fixedpoint.format import QFormat
+        from repro.frontend.shapes import infer_shapes
+        from repro.sim.quantized import QuantizedExecutor
+        weights = init_weights(sparse_graph, np.random.default_rng(3),
+                               scale=0.1)
+        mask = random_mask((6, 8), density=0.5,
+                           rng=np.random.default_rng(4))
+        masked = apply_masks(sparse_graph, weights, {"fc1": mask})
+        fmt = QFormat(4, 11)
+        executor = QuantizedExecutor(
+            graph=sparse_graph, weights=masked,
+            blob_formats={b: fmt for b in infer_shapes(sparse_graph)},
+            weight_format=QFormat(2, 13),
+        )
+        reference = ReferenceNetwork(sparse_graph, masked)
+        x = np.random.default_rng(5).uniform(-1, 1, 8)
+        assert np.allclose(executor.output(x), reference.output(x),
+                           atol=0.02)
+
+    def test_dram_image_zeroes_masked_weights(self, sparse_graph):
+        from repro.compiler import DeepBurningCompiler
+        from repro.devices import Z7020, budget_fraction
+        from repro.nngen import NNGen
+        weights = init_weights(sparse_graph, np.random.default_rng(6))
+        mask = np.zeros((6, 8))
+        mask[:, ::2] = 1.0
+        masked = apply_masks(sparse_graph, weights, {"fc1": mask})
+        design = NNGen().generate(sparse_graph, budget_fraction(Z7020, 0.3))
+        program = DeepBurningCompiler().compile(design, weights=masked)
+        region = program.memory_map.weights("fc1")
+        block = program.dram_image[
+            region.base_address:region.base_address + region.weight_elements
+        ].reshape(6, 8)
+        assert np.all(block[:, 1::2] == 0)
+
+
+class TestRandomMask:
+    def test_density_approximate(self):
+        mask = random_mask((100, 100), density=0.3,
+                           rng=np.random.default_rng(0))
+        assert abs(connection_density(mask) - 0.3) < 0.03
+
+    def test_every_output_keeps_a_synapse(self):
+        mask = random_mask((50, 20), density=0.02,
+                           rng=np.random.default_rng(1))
+        assert np.all(mask.reshape(50, -1).sum(axis=1) >= 1)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(GraphError):
+            random_mask((4, 4), density=0.0)
+
+    def test_density_of_empty_rejected(self):
+        with pytest.raises(GraphError):
+            connection_density(np.zeros((0,)))

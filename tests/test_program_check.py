@@ -1,0 +1,100 @@
+"""Tests for the control-program verifier."""
+
+import pytest
+
+from repro.compiler import DeepBurningCompiler
+from repro.compiler.patterns import AccessPattern
+from repro.devices import Z7020, Z7045, budget_fraction
+from repro.errors import SimulationError
+from repro.experiments.config import scheme_budget
+from repro.frontend.graph import graph_from_text
+from repro.nngen import NNGen
+from repro.sim.program_check import verify_program
+from repro.zoo import benchmark_graph
+
+MLP_TEXT = """
+name: "mlp"
+layers { name: "data" type: DATA top: "data" param { dim: 16 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 32 } }
+layers { name: "sig1" type: SIGMOID bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 8 } }
+"""
+
+
+@pytest.fixture(scope="module")
+def mlp_program():
+    design = NNGen().generate(graph_from_text(MLP_TEXT),
+                              budget_fraction(Z7020, 0.3))
+    return DeepBurningCompiler().compile(design)
+
+
+class TestVerifyProgram:
+    def test_mlp_program_verifies(self, mlp_program):
+        report = verify_program(mlp_program)
+        assert report.ok, report.errors
+        assert report.states_checked == len(mlp_program.coordinator.states)
+        assert report.patterns_replayed > 0
+        assert report.words_streamed > 0
+
+    @pytest.mark.parametrize("name", ["mnist", "cifar", "hopfield", "cmac"])
+    def test_benchmark_programs_verify(self, name):
+        design = NNGen().generate(benchmark_graph(name), scheme_budget("DB"))
+        program = DeepBurningCompiler().compile(design)
+        report = verify_program(program)
+        assert report.ok, (name, report.errors[:3])
+
+    def test_tampered_main_table_detected(self, mlp_program):
+        program = mlp_program
+        original = program.coordinator.main_table[0]
+        program.coordinator.main_table[0] = AccessPattern(
+            start_address=program.memory_map.total_elements + 500,
+            x_length=original.x_length,
+            stride=original.stride,
+            y_length=original.y_length,
+            offset=original.offset,
+            event=original.event,
+        )
+        try:
+            report = verify_program(program)
+            assert not report.ok
+            assert any("DRAM map" in error for error in report.errors)
+        finally:
+            program.coordinator.main_table[0] = original
+
+    def test_tampered_word_count_detected(self, mlp_program):
+        program = mlp_program
+        table = program.coordinator.main_table
+        original = table[-1]
+        table[-1] = AccessPattern(
+            start_address=original.start_address,
+            x_length=original.x_length + 1,
+            stride=original.stride,
+            y_length=original.y_length,
+            offset=original.offset,
+            event=original.event,
+        )
+        try:
+            report = verify_program(program)
+            assert not report.ok
+            assert any("declares" in error for error in report.errors)
+        finally:
+            table[-1] = original
+
+    def test_raise_on_error(self, mlp_program):
+        program = mlp_program
+        table = program.coordinator.main_table
+        original = table[0]
+        table[0] = AccessPattern(
+            start_address=program.memory_map.total_elements + 1,
+            x_length=original.x_length,
+        )
+        try:
+            report = verify_program(program)
+            assert not report.ok
+            with pytest.raises(SimulationError):
+                report.raise_on_error()
+        finally:
+            table[0] = original
+
+    def test_clean_report_raises_nothing(self, mlp_program):
+        verify_program(mlp_program).raise_on_error()

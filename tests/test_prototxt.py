@@ -1,0 +1,242 @@
+"""Tests for the protobuf-text tokenizer and parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.frontend.prototxt import (
+    Message,
+    format_prototxt,
+    parse_prototxt,
+    tokenize,
+)
+
+FIG4_SCRIPT = """
+layers {
+  name: "conv1"
+  type: CONVOLUTION
+  bottom: "data"
+  top: "conv1"
+  param {
+    num_output: 20
+    kernel_size: 5
+    stride: 1
+  }
+  connect {
+    name: "c2p1"
+    direction: forward
+    type: full_per_channel
+  }
+}
+layers {
+  name: "pool1"
+  type: POOLING
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param {
+    pool: MAX
+    kernel_size: 2
+    stride: 2
+  }
+}
+layers {
+  name: "relu1"
+  type: RELU
+  bottom: "ip1"
+  top: "ip1"
+  connect {
+    name: "p2f2"
+    direction: recurrent
+    type: file_specified
+  }
+}
+"""
+
+
+class TestTokenizer:
+    def test_punct_tokens(self):
+        kinds = [t.kind for t in tokenize("a { b: 1 }")]
+        assert kinds == ["IDENT", "LBRACE", "IDENT", "COLON", "NUMBER", "RBRACE"]
+
+    def test_string_token(self):
+        tokens = list(tokenize('name: "conv1"'))
+        assert tokens[-1].kind == "STRING"
+        assert tokens[-1].text == "conv1"
+
+    def test_string_escapes(self):
+        tokens = list(tokenize(r'x: "a\"b\n"'))
+        assert tokens[-1].text == 'a"b\n'
+
+    def test_comment_skipped(self):
+        tokens = list(tokenize("a: 1 # comment\nb: 2"))
+        assert [t.text for t in tokens if t.kind == "IDENT"] == ["a", "b"]
+
+    def test_negative_number(self):
+        tokens = list(tokenize("x: -3"))
+        assert tokens[-1].text == "-3"
+
+    def test_float_number(self):
+        tokens = list(tokenize("x: 2.5e-3"))
+        assert tokens[-1].text == "2.5e-3"
+
+    def test_line_tracking(self):
+        tokens = list(tokenize("a: 1\nb: 2"))
+        assert tokens[0].line == 1
+        assert tokens[3].line == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            list(tokenize('x: "oops'))
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            list(tokenize("a: @"))
+
+
+class TestParser:
+    def test_scalar_types(self):
+        doc = parse_prototxt('s: "x"\ni: 3\nf: 1.5\nb: true\ne: RELU')
+        assert doc.get("s") == "x"
+        assert doc.get("i") == 3
+        assert doc.get("f") == 1.5
+        assert doc.get("b") is True
+        assert doc.get("e") == "RELU"
+
+    def test_nested_message(self):
+        doc = parse_prototxt("outer { inner { x: 1 } }")
+        inner = doc.get_message("outer").get_message("inner")
+        assert inner.get("x") == 1
+
+    def test_message_after_colon(self):
+        doc = parse_prototxt("outer: { x: 1 }")
+        assert doc.get_message("outer").get("x") == 1
+
+    def test_repeated_fields_accumulate(self):
+        doc = parse_prototxt('bottom: "a"\nbottom: "b"')
+        assert doc.get_all("bottom") == ["a", "b"]
+
+    def test_fig4_script(self):
+        doc = parse_prototxt(FIG4_SCRIPT)
+        layers = doc.get_messages("layers")
+        assert len(layers) == 3
+        conv = layers[0]
+        assert conv.get("name") == "conv1"
+        assert conv.get("type") == "CONVOLUTION"
+        assert conv.get_message("param").get("num_output") == 20
+        connect = layers[2].get_message("connect")
+        assert connect.get("direction") == "recurrent"
+        assert connect.get("type") == "file_specified"
+
+    def test_missing_close_brace(self):
+        with pytest.raises(ParseError):
+            parse_prototxt("a { b: 1")
+
+    def test_unmatched_close_brace(self):
+        with pytest.raises(ParseError):
+            parse_prototxt("a: 1 }")
+
+    def test_missing_value(self):
+        with pytest.raises(ParseError):
+            parse_prototxt("a:")
+
+    def test_empty_document(self):
+        assert len(parse_prototxt("")) == 0
+
+    def test_get_message_on_scalar_raises(self):
+        doc = parse_prototxt("a: 1")
+        with pytest.raises(ParseError):
+            doc.get_message("a")
+
+    def test_contains_and_keys(self):
+        doc = parse_prototxt("a: 1\nb: 2")
+        assert "a" in doc
+        assert "c" not in doc
+        assert doc.keys() == ["a", "b"]
+
+    def test_commas_and_semicolons_tolerated(self):
+        doc = parse_prototxt("a: 1, b: 2; c: 3")
+        assert doc.get("c") == 3
+
+
+def _message_equal(a: Message, b: Message) -> bool:
+    if len(a.fields) != len(b.fields):
+        return False
+    for (ka, va), (kb, vb) in zip(a.fields, b.fields):
+        if ka != kb:
+            return False
+        if isinstance(va, Message) != isinstance(vb, Message):
+            return False
+        if isinstance(va, Message):
+            if not _message_equal(va, vb):
+                return False
+        elif va != vb:
+            return False
+    return True
+
+
+_identifiers = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from("abcxyz_"),
+    st.text(alphabet="abcxyz019_", max_size=8),
+)
+_scalars = st.one_of(
+    st.integers(-10**6, 10**6),
+    st.booleans(),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                    exclude_characters='"\\'), max_size=12),
+)
+
+
+@st.composite
+def _messages(draw, depth=2):
+    message = Message()
+    for _ in range(draw(st.integers(0, 4))):
+        key = draw(_identifiers)
+        if depth > 0 and draw(st.booleans()):
+            message.add(key, draw(_messages(depth=depth - 1)))
+        else:
+            message.add(key, draw(_scalars))
+    return message
+
+
+class TestRoundTrip:
+    @given(_messages())
+    @settings(max_examples=150)
+    def test_format_parse_roundtrip(self, message):
+        text = format_prototxt(message)
+        reparsed = parse_prototxt(text)
+        assert _message_equal(message, reparsed)
+
+    def test_fig4_roundtrip(self):
+        doc = parse_prototxt(FIG4_SCRIPT)
+        again = parse_prototxt(format_prototxt(doc))
+        assert _message_equal(doc, again)
+
+
+class TestParserRobustness:
+    """Fuzz: arbitrary input may fail, but only ever with ParseError."""
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=300)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_prototxt(text)
+        except ParseError:
+            pass
+
+    @given(st.text(alphabet='{}:"abc123 \n', max_size=120))
+    @settings(max_examples=300)
+    def test_structured_soup_never_crashes(self, text):
+        try:
+            parse_prototxt(text)
+        except ParseError:
+            pass
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_binary_decoded_never_crashes(self, blob):
+        try:
+            parse_prototxt(blob.decode("utf-8", errors="replace"))
+        except ParseError:
+            pass

@@ -1,0 +1,154 @@
+"""Tests for float-mode reference network execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.frontend.graph import graph_from_text
+from repro.nn import functional as F
+from repro.nn.reference import ReferenceNetwork, init_weights
+
+MLP_TEXT = """
+name: "mlp"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "sig1" type: SIGMOID bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+CNN_TEXT = """
+name: "smallcnn"
+layers { name: "data" type: DATA top: "data" param { dim: 1 dim: 8 dim: 8 } }
+layers { name: "conv1" type: CONVOLUTION bottom: "data" top: "conv1" param { num_output: 4 kernel_size: 3 } }
+layers { name: "relu1" type: RELU bottom: "conv1" top: "conv1" }
+layers { name: "pool1" type: POOLING bottom: "conv1" top: "pool1" param { pool: MAX kernel_size: 2 stride: 2 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "pool1" top: "ip1" param { num_output: 5 } }
+layers { name: "prob" type: SOFTMAX bottom: "ip1" top: "prob" }
+"""
+
+RNN_TEXT = """
+name: "rnn"
+layers { name: "data" type: DATA top: "data" param { dim: 3 } }
+layers {
+  name: "rec" type: RECURRENT bottom: "data" top: "rec"
+  param { num_output: 4 }
+  connect { name: "loop" direction: recurrent }
+}
+"""
+
+
+class TestInitWeights:
+    def test_all_weighted_layers_covered(self):
+        graph = graph_from_text(CNN_TEXT)
+        weights = init_weights(graph)
+        assert set(weights) == {"conv1", "ip1"}
+        assert weights["conv1"]["weight"].shape == (4, 1, 3, 3)
+        assert weights["ip1"]["weight"].shape == (5, 4 * 3 * 3)
+
+    def test_recurrent_gets_feedback_matrix(self):
+        graph = graph_from_text(RNN_TEXT)
+        weights = init_weights(graph)
+        assert weights["rec"]["recurrent_weight"].shape == (4, 4)
+
+    def test_deterministic_with_seed(self):
+        graph = graph_from_text(MLP_TEXT)
+        a = init_weights(graph, np.random.default_rng(7))
+        b = init_weights(graph, np.random.default_rng(7))
+        assert np.array_equal(a["ip1"]["weight"], b["ip1"]["weight"])
+
+
+class TestForward:
+    def test_mlp_matches_manual(self):
+        graph = graph_from_text(MLP_TEXT)
+        weights = init_weights(graph, np.random.default_rng(1))
+        net = ReferenceNetwork(graph, weights)
+        x = np.linspace(-1, 1, 8)
+        blobs = net.forward(x)
+        hidden = F.sigmoid(weights["ip1"]["weight"] @ x + weights["ip1"]["bias"])
+        expected = weights["ip2"]["weight"] @ hidden + weights["ip2"]["bias"]
+        assert np.allclose(blobs["ip2"], expected)
+
+    def test_cnn_runs_and_shapes(self):
+        graph = graph_from_text(CNN_TEXT)
+        net = ReferenceNetwork(graph, init_weights(graph))
+        blobs = net.forward(np.random.default_rng(0).normal(size=(1, 8, 8)))
+        assert blobs["conv1"].shape == (4, 6, 6)
+        assert blobs["pool1"].shape == (4, 3, 3)
+        assert blobs["prob"].shape == (5,)
+        assert blobs["prob"].sum() == pytest.approx(1.0)
+
+    def test_relu_applied_in_place(self):
+        graph = graph_from_text(CNN_TEXT)
+        net = ReferenceNetwork(graph, init_weights(graph))
+        blobs = net.forward(np.random.default_rng(0).normal(size=(1, 8, 8)))
+        assert np.all(blobs["conv1"] >= 0)
+
+    def test_output_helper(self):
+        graph = graph_from_text(MLP_TEXT)
+        net = ReferenceNetwork(graph, init_weights(graph))
+        out = net.output(np.zeros(8))
+        assert out.shape == (4,)
+
+    def test_input_reshaped_when_sizes_match(self):
+        graph = graph_from_text(CNN_TEXT)
+        net = ReferenceNetwork(graph, init_weights(graph))
+        blobs = net.forward(np.zeros(64))
+        assert blobs["data"].shape == (1, 8, 8)
+
+    def test_wrong_input_size_rejected(self):
+        graph = graph_from_text(MLP_TEXT)
+        net = ReferenceNetwork(graph, init_weights(graph))
+        with pytest.raises(ShapeError):
+            net.forward(np.zeros(7))
+
+    def test_missing_weights_rejected(self):
+        graph = graph_from_text(MLP_TEXT)
+        with pytest.raises(ShapeError):
+            ReferenceNetwork(graph, {})
+
+
+class TestRecurrentState:
+    def test_state_accumulates(self):
+        graph = graph_from_text(RNN_TEXT)
+        weights = init_weights(graph, np.random.default_rng(2))
+        net = ReferenceNetwork(graph, weights)
+        x = np.ones(3)
+        first = net.output(x).copy()
+        second = net.output(x).copy()
+        # With nonzero state feedback the second step differs.
+        assert not np.allclose(first, second)
+        expected_second = (
+            weights["rec"]["weight"] @ x + weights["rec"]["bias"]
+            + weights["rec"]["recurrent_weight"] @ first
+        )
+        assert np.allclose(second, expected_second)
+
+    def test_reset_state(self):
+        graph = graph_from_text(RNN_TEXT)
+        weights = init_weights(graph, np.random.default_rng(2))
+        net = ReferenceNetwork(graph, weights)
+        x = np.ones(3)
+        first = net.output(x).copy()
+        net.reset_state()
+        assert np.allclose(net.output(x), first)
+
+
+class TestDropout:
+    TEXT = """
+    layers { name: "data" type: DATA top: "d" param { dim: 100 } }
+    layers { name: "drop" type: DROPOUT bottom: "d" top: "o" param { dropout_ratio: 0.5 } }
+    """
+
+    def test_inference_passthrough(self):
+        graph = graph_from_text(self.TEXT)
+        net = ReferenceNetwork(graph, {})
+        x = np.ones(100)
+        assert np.array_equal(net.output(x), x)
+
+    def test_training_mode_drops(self):
+        graph = graph_from_text(self.TEXT)
+        net = ReferenceNetwork(graph, {}, training=True,
+                               dropout_rng=np.random.default_rng(0))
+        out = net.output(np.ones(100))
+        assert np.any(out == 0.0)
+        assert np.any(out == 2.0)

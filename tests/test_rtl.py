@@ -1,0 +1,250 @@
+"""Tests for the Verilog AST, templates, emitter and lint."""
+
+import pytest
+
+from repro.components import (
+    AGURole,
+    AccumulatorArray,
+    ActivationUnit,
+    AddressGenerationUnit,
+    ApproxLUT,
+    ConnectionBox,
+    DropOutUnit,
+    KSorterClassifier,
+    LRNUnit,
+    OnChipBuffer,
+    PoolingUnit,
+    SchedulingCoordinator,
+    SynergyNeuronArray,
+)
+from repro.devices import Z7020, Z7045, budget_fraction
+from repro.errors import RTLError
+from repro.frontend.graph import graph_from_text
+from repro.nngen import NNGen
+from repro.rtl import emit_project, lint_source, parse_modules
+from repro.rtl.ast import Module, Port, Signal, check_identifier, width_decl
+from repro.rtl.emit import project_stats, write_project
+from repro.rtl.templates import render_component
+
+ALL_COMPONENTS = [
+    SynergyNeuronArray("neurons", lanes=4, simd=4),
+    AccumulatorArray("accumulators", lanes=4),
+    PoolingUnit("pooling", lanes=2, max_kernel=3),
+    PoolingUnit("pool_max", lanes=2, max_kernel=3, support_avg=False),
+    ActivationUnit("activation", lanes=4, functions=("relu", "sigmoid")),
+    ApproxLUT("lut", entries=256),
+    ApproxLUT("lut_plain", entries=64, interpolate=False),
+    LRNUnit("lrn"),
+    DropOutUnit("dropout", lanes=4),
+    ConnectionBox("cbox", in_ports=4, out_ports=4),
+    KSorterClassifier("classifier", k=3),
+    OnChipBuffer("buffer", depth_words=256, word_bits=64),
+    AddressGenerationUnit("agu_main", AGURole.MAIN, n_patterns=8),
+    AddressGenerationUnit("agu_small", AGURole.DATA, n_patterns=2,
+                          fields=("start_address", "x_length")),
+    SchedulingCoordinator("coordinator", n_states=12),
+]
+
+MLP_TEXT = """
+name: "mlp"
+layers { name: "data" type: DATA top: "data" param { dim: 16 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 32 } }
+layers { name: "sig1" type: SIGMOID bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 8 } }
+"""
+
+CNN_TEXT = """
+name: "cnn"
+layers { name: "data" type: DATA top: "data" param { dim: 1 dim: 12 dim: 12 } }
+layers { name: "conv1" type: CONVOLUTION bottom: "data" top: "conv1" param { num_output: 4 kernel_size: 3 stride: 1 } }
+layers { name: "relu1" type: RELU bottom: "conv1" top: "conv1" }
+layers { name: "pool1" type: POOLING bottom: "conv1" top: "pool1" param { pool: MAX kernel_size: 2 stride: 2 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "pool1" top: "ip1" param { num_output: 10 } }
+layers { name: "prob" type: SOFTMAX bottom: "ip1" top: "prob" }
+"""
+
+
+class TestAstBasics:
+    def test_check_identifier_accepts(self):
+        assert check_identifier("conv1_out") == "conv1_out"
+
+    def test_check_identifier_rejects_keyword(self):
+        with pytest.raises(RTLError):
+            check_identifier("module")
+
+    def test_check_identifier_rejects_leading_digit(self):
+        with pytest.raises(RTLError):
+            check_identifier("1bad")
+
+    def test_width_decl(self):
+        assert width_decl(1) == ""
+        assert width_decl(16) == "[15:0] "
+        with pytest.raises(RTLError):
+            width_decl(0)
+
+    def test_module_render_minimal(self):
+        module = Module(name="tiny")
+        module.add_port("clk", "input")
+        module.add_port("q", "output", 8)
+        module.add_assign("q", "8'd0")
+        text = module.render()
+        assert text.startswith("module tiny (")
+        assert text.rstrip().endswith("endmodule")
+        assert "assign q = 8'd0;" in text
+
+    def test_duplicate_declaration_rejected(self):
+        module = Module(name="dup")
+        module.add_port("x", "input")
+        module.add_signal("x", 4)
+        with pytest.raises(RTLError):
+            module.render()
+
+    def test_bad_port_direction(self):
+        with pytest.raises(RTLError):
+            Port("p", "sideways")
+
+    def test_bad_signal_kind(self):
+        with pytest.raises(RTLError):
+            Signal("s", 4, kind="tri")
+
+    def test_instance_render(self):
+        module = Module(name="wrapper")
+        module.add_port("clk", "input")
+        module.add_signal("net_a", 8)
+        module.add_instance("inner", "u0", {"clk": "clk", "a": "net_a"})
+        text = module.render()
+        assert "inner u0 (" in text
+        assert ".a(net_a)" in text
+
+
+class TestComponentTemplates:
+    @pytest.mark.parametrize("component", ALL_COMPONENTS,
+                             ids=lambda c: c.instance)
+    def test_renders_and_lints(self, component):
+        source = render_component(component)
+        report = lint_source(source, expect_single_top=False)
+        assert report.ok, report.errors
+
+    @pytest.mark.parametrize("component", ALL_COMPONENTS,
+                             ids=lambda c: c.instance)
+    def test_all_ports_in_header(self, component):
+        source = render_component(component)
+        info = parse_modules(source)[0]
+        expected = {p.name for p in component.ports()}
+        assert info.ports == expected
+
+    def test_distinct_configs_distinct_modules(self):
+        a = render_component(SynergyNeuronArray("x", lanes=2, simd=2))
+        b = render_component(SynergyNeuronArray("y", lanes=4, simd=2))
+        name_a = parse_modules(a)[0].name
+        name_b = parse_modules(b)[0].name
+        assert name_a != name_b
+
+    def test_reduced_agu_smaller_source(self):
+        full = render_component(
+            AddressGenerationUnit("a", AGURole.MAIN, n_patterns=4))
+        reduced = render_component(
+            AddressGenerationUnit("b", AGURole.MAIN, n_patterns=4,
+                                  fields=("start_address", "x_length")))
+        assert len(reduced) < len(full)
+
+
+class TestEmitProject:
+    @pytest.fixture(scope="class")
+    def mlp_sources(self):
+        design = NNGen().generate(graph_from_text(MLP_TEXT),
+                                  budget_fraction(Z7020, 0.3))
+        return emit_project(design)
+
+    @pytest.fixture(scope="class")
+    def cnn_sources(self):
+        design = NNGen().generate(graph_from_text(CNN_TEXT),
+                                  budget_fraction(Z7045, 0.4))
+        return emit_project(design)
+
+    def test_has_top(self, mlp_sources):
+        assert "accelerator_top.v" in mlp_sources
+
+    def test_project_lints_clean(self, mlp_sources):
+        report = lint_source(mlp_sources)
+        assert report.ok, report.errors
+
+    def test_cnn_project_lints_clean(self, cnn_sources):
+        report = lint_source(cnn_sources)
+        assert report.ok, report.errors
+
+    def test_every_instance_resolves(self, cnn_sources):
+        report = lint_source(cnn_sources)
+        top = report.modules["accelerator_top"]
+        assert len(top.instances) >= 8
+        for module_name, _, _ in top.instances:
+            assert module_name in report.modules
+
+    def test_single_top_detected(self, cnn_sources):
+        report = lint_source(cnn_sources, expect_single_top=True)
+        assert not report.warnings, report.warnings
+
+    def test_project_stats(self, cnn_sources):
+        stats = project_stats(cnn_sources)
+        assert stats["files"] == len(cnn_sources)
+        assert stats["modules"] >= stats["files"]
+        assert stats["lines"] > 100
+
+    def test_write_project(self, tmp_path, mlp_sources):
+        design = NNGen().generate(graph_from_text(MLP_TEXT),
+                                  budget_fraction(Z7020, 0.3))
+        paths = write_project(design, str(tmp_path / "rtl"))
+        assert any(p.endswith("accelerator_top.v") for p in paths)
+        assert any(p.endswith("filelist.f") for p in paths)
+        top_file = next(p for p in paths if p.endswith("accelerator_top.v"))
+        with open(top_file) as handle:
+            assert "module accelerator_top" in handle.read()
+
+
+class TestLint:
+    def test_detects_unbalanced_module(self):
+        report = lint_source("module broken (\n  input clk\n);")
+        assert not report.ok
+
+    def test_detects_unknown_instance(self):
+        source = (
+            "module top (\n  input clk\n);\n"
+            "  ghost u0 (\n    .clk(clk)\n  );\n"
+            "endmodule\n"
+        )
+        report = lint_source(source, expect_single_top=False)
+        assert any("unknown module 'ghost'" in e for e in report.errors)
+
+    def test_detects_bad_port_connection(self):
+        source = (
+            "module leaf (\n  input clk\n);\nendmodule\n"
+            "module top (\n  input clk\n);\n"
+            "  leaf u0 (\n    .clk(clk),\n    .nope(clk)\n  );\n"
+            "endmodule\n"
+        )
+        report = lint_source(source, expect_single_top=False)
+        assert any("'nope'" in e for e in report.errors)
+
+    def test_detects_duplicate_module(self):
+        source = (
+            "module dup (\n  input clk\n);\nendmodule\n"
+            "module dup (\n  input clk\n);\nendmodule\n"
+        )
+        report = lint_source(source, expect_single_top=False)
+        assert any("more than once" in e for e in report.errors)
+
+    def test_raise_on_error(self):
+        report = lint_source("module broken (\n  input clk\n);")
+        with pytest.raises(RTLError):
+            report.raise_on_error()
+
+    def test_comments_stripped(self):
+        source = (
+            "module ok (\n  input clk\n);\n"
+            "// module fake (\n"
+            "/* module fake2 ( */\n"
+            "endmodule\n"
+        )
+        report = lint_source(source, expect_single_top=False)
+        assert report.ok
+        assert list(report.modules) == ["ok"]

@@ -1,0 +1,158 @@
+"""Tests for memory-image emission and the generated testbench."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import DeepBurningCompiler
+from repro.devices import Z7020, budget_fraction
+from repro.errors import RTLError
+from repro.fixedpoint.ops import quantize_to_ints
+from repro.frontend.graph import graph_from_text
+from repro.nn.reference import init_weights
+from repro.nngen import NNGen
+from repro.rtl.emit import emit_project
+from repro.rtl.images import (
+    agu_images,
+    dram_image,
+    emit_images,
+    lut_images,
+    parse_mem,
+    render_mem,
+    write_images,
+)
+from repro.rtl.lint import lint_source
+from repro.rtl.testbench import emit_testbench
+
+MLP_TEXT = """
+name: "mlp"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "sig1" type: SIGMOID bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    graph = graph_from_text(MLP_TEXT)
+    design = NNGen().generate(graph, budget_fraction(Z7020, 0.3))
+    weights = init_weights(graph, np.random.default_rng(0))
+    program = DeepBurningCompiler().compile(design, weights=weights)
+    return design, weights, program
+
+
+class TestRenderMem:
+    def test_positive_values(self):
+        text = render_mem(np.array([0, 1, 255]), 16)
+        assert text.splitlines() == ["0000", "0001", "00ff"]
+
+    def test_negative_values_twos_complement(self):
+        text = render_mem(np.array([-1, -2]), 8)
+        assert text.splitlines() == ["ff", "fe"]
+
+    def test_comment_line(self):
+        text = render_mem(np.array([5]), 8, comment="hello")
+        assert text.startswith("// hello")
+
+    def test_roundtrip_signed(self):
+        values = np.array([-32768, -1, 0, 1, 32767])
+        text = render_mem(values, 16)
+        assert np.array_equal(parse_mem(text, 16), values)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(RTLError):
+            render_mem(np.array([1]), 0)
+
+
+class TestLutImages:
+    def test_sigmoid_image_present(self, compiled):
+        _, _, program = compiled
+        images = lut_images(program)
+        assert "lut_sigmoid.mem" in images
+
+    def test_image_matches_lut_values(self, compiled):
+        design, _, program = compiled
+        images = lut_images(program)
+        fmt = design.datapath.data_format
+        parsed = parse_mem(images["lut_sigmoid.mem"], fmt.total_bits)
+        expected = quantize_to_ints(program.luts["sigmoid"].values, fmt)
+        assert np.array_equal(parsed, expected)
+
+    def test_sigmoid_values_monotone_in_image(self, compiled):
+        design, _, program = compiled
+        images = lut_images(program)
+        parsed = parse_mem(images["lut_sigmoid.mem"],
+                           design.datapath.data_format.total_bits)
+        assert np.all(np.diff(parsed) >= 0)
+
+
+class TestAguImages:
+    def test_tables_roundtrip(self, compiled):
+        _, _, program = compiled
+        images = agu_images(program)
+        starts = parse_mem(images["agu_main_start.mem"], 32)
+        expected = [p.start_address for p in program.coordinator.main_table]
+        assert list(starts) == expected
+
+    def test_reduced_fields_not_emitted(self, compiled):
+        _, _, program = compiled
+        images = agu_images(program)
+        main_agu = program.design.components["agu_main"]
+        if "stride" not in main_agu.fields:
+            assert "agu_main_stride.mem" not in images
+        assert "agu_main_start.mem" in images
+
+    def test_row_counts_match_tables(self, compiled):
+        _, _, program = compiled
+        images = agu_images(program)
+        xlen = parse_mem(images["agu_weight_xlen.mem"], 32)
+        assert len(xlen) == len(program.coordinator.weight_table)
+
+
+class TestDramImage:
+    def test_image_roundtrip(self, compiled):
+        design, _, program = compiled
+        text = dram_image(program)
+        width = design.datapath.weight_format.total_bits
+        parsed = parse_mem(text, width)
+        assert np.array_equal(parsed, program.dram_image)
+
+    def test_requires_weights(self, compiled):
+        design, _, _ = compiled
+        program = DeepBurningCompiler().compile(design)
+        with pytest.raises(RTLError):
+            dram_image(program)
+
+    def test_emit_images_bundle(self, compiled):
+        _, _, program = compiled
+        images = emit_images(program)
+        assert "dram_image.mem" in images
+        assert any(name.startswith("agu_") for name in images)
+        assert any(name.startswith("lut_") for name in images)
+
+    def test_write_images(self, compiled, tmp_path):
+        _, _, program = compiled
+        paths = write_images(program, str(tmp_path))
+        assert all(p.endswith(".mem") for p in paths)
+        assert len(paths) == len(emit_images(program))
+
+
+class TestTestbench:
+    def test_testbench_lints_with_project(self, compiled):
+        design, _, _ = compiled
+        sources = emit_project(design)
+        sources["accelerator_top_tb.v"] = emit_testbench(design)
+        report = lint_source(sources)
+        assert report.ok, report.errors
+
+    def test_testbench_references_dut_ports(self, compiled):
+        design, _, _ = compiled
+        text = emit_testbench(design)
+        for port in ("axi_araddr", "axi_rvalid", "done", "start"):
+            assert f".{port}(" in text
+
+    def test_clock_period_from_device(self, compiled):
+        design, _, _ = compiled
+        text = emit_testbench(design)
+        # 100 MHz -> 10 ns period -> #5 half period.
+        assert "#5 clk" in text

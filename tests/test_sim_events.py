@@ -1,0 +1,131 @@
+"""Tests for the event kernel and memory model."""
+
+import pytest
+
+from repro.devices import Z7045
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.memory import BufferState, DRAMModel
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: fired.append("b"))
+        queue.schedule(5, lambda: fired.append("a"))
+        queue.run()
+        assert fired == ["a", "b"]
+        assert queue.now == 10
+
+    def test_ties_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5, lambda: fired.append(1))
+        queue.schedule(5, lambda: fired.append(2))
+        queue.schedule(5, lambda: fired.append(3))
+        queue.run()
+        assert fired == [1, 2, 3]
+
+    def test_callbacks_can_schedule(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                queue.schedule(1, lambda: chain(n + 1))
+
+        queue.schedule(0, lambda: chain(0))
+        final = queue.run()
+        assert fired == [0, 1, 2, 3]
+        assert final == 3
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(7, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [7]
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5, lambda: queue.schedule_at(1, lambda: None))
+        with pytest.raises(SimulationError):
+            queue.run()
+
+    def test_runaway_detected(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(1, forever)
+
+        queue.schedule(0, forever)
+        with pytest.raises(SimulationError):
+            queue.run(max_events=100)
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        for _ in range(4):
+            queue.schedule(1, lambda: None)
+        queue.run()
+        assert queue.processed == 4
+
+
+class TestDRAMModel:
+    def test_zero_bytes_free(self):
+        model = DRAMModel(bytes_per_cycle=8, latency_cycles=30)
+        assert model.burst_cycles(0) == 0
+
+    def test_latency_plus_transfer(self):
+        model = DRAMModel(bytes_per_cycle=8, latency_cycles=30)
+        assert model.burst_cycles(800) == 30 + 100
+
+    def test_multiple_bursts_pay_latency(self):
+        model = DRAMModel(bytes_per_cycle=8, latency_cycles=30)
+        single = model.burst_cycles(800, bursts=1)
+        split = model.burst_cycles(800, bursts=4)
+        assert split == single + 3 * 30
+
+    def test_rounds_up_partial_beat(self):
+        model = DRAMModel(bytes_per_cycle=8, latency_cycles=0)
+        assert model.burst_cycles(9) == 2
+
+    def test_for_device(self):
+        model = DRAMModel.for_device(Z7045)
+        assert model.bytes_per_cycle == pytest.approx(
+            Z7045.dram_bandwidth / Z7045.clock_hz)
+
+    def test_negative_rejected(self):
+        model = DRAMModel(bytes_per_cycle=8, latency_cycles=0)
+        with pytest.raises(SimulationError):
+            model.burst_cycles(-1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SimulationError):
+            DRAMModel(bytes_per_cycle=0, latency_cycles=0)
+
+
+class TestBufferState:
+    def test_fill_and_drain(self):
+        buffer = BufferState(capacity_words=100)
+        buffer.fill(60)
+        buffer.drain(20)
+        assert buffer.occupied_words == 40
+        buffer.drain()
+        assert buffer.occupied_words == 0
+
+    def test_overflow_rejected(self):
+        buffer = BufferState(capacity_words=10)
+        with pytest.raises(SimulationError):
+            buffer.fill(11)
+
+    def test_underflow_rejected(self):
+        buffer = BufferState(capacity_words=10)
+        with pytest.raises(SimulationError):
+            buffer.drain(1)

@@ -1,0 +1,187 @@
+"""Tests for the backprop training engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.train import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    MLPTrainer,
+    ReLU,
+    SequentialNet,
+    Sigmoid,
+    Tanh,
+    TrainConfig,
+)
+
+
+def numeric_gradient(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = fn()
+        x[idx] = original - eps
+        minus = fn()
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def loss_through(net, x, target):
+    out = net.forward(x)
+    diff = np.ravel(out) - np.ravel(target)
+    return float(0.5 * np.dot(diff, diff))
+
+
+class TestGradients:
+    """Analytic gradients must match central differences."""
+
+    def check_network(self, net, in_shape, out_size, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=in_shape)
+        target = rng.normal(size=out_size)
+        net.zero_grads()
+        out = net.forward(x)
+        net.backward(np.ravel(out) - np.ravel(target) if out.ndim == 1
+                     else out - target.reshape(out.shape))
+        for layer in net.layers:
+            for key, param in layer.params().items():
+                numeric = numeric_gradient(
+                    lambda: loss_through(net, x, target), param
+                )
+                analytic = layer.grads()[key]
+                assert np.allclose(analytic, numeric, atol=1e-4), (
+                    f"{type(layer).__name__}.{key} gradient mismatch"
+                )
+
+    def test_dense_sigmoid_dense(self):
+        rng = np.random.default_rng(1)
+        net = SequentialNet([Dense(5, 7, rng), Sigmoid(), Dense(7, 3, rng)])
+        self.check_network(net, (5,), 3)
+
+    def test_dense_tanh(self):
+        rng = np.random.default_rng(2)
+        net = SequentialNet([Dense(4, 6, rng), Tanh(), Dense(6, 2, rng)])
+        self.check_network(net, (4,), 2)
+
+    def test_dense_relu(self):
+        rng = np.random.default_rng(3)
+        net = SequentialNet([Dense(4, 8, rng), ReLU(), Dense(8, 2, rng)])
+        self.check_network(net, (4,), 2)
+
+    def test_conv_flatten_dense(self):
+        rng = np.random.default_rng(4)
+        net = SequentialNet([
+            Conv2D(1, 2, kernel=3, stride=1, rng=rng),
+            ReLU(),
+            Flatten(),
+            Dense(2 * 4 * 4, 3, rng),
+        ])
+        self.check_network(net, (1, 6, 6), 3)
+
+    def test_conv_with_pad_and_stride(self):
+        rng = np.random.default_rng(5)
+        net = SequentialNet([
+            Conv2D(2, 3, kernel=3, stride=2, pad=1, rng=rng),
+            Flatten(),
+            Dense(3 * 3 * 3, 2, rng),
+        ])
+        self.check_network(net, (2, 5, 5), 2)
+
+    def test_maxpool_gradient(self):
+        rng = np.random.default_rng(6)
+        net = SequentialNet([
+            Conv2D(1, 2, kernel=3, stride=1, rng=rng),
+            MaxPool2D(2, 2),
+            Flatten(),
+            Dense(2 * 2 * 2, 2, rng),
+        ])
+        self.check_network(net, (1, 6, 6), 2)
+
+    def test_avgpool_gradient(self):
+        rng = np.random.default_rng(7)
+        net = SequentialNet([
+            Conv2D(1, 2, kernel=3, stride=1, rng=rng),
+            AvgPool2D(2, 2),
+            Flatten(),
+            Dense(2 * 2 * 2, 2, rng),
+        ])
+        self.check_network(net, (1, 6, 6), 2)
+
+
+class TestTraining:
+    def test_learns_xor(self):
+        rng = np.random.default_rng(0)
+        net = SequentialNet([Dense(2, 8, rng), Tanh(), Dense(8, 1, rng)])
+        inputs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        targets = np.array([[0.0], [1.0], [1.0], [0.0]])
+        trainer = MLPTrainer(net, TrainConfig(
+            learning_rate=0.2, epochs=400, batch_size=4, seed=0))
+        report = trainer.train(inputs, targets)
+        assert report.final_loss < 0.01
+        for x, t in zip(inputs, targets):
+            assert abs(net.forward(x)[0] - t[0]) < 0.2
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        net = SequentialNet([Dense(3, 10, rng), Sigmoid(), Dense(10, 1, rng)])
+        xs = rng.normal(size=(50, 3))
+        ys = (xs.sum(axis=1, keepdims=True) > 0).astype(np.float64)
+        trainer = MLPTrainer(net, TrainConfig(learning_rate=0.1, epochs=20, seed=1))
+        report = trainer.train(xs, ys)
+        assert report.losses[-1] < report.losses[0]
+
+    def test_cross_entropy_classification(self):
+        rng = np.random.default_rng(2)
+        net = SequentialNet([Dense(2, 12, rng), ReLU(), Dense(12, 2, rng)])
+        xs = rng.normal(size=(80, 2))
+        labels = (xs[:, 0] > xs[:, 1]).astype(np.int64)
+        trainer = MLPTrainer(net, TrainConfig(
+            learning_rate=0.05, epochs=30, loss="cross_entropy", seed=2))
+        trainer.train(xs, labels)
+        assert trainer.evaluate_classification(xs, labels) > 0.9
+
+    def test_empty_dataset_rejected(self):
+        rng = np.random.default_rng(0)
+        net = SequentialNet([Dense(2, 2, rng)])
+        trainer = MLPTrainer(net)
+        with pytest.raises(ShapeError):
+            trainer.train(np.zeros((0, 2)), np.zeros((0, 1)))
+
+    def test_weight_decay_shrinks_weights(self):
+        rng = np.random.default_rng(3)
+        net = SequentialNet([Dense(2, 2, rng)])
+        before = np.abs(net.layers[0].weight).sum()
+        xs = np.zeros((10, 2))
+        ys = np.zeros((10, 2))
+        trainer = MLPTrainer(net, TrainConfig(
+            learning_rate=0.5, epochs=20, weight_decay=0.1, seed=0))
+        trainer.train(xs, ys)
+        after = np.abs(net.layers[0].weight).sum()
+        assert after < before
+
+    def test_named_weights_export(self):
+        rng = np.random.default_rng(4)
+        net = SequentialNet([
+            Dense(2, 3, rng, name="ip1"), Sigmoid(), Dense(3, 1, rng, name="ip2"),
+        ])
+        exported = net.named_weights()
+        assert set(exported) == {"ip1", "ip2"}
+        assert exported["ip1"]["weight"].shape == (3, 2)
+        # Exported copies are decoupled from the live parameters.
+        exported["ip1"]["weight"][0, 0] = 1e9
+        assert net.layers[0].weight[0, 0] != 1e9
+
+    def test_dense_shape_mismatch(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 2, rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros(5))

@@ -1,0 +1,126 @@
+"""Tests for the executable inception block and grouped convolution."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.shapes import infer_shapes
+from repro.nn import functional as F
+from repro.nn.reference import ReferenceNetwork, init_weights
+from repro.zoo import googlenet_stem
+
+
+class TestGroupedConv:
+    def test_groups_match_manual_split(self):
+        rng = np.random.default_rng(0)
+        image = rng.normal(size=(4, 8, 8))
+        weights = rng.normal(size=(6, 2, 3, 3))
+        bias = rng.normal(size=6)
+        grouped = F.conv2d(image, weights, bias, groups=2)
+        top = F.conv2d(image[:2], weights[:3], bias[:3])
+        bottom = F.conv2d(image[2:], weights[3:], bias[3:])
+        assert np.allclose(grouped, np.concatenate([top, bottom], axis=0))
+
+    def test_groups_one_identical_to_plain(self):
+        rng = np.random.default_rng(1)
+        image = rng.normal(size=(3, 6, 6))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        assert np.allclose(F.conv2d(image, weights),
+                           F.conv2d(image, weights, groups=1))
+
+    def test_bad_group_split_rejected(self):
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            F.conv2d(np.zeros((3, 6, 6)), np.zeros((4, 1, 3, 3)), groups=2)
+
+    def test_grouped_reference_execution(self):
+        text = """
+        layers { name: "data" type: DATA top: "d" param { dim: 4 dim: 8 dim: 8 } }
+        layers { name: "c" type: CONVOLUTION bottom: "d" top: "c"
+                 param { num_output: 6 kernel_size: 3 group: 2 } }
+        """
+        from repro.frontend.graph import graph_from_text
+        graph = graph_from_text(text)
+        weights = init_weights(graph, np.random.default_rng(2))
+        assert weights["c"]["weight"].shape == (6, 2, 3, 3)
+        net = ReferenceNetwork(graph, weights)
+        out = net.output(np.random.default_rng(3).normal(size=(4, 8, 8)))
+        assert out.shape == (6, 6, 6)
+
+    def test_grouped_quantized_matches_reference(self):
+        from repro.frontend.graph import graph_from_text
+        from repro.fixedpoint.format import QFormat
+        from repro.sim.quantized import QuantizedExecutor
+        text = """
+        layers { name: "data" type: DATA top: "d" param { dim: 4 dim: 8 dim: 8 } }
+        layers { name: "c" type: CONVOLUTION bottom: "d" top: "c"
+                 param { num_output: 6 kernel_size: 3 group: 2 } }
+        """
+        graph = graph_from_text(text)
+        weights = init_weights(graph, np.random.default_rng(4), scale=0.1)
+        fmt = QFormat(4, 11)
+        executor = QuantizedExecutor(
+            graph=graph, weights=weights,
+            blob_formats={b: fmt for b in infer_shapes(graph)},
+            weight_format=QFormat(2, 13),
+        )
+        reference = ReferenceNetwork(graph, weights)
+        x = np.random.default_rng(5).uniform(-1, 1, (4, 8, 8))
+        assert np.allclose(executor.output(x), reference.output(x),
+                           atol=0.02)
+
+
+class TestInceptionBlock:
+    @pytest.fixture(scope="class")
+    def stem(self):
+        return googlenet_stem(input_size=32)
+
+    def test_branches_concatenate(self, stem):
+        shapes = infer_shapes(stem)
+        # 8 + 12 + 4 + 4 channels from the four branches.
+        assert shapes["incep3a_output"].channels == 28
+        assert shapes["incep3a_output"].height == 16
+
+    def test_pool_branch_keeps_spatial_size(self, stem):
+        shapes = infer_shapes(stem)
+        assert shapes["incep3a_pool"].dims == shapes["pool1"].dims
+
+    def test_reference_execution_runs(self, stem):
+        weights = init_weights(stem, np.random.default_rng(6), scale=0.05)
+        net = ReferenceNetwork(stem, weights)
+        out = net.output(np.random.default_rng(7).normal(size=(3, 32, 32)))
+        assert out.shape == (10,)
+        assert out.sum() == pytest.approx(1.0)  # softmax
+
+    def test_quantized_execution_tracks_reference(self, stem):
+        from repro.fixedpoint.format import QFormat
+        from repro.sim.quantized import QuantizedExecutor
+        weights = init_weights(stem, np.random.default_rng(8), scale=0.05)
+        fmt = QFormat(4, 11)
+        executor = QuantizedExecutor(
+            graph=stem, weights=weights,
+            blob_formats={b: fmt for b in infer_shapes(stem)},
+            weight_format=QFormat(2, 13),
+        )
+        reference = ReferenceNetwork(stem, weights)
+        x = np.random.default_rng(9).uniform(-1, 1, (3, 32, 32))
+        assert np.allclose(executor.output(x), reference.output(x),
+                           atol=0.05)
+
+    def test_accelerator_generates_for_inception(self, stem):
+        from repro.devices import Z7045, budget_fraction
+        from repro.nngen import NNGen
+        from repro.compiler import DeepBurningCompiler
+        from repro.sim import AcceleratorSimulator
+        design = NNGen().generate(stem, budget_fraction(Z7045, 0.3))
+        program = DeepBurningCompiler().compile(design)
+        result = AcceleratorSimulator(program).run(functional=False)
+        assert result.cycles > 0
+
+    def test_rtl_for_inception_lints(self, stem):
+        from repro.devices import Z7045, budget_fraction
+        from repro.nngen import NNGen
+        from repro.rtl.emit import emit_project
+        from repro.rtl.lint import lint_source
+        design = NNGen().generate(stem, budget_fraction(Z7045, 0.3))
+        report = lint_source(emit_project(design))
+        assert report.ok, report.errors
