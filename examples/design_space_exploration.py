@@ -1,55 +1,47 @@
-"""Design-space exploration with NN-Gen.
+"""Design-space exploration with the ``repro.dse`` engine.
 
 The paper's motivating workflow (§1, "Why FPGA?"): a developer explores
 resource budgets for their network and picks the point whose
-performance/area trade-off fits the application.  This example sweeps
-budget fractions of the Z-7045 for the MNIST digit network and prints
-the resulting datapath width, folding depth, resource bill, runtime and
-energy per forward propagation.
+performance/area trade-off fits the application.  This example declares
+a five-fraction sweep of the Z-7045 for the MNIST digit network, runs it
+through :func:`repro.dse.run_sweep` (generate → compile → simulate per
+point, with a persistent design cache), then repeats the sweep to show
+every point coming straight out of the cache.  The report marks the
+latency-vs-resource Pareto frontier and names its knee.
 
 Run: ``python examples/design_space_exploration.py``
+(or ``repro dse --script net.prototxt --jobs 4`` on your own script).
 """
 
-from repro.compiler import DeepBurningCompiler
-from repro.devices import Z7045, budget_fraction
-from repro.experiments.report import format_energy, format_time, render_table
-from repro.nngen import NNGen
-from repro.sim import AcceleratorSimulator
+import tempfile
+
+from repro.dse import DesignCache, SweepSpec, run_sweep
+from repro.experiments.report import format_time
 from repro.zoo import mnist
 
 
-def explore(fractions=(0.05, 0.10, 0.20, 0.40, 0.80)):
+def explore(cache_dir: str, fractions=(0.05, 0.10, 0.20, 0.40, 0.80)):
     graph = mnist()
-    rows = []
-    for fraction in fractions:
-        budget = budget_fraction(Z7045, fraction)
-        design = NNGen().generate(graph, budget)
-        program = DeepBurningCompiler().compile(design)
-        result = AcceleratorSimulator(program).run(functional=False)
-        used = design.resource_report()
-        rows.append([
-            f"{fraction:.0%}",
-            f"{design.datapath.lanes}x{design.datapath.simd}",
-            len(design.folding),
-            used.dsp,
-            used.lut,
-            format_time(result.time_s),
-            format_energy(result.energy.total_j),
-            f"{result.energy.average_power_w:.2f}W",
-        ])
-    return rows
+    spec = SweepSpec(device="Z-7045", fractions=fractions)
+    return run_sweep(graph, spec, jobs=1, cache=DesignCache(cache_dir))
 
 
 def main() -> None:
-    rows = explore()
-    print(render_table(
-        ["budget", "lanes x simd", "folds", "DSP", "LUT", "time",
-         "energy", "power"],
-        rows,
-        title="MNIST accelerator design space on the Z-7045",
-    ))
-    print("\nPick the knee: past the point where folding disappears, "
-          "extra area buys little speed.")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        first = explore(cache_dir)
+        print(first.render(
+            title="MNIST accelerator design space on the Z-7045"))
+        print(f"\ncold sweep: {first.cache_summary()} "
+              f"in {first.elapsed_s:.2f}s")
+        second = explore(cache_dir)
+        print(f"warm sweep: {second.cache_summary()} "
+              f"in {second.elapsed_s:.2f}s")
+        knee = second.knee()
+        if knee is not None:
+            print(f"\nPick the knee: {knee.point.label} of the device "
+                  f"({format_time(knee.time_s)}, {knee.dsp} DSP, "
+                  f"{knee.lut} LUT) — past it, extra area buys "
+                  "little speed.")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,11 @@ import sys
 import numpy as np
 
 from repro.compiler.compiler import DeepBurningCompiler
-from repro.devices.device import Device, VX485T, Z7020, Z7045, budget_fraction
+from repro.devices.device import (
+    DEVICES as _DEVICE_REGISTRY,
+    Device,
+    budget_fraction,
+)
 from repro.errors import DeepBurningError
 from repro.frontend.graph import graph_from_text
 from repro.frontend.shapes import infer_shapes
@@ -32,11 +36,7 @@ from repro.nngen.generator import NNGen
 from repro.rtl.emit import write_project
 from repro.sim.accel import AcceleratorSimulator
 
-DEVICES: dict[str, Device] = {
-    "Z-7020": Z7020,
-    "Z-7045": Z7045,
-    "VX485T": VX485T,
-}
+DEVICES: dict[str, Device] = dict(_DEVICE_REGISTRY)
 
 EXPERIMENTS = (
     "table1", "table2", "fig8", "fig9", "fig10", "table3", "claims",
@@ -104,6 +104,46 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import (
+        DesignCache,
+        SweepSpec,
+        default_cache_dir,
+        parse_qformat,
+        run_sweep,
+    )
+
+    def float_list(text: str) -> tuple[float, ...]:
+        return tuple(float(item) for item in text.split(",") if item.strip())
+
+    def format_list(text: str) -> tuple[tuple[int, int], ...]:
+        return tuple(parse_qformat(item) for item in text.split(",")
+                     if item.strip())
+
+    graph = _load_graph(args.script)
+    spec = SweepSpec(
+        device=args.device,
+        fractions=float_list(args.fractions),
+        data_formats=format_list(args.data_formats),
+        weight_formats=format_list(args.weight_formats),
+        fold_capacity_scales=float_list(args.fold_scales),
+        functional=args.functional,
+        seed=args.seed,
+    )
+    if not spec.points():
+        raise DeepBurningError("sweep has no points; check --fractions")
+    cache = None
+    if not args.no_cache:
+        cache = DesignCache(args.cache_dir or default_cache_dir())
+    sweep = run_sweep(graph, spec, jobs=args.jobs, cache=cache)
+    print(sweep.render(
+        title=f"design space of '{graph.name}' on {args.device} "
+              f"({len(sweep.results)} points, jobs={args.jobs})"
+    ))
+    print(f"swept {len(sweep.results)} points in {sweep.elapsed_s:.2f}s")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
     if name not in EXPERIMENTS:
@@ -166,6 +206,35 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--report", action="store_true",
                           help="print the per-layer cycle/utilization table")
     simulate.set_defaults(handler=cmd_simulate)
+
+    dse = commands.add_parser(
+        "dse", help="explore the design space: sweep, cache, Pareto frontier")
+    dse.add_argument("--script", required=True,
+                     help="path to the *.prototxt descriptive script")
+    dse.add_argument("--device", default="Z-7045", choices=sorted(DEVICES),
+                     help="target FPGA device")
+    dse.add_argument("--fractions",
+                     default="0.05,0.08,0.1,0.15,0.2,0.3,0.4,0.8",
+                     help="comma-separated budget fractions to sweep")
+    dse.add_argument("--data-formats", default="7.8",
+                     help="comma-separated Qm.n feature formats")
+    dse.add_argument("--weight-formats", default="3.12",
+                     help="comma-separated Qm.n weight formats")
+    dse.add_argument("--fold-scales", default="1.0",
+                     help="comma-separated fold-capacity scales in (0, 1]")
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (1 = serial)")
+    dse.add_argument("--cache-dir", default="",
+                     help="design cache directory "
+                          "(default: $REPRO_CACHE_DIR or ~/.cache/repro/dse)")
+    dse.add_argument("--no-cache", action="store_true",
+                     help="evaluate every point from scratch")
+    dse.add_argument("--functional", action="store_true",
+                     help="also measure output fidelity vs the float "
+                          "reference (slower)")
+    dse.add_argument("--seed", type=int, default=0,
+                     help="seed for functional evaluation")
+    dse.set_defaults(handler=cmd_dse)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure")

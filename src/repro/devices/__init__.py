@@ -8,16 +8,19 @@ Zhang et al. FPGA'15 comparison point.
 """
 
 from repro.devices.device import (
+    DEVICES,
     Device,
     ResourceBudget,
     VX485T,
     Z7020,
     Z7045,
     budget_fraction,
+    device_by_name,
 )
 from repro.devices.cost import ResourceCost
 
 __all__ = [
+    "DEVICES",
     "Device",
     "ResourceBudget",
     "ResourceCost",
@@ -25,4 +28,5 @@ __all__ = [
     "Z7045",
     "VX485T",
     "budget_fraction",
+    "device_by_name",
 ]

@@ -78,6 +78,24 @@ VX485T = Device(
 )
 
 
+#: Devices addressable by name (CLI ``--device``, DSE sweep points).
+DEVICES: dict[str, Device] = {
+    Z7020.name: Z7020,
+    Z7045.name: Z7045,
+    VX485T.name: VX485T,
+}
+
+
+def device_by_name(name: str) -> Device:
+    """Look up a registered device; raise :class:`ResourceError` if unknown."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise ResourceError(
+            f"unknown device '{name}'; options: {sorted(DEVICES)}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class ResourceBudget:
     """The user-specified overhead constraint handed to NN-Gen."""

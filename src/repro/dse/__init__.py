@@ -1,0 +1,45 @@
+"""Design-space exploration over the generate→compile→simulate flow.
+
+The paper's NN-Gen answers *one* resource constraint with *one*
+accelerator; this package turns that into the autotuner workflow the
+paper motivates in §1: declare the axes of interest
+(:class:`~repro.dse.spec.SweepSpec`), evaluate every candidate point —
+across worker processes, with a persistent content-addressed design
+cache (:class:`~repro.dse.cache.DesignCache`) — and read the
+latency-vs-resource Pareto frontier off the result
+(:class:`~repro.dse.result.SweepResult`).
+
+Typical use::
+
+    spec = SweepSpec(device="Z-7045", fractions=(0.05, 0.1, 0.2, 0.4))
+    cache = DesignCache(default_cache_dir())
+    sweep = run_sweep(graph, spec, jobs=4, cache=cache)
+    print(sweep.render())
+
+or from the command line: ``repro dse --script net.prototxt --jobs 4``.
+"""
+
+from repro.dse.cache import CacheStats, DesignCache, default_cache_dir
+from repro.dse.engine import evaluate_point, run_sweep
+from repro.dse.result import (
+    PointResult,
+    SweepResult,
+    frontier_knee,
+    pareto_frontier,
+)
+from repro.dse.spec import SweepPoint, SweepSpec, parse_qformat
+
+__all__ = [
+    "CacheStats",
+    "DesignCache",
+    "PointResult",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepResult",
+    "default_cache_dir",
+    "evaluate_point",
+    "frontier_knee",
+    "pareto_frontier",
+    "parse_qformat",
+    "run_sweep",
+]

@@ -1,0 +1,165 @@
+"""The sweep engine: enumerate, cache-check, evaluate, aggregate.
+
+Each sweep point runs the full existing pipeline —
+:class:`~repro.nngen.generator.NNGen` →
+:class:`~repro.compiler.compiler.DeepBurningCompiler` →
+:class:`~repro.sim.accel.AcceleratorSimulator` — in a worker process
+(``--jobs N``) or serially (``--jobs 1``).  Results come back in point
+order regardless of completion order, so parallel and serial sweeps are
+bit-identical.  A :class:`~repro.dse.cache.DesignCache` short-circuits
+points already evaluated for the same network fingerprint.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+import numpy as np
+
+from repro.compiler.compiler import DeepBurningCompiler
+from repro.devices.device import budget_fraction, device_by_name
+from repro.dse.cache import DesignCache
+from repro.dse.result import PointResult, SweepResult
+from repro.dse.spec import SweepPoint, SweepSpec
+from repro.errors import DeepBurningError
+from repro.frontend.graph import NetworkGraph
+from repro.frontend.shapes import infer_shapes
+from repro.nn.reference import ReferenceNetwork, init_weights
+from repro.nngen.generator import NNGen
+from repro.sim.accel import AcceleratorSimulator
+
+
+def evaluate_point(graph: NetworkGraph, point: SweepPoint,
+                   functional: bool = False, seed: int = 0) -> PointResult:
+    """Run one point through generate→compile→simulate.
+
+    Any :class:`~repro.errors.DeepBurningError` — a budget that cannot
+    fit the minimal datapath, an unsupported layer, a compile failure —
+    becomes a structured ``infeasible`` result carrying the reason, so a
+    sweep always completes.
+    """
+    try:
+        device = device_by_name(point.device)
+        budget = budget_fraction(device, point.fraction)
+        design = NNGen().generate(
+            graph, budget,
+            data_format=point.data_format,
+            weight_format=point.weight_format,
+            max_lanes=point.max_lanes,
+            max_simd=point.max_simd,
+            fold_capacity_scale=point.fold_capacity_scale,
+        )
+        weights = None
+        if functional:
+            weights = init_weights(graph, np.random.default_rng(seed))
+        program = DeepBurningCompiler().compile(design, weights=weights)
+        simulator = AcceleratorSimulator(program, weights=weights)
+        inputs = None
+        if functional:
+            shapes = infer_shapes(graph)
+            input_blob = graph.inputs()[0].tops[0]
+            rng = np.random.default_rng(seed + 1)
+            inputs = rng.uniform(-1.0, 1.0, shapes[input_blob].dims)
+        sim = simulator.run(inputs, functional=functional)
+        accuracy = None
+        if functional:
+            reference = ReferenceNetwork(graph, weights).output(inputs)
+            accuracy = _fidelity(np.asarray(sim.output, dtype=float),
+                                 np.asarray(reference, dtype=float))
+        used = design.resource_report()
+        return PointResult(
+            point=point,
+            status="ok",
+            lanes=design.datapath.lanes,
+            simd=design.datapath.simd,
+            folds=len(design.folding),
+            dsp=used.dsp,
+            lut=used.lut,
+            ff=used.ff,
+            bram_bits=used.bram_bits,
+            cycles=sim.cycles,
+            time_s=sim.time_s,
+            energy_j=sim.energy.total_j,
+            power_w=sim.energy.average_power_w,
+            macs=sim.macs,
+            accuracy=accuracy,
+        )
+    except DeepBurningError as error:
+        return PointResult(point=point, status="infeasible",
+                           reason=str(error))
+
+
+def _fidelity(quantized: np.ndarray, reference: np.ndarray) -> float:
+    """Output agreement in [0, 1]: 1 - relative RMS error, floored at 0."""
+    scale = float(np.sqrt(np.mean(np.square(reference))))
+    if scale == 0.0:
+        return 1.0 if not np.any(quantized) else 0.0
+    error = float(np.sqrt(np.mean(np.square(quantized - reference))))
+    return max(0.0, 1.0 - error / scale)
+
+
+def _evaluate_job(args: tuple) -> tuple[int, PointResult]:
+    """Process-pool entry point: evaluate one indexed sweep point."""
+    index, graph, point, functional, seed = args
+    return index, evaluate_point(graph, point, functional=functional,
+                                 seed=seed)
+
+
+def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
+              cache: DesignCache | None = None) -> SweepResult:
+    """Evaluate every point of ``spec``, in parallel when ``jobs > 1``.
+
+    Results keep the spec's point order, so a parallel sweep equals a
+    serial one row for row.  Cache hits skip evaluation entirely; fresh
+    results are written back before the sweep returns.
+    """
+    if jobs < 1:
+        raise DeepBurningError(f"jobs must be >= 1, got {jobs}")
+    started = time.perf_counter()
+    points = spec.points()
+    # Snapshot so a reused cache object reports per-sweep stats.  (The
+    # cache defines __len__, so compare against None, never truthiness.)
+    hits_before = cache.stats.hits if cache is not None else 0
+    misses_before = cache.stats.misses if cache is not None else 0
+    fingerprint = graph.fingerprint() if cache is not None else ""
+    results: dict[int, PointResult] = {}
+    pending: list[tuple[int, SweepPoint]] = []
+    keys: dict[int, str] = {}
+    for index, point in enumerate(points):
+        if cache is not None:
+            key = DesignCache.key(fingerprint, point,
+                                  functional=spec.functional, seed=spec.seed)
+            keys[index] = key
+            hit = cache.load(key)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append((index, point))
+
+    if jobs > 1 and len(pending) > 1:
+        job_args = [(index, graph, point, spec.functional, spec.seed)
+                    for index, point in pending]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_evaluate_job, args) for args in job_args]
+            for future in as_completed(futures):
+                index, result = future.result()
+                results[index] = result
+    else:
+        for index, point in pending:
+            results[index] = evaluate_point(
+                graph, point, functional=spec.functional, seed=spec.seed)
+
+    if cache is not None:
+        for index, _ in pending:
+            cache.store(keys[index], results[index])
+
+    return SweepResult(
+        results=[results[index] for index in range(len(points))],
+        cache_hits=(cache.stats.hits - hits_before)
+        if cache is not None else 0,
+        cache_misses=(cache.stats.misses - misses_before)
+        if cache is not None else len(pending),
+        elapsed_s=time.perf_counter() - started,
+        jobs=jobs,
+    )

@@ -1,0 +1,242 @@
+"""Result model of a design-space exploration.
+
+Every evaluated :class:`~repro.dse.spec.SweepPoint` yields a
+:class:`PointResult` — including infeasible points, which record the
+failure reason instead of aborting the sweep.  A :class:`SweepResult`
+aggregates them, computes the latency-vs-resource Pareto frontier and
+renders the report table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.dse.spec import SweepPoint
+from repro.experiments.report import format_energy, format_time, render_table
+
+#: Result schema version, bumped whenever the JSON layout changes so a
+#: stale cache entry is treated as a miss rather than misread.
+RESULT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of evaluating one sweep point."""
+
+    point: SweepPoint
+    status: str  # "ok" | "infeasible"
+    reason: str = ""
+    # Design shape
+    lanes: int = 0
+    simd: int = 0
+    folds: int = 0
+    # Resource bill
+    dsp: int = 0
+    lut: int = 0
+    ff: int = 0
+    bram_bits: int = 0
+    # Timing / energy
+    cycles: int = 0
+    time_s: float = 0.0
+    energy_j: float = 0.0
+    power_w: float = 0.0
+    macs: int = 0
+    #: Output fidelity vs the float reference in [0, 1]; None when the
+    #: sweep ran timing-only.
+    accuracy: float | None = None
+    #: True when this result came out of the design cache.
+    cached: bool = False
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        return {
+            "schema": RESULT_SCHEMA,
+            "point": self.point.params(),
+            "status": self.status,
+            "reason": self.reason,
+            "lanes": self.lanes,
+            "simd": self.simd,
+            "folds": self.folds,
+            "dsp": self.dsp,
+            "lut": self.lut,
+            "ff": self.ff,
+            "bram_bits": self.bram_bits,
+            "cycles": self.cycles,
+            "time_s": self.time_s,
+            "energy_j": self.energy_j,
+            "power_w": self.power_w,
+            "macs": self.macs,
+            "accuracy": self.accuracy,
+        }
+
+    @staticmethod
+    def from_json(data: dict, cached: bool = False) -> "PointResult":
+        return PointResult(
+            point=SweepPoint.from_params(data["point"]),
+            status=str(data["status"]),
+            reason=str(data["reason"]),
+            lanes=int(data["lanes"]),
+            simd=int(data["simd"]),
+            folds=int(data["folds"]),
+            dsp=int(data["dsp"]),
+            lut=int(data["lut"]),
+            ff=int(data["ff"]),
+            bram_bits=int(data["bram_bits"]),
+            cycles=int(data["cycles"]),
+            time_s=float(data["time_s"]),
+            energy_j=float(data["energy_j"]),
+            power_w=float(data["power_w"]),
+            macs=int(data["macs"]),
+            accuracy=(None if data.get("accuracy") is None
+                      else float(data["accuracy"])),
+            cached=cached,
+        )
+
+    def as_cached(self) -> "PointResult":
+        return replace(self, cached=True)
+
+
+def pareto_frontier(
+    results: Sequence[PointResult],
+    latency: Callable[[PointResult], float] = lambda r: r.time_s,
+    resource: Callable[[PointResult], float] = lambda r: r.lut,
+) -> list[PointResult]:
+    """Non-dominated feasible points, minimizing latency and resource.
+
+    A point is dominated when another feasible point is no worse on both
+    axes and strictly better on at least one.  The frontier is returned
+    sorted by rising resource (so latency falls along it).
+    """
+    feasible = [r for r in results if r.feasible]
+    frontier = []
+    for candidate in feasible:
+        dominated = False
+        for other in feasible:
+            if other is candidate:
+                continue
+            if (latency(other) <= latency(candidate)
+                    and resource(other) <= resource(candidate)
+                    and (latency(other) < latency(candidate)
+                         or resource(other) < resource(candidate))):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(candidate)
+    # Deduplicate coordinate ties so the frontier is a proper staircase.
+    frontier.sort(key=lambda r: (resource(r), latency(r)))
+    unique: list[PointResult] = []
+    for result in frontier:
+        if unique and resource(unique[-1]) == resource(result) \
+                and latency(unique[-1]) == latency(result):
+            continue
+        unique.append(result)
+    return unique
+
+
+def frontier_knee(
+    frontier: Sequence[PointResult],
+    latency: Callable[[PointResult], float] = lambda r: r.time_s,
+    resource: Callable[[PointResult], float] = lambda r: r.lut,
+) -> PointResult | None:
+    """The balanced point: nearest to the origin in normalized axes."""
+    if not frontier:
+        return None
+    lat = [latency(r) for r in frontier]
+    res = [resource(r) for r in frontier]
+    lat_span = max(lat) - min(lat) or 1.0
+    res_span = max(res) - min(res) or 1.0
+    best = None
+    best_distance = float("inf")
+    for result, l, c in zip(frontier, lat, res):
+        distance = (((l - min(lat)) / lat_span) ** 2
+                    + ((c - min(res)) / res_span) ** 2) ** 0.5
+        if distance < best_distance:
+            best, best_distance = result, distance
+    return best
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of one exploration run."""
+
+    results: list[PointResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+    jobs: int = 1
+
+    @property
+    def feasible(self) -> list[PointResult]:
+        return [r for r in self.results if r.feasible]
+
+    @property
+    def infeasible(self) -> list[PointResult]:
+        return [r for r in self.results if not r.feasible]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def frontier(self) -> list[PointResult]:
+        return pareto_frontier(self.results)
+
+    def knee(self) -> PointResult | None:
+        return frontier_knee(self.frontier())
+
+    def cache_summary(self) -> str:
+        total = self.cache_hits + self.cache_misses
+        return (f"cache: {self.cache_hits} hits, {self.cache_misses} misses "
+                f"({self.cache_hit_rate:.0%} of {total} points)")
+
+    def render(self, title: str = "design space") -> str:
+        """The report table plus cache and frontier summaries."""
+        frontier = self.frontier()
+        on_frontier = {id(r) for r in frontier}
+        headers = ["point", "status", "lanes x simd", "folds", "DSP",
+                   "LUT", "time", "energy", "power", "pareto"]
+        has_accuracy = any(r.accuracy is not None for r in self.results)
+        if has_accuracy:
+            headers.insert(9, "fidelity")
+        rows = []
+        for result in self.results:
+            if result.feasible:
+                row = [
+                    result.point.label,
+                    "ok" + (" (cached)" if result.cached else ""),
+                    f"{result.lanes}x{result.simd}",
+                    result.folds,
+                    result.dsp,
+                    result.lut,
+                    format_time(result.time_s),
+                    format_energy(result.energy_j),
+                    f"{result.power_w:.2f}W",
+                ]
+                if has_accuracy:
+                    row.append("-" if result.accuracy is None
+                               else f"{result.accuracy:.3f}")
+                row.append("*" if id(result) in on_frontier else "")
+            else:
+                row = [result.point.label, "infeasible", "-", "-", "-", "-",
+                       "-", "-", "-"]
+                if has_accuracy:
+                    row.append("-")
+                row.append("")
+            rows.append(row)
+        lines = [render_table(headers, rows, title=title)]
+        lines.append(self.cache_summary())
+        knee = self.knee()
+        if knee is not None:
+            lines.append(
+                f"frontier: {len(frontier)} of {len(self.feasible)} feasible "
+                f"points; knee at {knee.point.label} "
+                f"({format_time(knee.time_s)}, {knee.lut} LUT)"
+            )
+        if self.infeasible:
+            lines.append(f"infeasible: {len(self.infeasible)} points "
+                         "(see status column)")
+        return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names the axes of a design-space exploration —
+budget fractions, fixed-point formats, datapath caps and fold-depth
+scales — and enumerates their cartesian product as concrete
+:class:`SweepPoint` s in a deterministic order.  Each point carries only
+plain values (strings, ints, floats) so it can be hashed into a cache
+key, pickled to a worker process, and serialized into a report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.devices.device import device_by_name
+from repro.errors import DeepBurningError
+from repro.fixedpoint.format import (
+    DEFAULT_DATA_FORMAT,
+    DEFAULT_WEIGHT_FORMAT,
+    QFormat,
+)
+
+#: (integer_bits, fraction_bits) defaults, mirrored from the fixed-point
+#: package so a sweep point is pure plain data.
+DEFAULT_DATA_BITS = (DEFAULT_DATA_FORMAT.integer_bits,
+                     DEFAULT_DATA_FORMAT.fraction_bits)
+DEFAULT_WEIGHT_BITS = (DEFAULT_WEIGHT_FORMAT.integer_bits,
+                       DEFAULT_WEIGHT_FORMAT.fraction_bits)
+
+
+def parse_qformat(text: str) -> tuple[int, int]:
+    """Parse a ``Qm.n`` / ``m.n`` format spec into ``(m, n)``."""
+    cleaned = text.strip().lstrip("qQ")
+    parts = cleaned.split(".")
+    if len(parts) != 2:
+        raise DeepBurningError(
+            f"bad fixed-point format '{text}': expected 'm.n' or 'Qm.n'"
+        )
+    try:
+        integer_bits, fraction_bits = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise DeepBurningError(
+            f"bad fixed-point format '{text}': fields must be integers"
+        ) from None
+    QFormat(integer_bits, fraction_bits)  # validates widths
+    return integer_bits, fraction_bits
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One candidate configuration of the generate→compile→simulate flow."""
+
+    device: str = "Z-7045"
+    fraction: float = 0.3
+    #: ``(integer_bits, fraction_bits)`` of the feature datapath.
+    data_bits: tuple[int, int] = DEFAULT_DATA_BITS
+    #: ``(integer_bits, fraction_bits)`` of the weight storage.
+    weight_bits: tuple[int, int] = DEFAULT_WEIGHT_BITS
+    #: Datapath caps handed to NN-Gen (0 = let the budget decide).
+    max_lanes: int = 0
+    max_simd: int = 0
+    #: Fold-depth knob in (0, 1]: scales the buffer capacity the folding
+    #: planner may use, forcing deeper folding below 1.0.
+    fold_capacity_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        device_by_name(self.device)  # raises on unknown devices
+        if not 0.0 < self.fraction <= 1.0:
+            raise DeepBurningError(
+                f"sweep fraction {self.fraction} must be in (0, 1]"
+            )
+
+    @property
+    def data_format(self) -> QFormat:
+        return QFormat(*self.data_bits)
+
+    @property
+    def weight_format(self) -> QFormat:
+        return QFormat(*self.weight_bits)
+
+    def params(self) -> dict[str, object]:
+        """Plain-data view: the cache-key and JSON representation."""
+        return {
+            "device": self.device,
+            "fraction": self.fraction,
+            "data_bits": list(self.data_bits),
+            "weight_bits": list(self.weight_bits),
+            "max_lanes": self.max_lanes,
+            "max_simd": self.max_simd,
+            "fold_capacity_scale": self.fold_capacity_scale,
+        }
+
+    @staticmethod
+    def from_params(params: dict[str, object]) -> "SweepPoint":
+        return SweepPoint(
+            device=str(params["device"]),
+            fraction=float(params["fraction"]),
+            data_bits=tuple(params["data_bits"]),
+            weight_bits=tuple(params["weight_bits"]),
+            max_lanes=int(params["max_lanes"]),
+            max_simd=int(params["max_simd"]),
+            fold_capacity_scale=float(params["fold_capacity_scale"]),
+        )
+
+    @property
+    def label(self) -> str:
+        """Compact table label, non-default axes only."""
+        parts = [f"{self.fraction:.0%}"]
+        if self.data_bits != DEFAULT_DATA_BITS:
+            parts.append(f"d=Q{self.data_bits[0]}.{self.data_bits[1]}")
+        if self.weight_bits != DEFAULT_WEIGHT_BITS:
+            parts.append(f"w=Q{self.weight_bits[0]}.{self.weight_bits[1]}")
+        if self.max_lanes:
+            parts.append(f"lanes<={self.max_lanes}")
+        if self.max_simd:
+            parts.append(f"simd<={self.max_simd}")
+        if self.fold_capacity_scale != 1.0:
+            parts.append(f"fold@{self.fold_capacity_scale:g}")
+        return " ".join(parts)
+
+
+#: Default budget ladder: eight fractions spanning the Table 3 range.
+DEFAULT_FRACTIONS = (0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.40, 0.80)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The declarative axes of one exploration run."""
+
+    device: str = "Z-7045"
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS
+    data_formats: tuple[tuple[int, int], ...] = (DEFAULT_DATA_BITS,)
+    weight_formats: tuple[tuple[int, int], ...] = (DEFAULT_WEIGHT_BITS,)
+    max_lanes: tuple[int, ...] = (0,)
+    max_simd: tuple[int, ...] = (0,)
+    fold_capacity_scales: tuple[float, ...] = (1.0,)
+    #: When True, each point also runs the bit-level functional
+    #: simulation against the float reference and records fidelity.
+    functional: bool = False
+    #: Seed for the random weights/input of functional evaluation.
+    seed: int = 0
+    _points: tuple[SweepPoint, ...] = field(default=(), repr=False)
+
+    def points(self) -> list[SweepPoint]:
+        """Enumerate candidate points, deterministically ordered."""
+        if self._points:
+            return list(self._points)
+        return [
+            SweepPoint(
+                device=self.device,
+                fraction=fraction,
+                data_bits=tuple(data_bits),
+                weight_bits=tuple(weight_bits),
+                max_lanes=lanes,
+                max_simd=simd,
+                fold_capacity_scale=scale,
+            )
+            for fraction, data_bits, weight_bits, lanes, simd, scale
+            in itertools.product(
+                self.fractions, self.data_formats, self.weight_formats,
+                self.max_lanes, self.max_simd, self.fold_capacity_scales,
+            )
+        ]
+
+    @staticmethod
+    def explicit(points: list[SweepPoint], functional: bool = False,
+                 seed: int = 0) -> "SweepSpec":
+        """A spec over a hand-picked point list instead of a product."""
+        return SweepSpec(functional=functional, seed=seed,
+                         _points=tuple(points))

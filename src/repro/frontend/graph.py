@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.errors import GraphError
+from repro.errors import DeepBurningError, GraphError
 from repro.frontend.layers import (
     ConnectDirection,
     LayerKind,
@@ -183,6 +183,75 @@ class NetworkGraph:
 
     def weighted_layers(self) -> list[LayerSpec]:
         return [spec for spec in self.layers if spec.kind.has_weights]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the network structure.
+
+        Hashes layers (all typed parameters), recurrent edges and
+        inferred blob shapes, with layers and edges sorted by name so the
+        digest is independent of declaration order.  The network *name*
+        is deliberately excluded: two scripts describing the same
+        topology hash identically.  Used as the design-cache key
+        component by :mod:`repro.dse`.
+        """
+        import hashlib
+        import json
+
+        from repro.frontend.shapes import infer_shapes
+
+        def layer_record(spec: LayerSpec) -> dict:
+            return {
+                "name": spec.name,
+                "kind": spec.kind.value,
+                "bottoms": list(spec.bottoms),
+                "tops": list(spec.tops),
+                "num_output": spec.num_output,
+                "kernel_size": spec.kernel_size,
+                "stride": spec.stride,
+                "pad": spec.pad,
+                "group": spec.group,
+                "bias": spec.bias,
+                "pool_method": spec.pool_method.value,
+                "local_size": spec.local_size,
+                "alpha": spec.alpha,
+                "beta": spec.beta,
+                "dropout_ratio": spec.dropout_ratio,
+                "input_shape": list(spec.input_shape),
+                "top_k": spec.top_k,
+                "connections": [
+                    {
+                        "name": conn.name,
+                        "direction": conn.direction.value,
+                        "type": conn.type.value,
+                        "target": conn.target,
+                    }
+                    for conn in spec.connections
+                ],
+            }
+
+        try:
+            shapes = {
+                blob: list(shape.dims)
+                for blob, shape in infer_shapes(self).items()
+            }
+        except DeepBurningError:
+            shapes = {}
+        record = {
+            "layers": sorted(
+                (layer_record(spec) for spec in self.layers),
+                key=lambda r: r["name"],
+            ),
+            "recurrent_edges": sorted(
+                (
+                    {"name": e.name, "source": e.source, "target": e.target}
+                    for e in self.recurrent_edges
+                ),
+                key=lambda r: (r["name"], r["source"], r["target"]),
+            ),
+            "shapes": shapes,
+        }
+        canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def __iter__(self) -> Iterator[LayerSpec]:
         return iter(self.layers)

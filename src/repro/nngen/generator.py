@@ -47,8 +47,29 @@ class NNGen:
         budget: ResourceBudget,
         data_format: QFormat = DEFAULT_DATA_FORMAT,
         weight_format: QFormat = DEFAULT_WEIGHT_FORMAT,
+        max_lanes: int = 0,
+        max_simd: int = 0,
+        fold_capacity_scale: float = 1.0,
     ) -> AcceleratorDesign:
-        """Generate an accelerator for ``graph`` within ``budget``."""
+        """Generate an accelerator for ``graph`` within ``budget``.
+
+        ``max_lanes`` / ``max_simd`` (0 = unbounded) cap the datapath
+        search below what the budget would allow — the design-space
+        explorer uses them to walk the narrow side of the frontier.
+        ``fold_capacity_scale`` in (0, 1] shrinks the buffer capacity the
+        folding planner may use, forcing deeper folding than the physical
+        buffers require (a fold-depth knob for the explorer; the real
+        buffers are unchanged, so the working sets still fit).
+        """
+        if not 0.0 < fold_capacity_scale <= 1.0:
+            raise ResourceError(
+                f"fold_capacity_scale {fold_capacity_scale} must be in (0, 1]"
+            )
+        if max_lanes < 0 or max_simd < 0:
+            raise ResourceError(
+                f"datapath caps must be non-negative, got "
+                f"max_lanes={max_lanes} max_simd={max_simd}"
+            )
         graph.validate()
         self._check_layer_support(graph)
         shapes = infer_shapes(graph)
@@ -60,6 +81,7 @@ class NNGen:
             feature_demand_bits=feature_demand,
             weight_demand_bits=weight_demand,
         )
+        config = self._apply_caps(config, max_lanes, max_simd)
         needs = NetworkNeeds.of(graph)
 
         # The datapath search estimates control cost from a nominal plan
@@ -68,7 +90,8 @@ class NNGen:
         # and re-fold until it fits.
         while True:
             design = self._realise(graph, budget, config, needs, shapes,
-                                   feature_demand, weight_demand)
+                                   feature_demand, weight_demand,
+                                   fold_capacity_scale)
             used = design.resource_report()
             if used.fits_in(budget.limit):
                 return design
@@ -92,8 +115,23 @@ class NNGen:
                     f"for '{graph.name}' (needs {used}, has {budget.limit})"
                 )
 
+    @staticmethod
+    def _apply_caps(config: DatapathConfig, max_lanes: int,
+                    max_simd: int) -> DatapathConfig:
+        lanes = min(config.lanes, max_lanes) if max_lanes else config.lanes
+        simd = min(config.simd, max_simd) if max_simd else config.simd
+        if lanes == config.lanes and simd == config.simd:
+            return config
+        return DatapathConfig(
+            lanes=lanes, simd=simd,
+            data_format=config.data_format,
+            weight_format=config.weight_format,
+            accumulator_width=config.accumulator_width,
+        )
+
     def _realise(self, graph, budget, config, needs, shapes,
-                 feature_demand, weight_demand) -> AcceleratorDesign:
+                 feature_demand, weight_demand,
+                 fold_capacity_scale: float = 1.0) -> AcceleratorDesign:
         components = dict(functional_components(config, needs))
         buffers = buffer_components(config, budget, feature_demand,
                                     weight_demand)
@@ -109,6 +147,9 @@ class NNGen:
             weight_buffer.depth_words * weight_buffer.word_bits
             // config.weight_width
         )
+        feature_capacity = max(1, int(feature_capacity
+                                      * fold_capacity_scale))
+        weight_capacity = max(1, int(weight_capacity * fold_capacity_scale))
         folding = build_folding_plan(graph, config, feature_capacity,
                                      weight_capacity)
 

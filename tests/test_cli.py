@@ -112,6 +112,58 @@ class TestSimulate:
         assert first != second
 
 
+class TestDse:
+    def test_sweep_reports_table_and_frontier(self, script_file, tmp_path,
+                                              capsys):
+        code = main(["dse", "--script", script_file, "--device", "Z-7020",
+                     "--fractions", "0.001,0.2,0.4",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design space of 'cli_net'" in out
+        assert "infeasible" in out       # 0.1% budget cannot fit
+        assert "cache: 0 hits, 3 misses" in out
+        assert "frontier" in out
+
+    def test_second_run_hits_cache(self, script_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["dse", "--script", script_file, "--fractions", "0.2,0.4",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        code = main(["dse", "--script", script_file,
+                     "--fractions", "0.2,0.4", "--cache-dir", cache_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache: 2 hits, 0 misses (100% of 2 points)" in out
+        assert "(cached)" in out
+
+    def test_parallel_matches_serial_output(self, script_file, tmp_path,
+                                            capsys):
+        argv = ["dse", "--script", script_file,
+                "--fractions", "0.001,0.1,0.2,0.4", "--no-cache"]
+        main(argv + ["--jobs", "1"])
+        serial = capsys.readouterr().out
+        main(argv + ["--jobs", "4"])
+        parallel = capsys.readouterr().out
+
+        def rows(text):
+            return [line for line in text.splitlines()
+                    if "swept" not in line and "jobs=" not in line]
+        assert rows(serial) == rows(parallel)
+
+    def test_no_points_errors(self, script_file, capsys):
+        code = main(["dse", "--script", script_file, "--fractions", "",
+                     "--no-cache"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_functional_adds_fidelity_column(self, script_file, capsys):
+        code = main(["dse", "--script", script_file, "--fractions", "0.3",
+                     "--no-cache", "--functional"])
+        assert code == 0
+        assert "fidelity" in capsys.readouterr().out
+
+
 class TestExperimentCommand:
     def test_table1_runs(self, capsys):
         code = main(["experiment", "table1"])

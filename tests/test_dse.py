@@ -1,0 +1,250 @@
+"""Tests for the design-space exploration engine (repro.dse)."""
+
+import json
+import os
+
+import pytest
+
+from repro.dse import (
+    DesignCache,
+    PointResult,
+    SweepPoint,
+    SweepSpec,
+    frontier_knee,
+    pareto_frontier,
+    parse_qformat,
+    run_sweep,
+)
+from repro.dse.engine import evaluate_point
+from repro.errors import DeepBurningError
+from repro.frontend.graph import graph_from_text
+
+SCRIPT = """
+name: "dse_net"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "relu1" type: RELU bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return graph_from_text(SCRIPT)
+
+
+def _ok(time_s: float, lut: int, **extra) -> PointResult:
+    return PointResult(point=SweepPoint(fraction=0.3), status="ok",
+                       time_s=time_s, lut=lut, **extra)
+
+
+class TestSweepSpec:
+    def test_points_are_cartesian_product(self):
+        spec = SweepSpec(fractions=(0.1, 0.2),
+                         fold_capacity_scales=(1.0, 0.5))
+        points = spec.points()
+        assert len(points) == 4
+        assert [(p.fraction, p.fold_capacity_scale) for p in points] == [
+            (0.1, 1.0), (0.1, 0.5), (0.2, 1.0), (0.2, 0.5)]
+
+    def test_points_deterministic(self):
+        spec = SweepSpec(fractions=(0.1, 0.2, 0.4))
+        assert spec.points() == spec.points()
+
+    def test_explicit_points(self):
+        picked = [SweepPoint(fraction=0.1), SweepPoint(fraction=0.7)]
+        assert SweepSpec.explicit(picked).points() == picked
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(DeepBurningError):
+            SweepPoint(fraction=1.5)
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(DeepBurningError):
+            SweepPoint(device="UltraScale")
+
+    def test_parse_qformat(self):
+        assert parse_qformat("3.12") == (3, 12)
+        assert parse_qformat("Q7.8") == (7, 8)
+        with pytest.raises(DeepBurningError):
+            parse_qformat("16")
+
+
+class TestEvaluatePoint:
+    def test_feasible_point_records_metrics(self, graph):
+        result = evaluate_point(graph, SweepPoint(device="Z-7020",
+                                                  fraction=0.3))
+        assert result.feasible
+        assert result.lanes >= 1 and result.simd >= 1
+        assert result.cycles > 0 and result.time_s > 0
+        assert result.dsp > 0 and result.lut > 0
+        assert result.energy_j > 0 and result.power_w > 0
+        assert result.accuracy is None
+
+    def test_infeasible_budget_is_structured_not_raised(self, graph):
+        result = evaluate_point(graph, SweepPoint(device="Z-7020",
+                                                  fraction=0.001))
+        assert not result.feasible
+        assert result.status == "infeasible"
+        assert result.reason
+
+    def test_functional_records_fidelity(self, graph):
+        result = evaluate_point(graph, SweepPoint(device="Z-7020",
+                                                  fraction=0.3),
+                                functional=True, seed=0)
+        assert result.feasible
+        assert result.accuracy is not None
+        assert 0.5 < result.accuracy <= 1.0
+
+    def test_datapath_caps_respected(self, graph):
+        capped = evaluate_point(
+            graph, SweepPoint(fraction=0.4, max_lanes=1, max_simd=2))
+        assert capped.feasible
+        assert capped.lanes == 1 and capped.simd <= 2
+
+    def test_fold_scale_deepens_folding(self):
+        # Needs a network whose working set is tiled by the buffers; the
+        # tiny test MLP fits its buffers exactly, so scaling below 1
+        # would (correctly) come back infeasible there.
+        from repro.zoo import mnist
+        graph = mnist()
+        wide = evaluate_point(graph, SweepPoint(fraction=0.2))
+        deep = evaluate_point(
+            graph, SweepPoint(fraction=0.2, fold_capacity_scale=0.5))
+        assert deep.feasible
+        assert deep.folds > wide.folds
+
+
+class TestRunSweep:
+    def test_infeasible_points_do_not_abort(self, graph):
+        spec = SweepSpec(device="Z-7020", fractions=(0.001, 0.3))
+        sweep = run_sweep(graph, spec, jobs=1)
+        assert len(sweep.results) == 2
+        assert not sweep.results[0].feasible
+        assert sweep.results[1].feasible
+
+    def test_results_keep_spec_order(self, graph):
+        spec = SweepSpec(fractions=(0.4, 0.1, 0.2))
+        sweep = run_sweep(graph, spec, jobs=1)
+        assert [r.point.fraction for r in sweep.results] == [0.4, 0.1, 0.2]
+
+    def test_parallel_equals_serial(self, graph):
+        spec = SweepSpec(fractions=(0.001, 0.1, 0.2, 0.4))
+        serial = run_sweep(graph, spec, jobs=1)
+        parallel = run_sweep(graph, spec, jobs=4)
+        assert [r.to_json() for r in serial.results] == \
+            [r.to_json() for r in parallel.results]
+        assert [r.point.label for r in serial.frontier()] == \
+            [r.point.label for r in parallel.frontier()]
+
+    def test_bad_jobs_rejected(self, graph):
+        with pytest.raises(DeepBurningError):
+            run_sweep(graph, SweepSpec(fractions=(0.2,)), jobs=0)
+
+
+class TestDesignCache:
+    def test_second_run_hits_everything(self, graph, tmp_path):
+        spec = SweepSpec(fractions=(0.1, 0.2, 0.4))
+        cold = run_sweep(graph, spec, jobs=1,
+                         cache=DesignCache(str(tmp_path)))
+        assert cold.cache_hits == 0 and cold.cache_misses == 3
+        warm = run_sweep(graph, spec, jobs=1,
+                         cache=DesignCache(str(tmp_path)))
+        assert warm.cache_hits == 3 and warm.cache_misses == 0
+        assert all(r.cached for r in warm.results)
+        assert [r.to_json() for r in cold.results] == \
+            [r.to_json() for r in warm.results]
+
+    def test_overlapping_sweep_partially_hits(self, graph, tmp_path):
+        cache = DesignCache(str(tmp_path))
+        run_sweep(graph, SweepSpec(fractions=(0.1, 0.2)), jobs=1,
+                  cache=cache)
+        sweep = run_sweep(graph, SweepSpec(fractions=(0.2, 0.4)), jobs=1,
+                          cache=cache)
+        assert sweep.cache_hits == 1 and sweep.cache_misses == 1
+
+    def test_infeasible_points_cache_too(self, graph, tmp_path):
+        spec = SweepSpec(device="Z-7020", fractions=(0.001,))
+        run_sweep(graph, spec, jobs=1, cache=DesignCache(str(tmp_path)))
+        warm = run_sweep(graph, spec, jobs=1,
+                         cache=DesignCache(str(tmp_path)))
+        assert warm.cache_hits == 1
+        assert not warm.results[0].feasible
+
+    def test_different_network_misses(self, graph, tmp_path):
+        cache = DesignCache(str(tmp_path))
+        spec = SweepSpec(fractions=(0.2,))
+        run_sweep(graph, spec, jobs=1, cache=cache)
+        other = graph_from_text(SCRIPT.replace("num_output: 16",
+                                               "num_output: 32"))
+        sweep = run_sweep(other, spec, jobs=1, cache=cache)
+        assert sweep.cache_misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, graph, tmp_path):
+        cache = DesignCache(str(tmp_path))
+        spec = SweepSpec(fractions=(0.2,))
+        run_sweep(graph, spec, jobs=1, cache=cache)
+        for name in os.listdir(tmp_path):
+            (tmp_path / name).write_text("{broken json")
+        sweep = run_sweep(graph, spec, jobs=1,
+                          cache=DesignCache(str(tmp_path)))
+        assert sweep.cache_misses == 1
+        assert sweep.results[0].feasible
+
+    def test_entries_are_json_files(self, graph, tmp_path):
+        cache = DesignCache(str(tmp_path))
+        run_sweep(graph, SweepSpec(fractions=(0.2,)), jobs=1, cache=cache)
+        assert len(cache) == 1
+        name = os.listdir(tmp_path)[0]
+        data = json.loads((tmp_path / name).read_text())
+        assert data["status"] == "ok"
+        assert data["point"]["fraction"] == 0.2
+
+
+class TestParetoFrontier:
+    def test_hand_built_frontier(self):
+        fast_big = _ok(1.0, 1000)
+        slow_small = _ok(4.0, 100)
+        balanced = _ok(2.0, 400)
+        dominated = _ok(3.0, 500)   # worse than balanced on both axes
+        frontier = pareto_frontier([fast_big, slow_small, balanced,
+                                    dominated])
+        assert frontier == [slow_small, balanced, fast_big]
+
+    def test_infeasible_points_excluded(self):
+        bad = PointResult(point=SweepPoint(fraction=0.01),
+                          status="infeasible", reason="too small")
+        frontier = pareto_frontier([bad, _ok(1.0, 100)])
+        assert len(frontier) == 1 and frontier[0].feasible
+
+    def test_duplicate_coordinates_collapse(self):
+        a, b = _ok(1.0, 100), _ok(1.0, 100)
+        assert len(pareto_frontier([a, b])) == 1
+
+    def test_knee_balances_axes(self):
+        frontier = [_ok(10.0, 100), _ok(2.0, 400), _ok(1.9, 5000)]
+        knee = frontier_knee(pareto_frontier(frontier))
+        assert knee is not None
+        assert knee.time_s == 2.0 and knee.lut == 400
+
+    def test_knee_of_empty_frontier_is_none(self):
+        assert frontier_knee([]) is None
+
+
+class TestSweepResultRender:
+    def test_render_marks_frontier_and_cache(self, graph, tmp_path):
+        spec = SweepSpec(device="Z-7020", fractions=(0.001, 0.2, 0.4))
+        sweep = run_sweep(graph, spec, jobs=1,
+                          cache=DesignCache(str(tmp_path)))
+        text = sweep.render(title="test sweep")
+        assert "test sweep" in text
+        assert "infeasible" in text
+        assert "cache:" in text
+        assert "knee" in text
+
+    def test_result_json_roundtrip(self, graph):
+        result = evaluate_point(graph, SweepPoint(fraction=0.2))
+        restored = PointResult.from_json(result.to_json(), cached=True)
+        assert restored.as_cached() == restored
+        assert restored.to_json() == result.to_json()
+        assert restored.cached

@@ -35,6 +35,13 @@ class TestDesignSpaceExploration:
         for fraction in ("5%", "10%", "20%", "40%", "80%"):
             assert fraction in out
 
+    def test_reports_cache_and_knee(self, capsys):
+        out = run_example("design_space_exploration", capsys)
+        assert "cold sweep: cache: 0 hits, 5 misses" in out
+        assert "warm sweep: cache: 5 hits, 0 misses" in out
+        assert "knee" in out
+        assert "pareto" in out
+
 
 class TestExamplesAreListed:
     def test_readme_mentions_every_example(self):

@@ -1,0 +1,71 @@
+"""Tests for the stable network fingerprint (the design-cache key)."""
+
+from repro.frontend.graph import graph_from_text
+from repro.zoo import mnist
+
+SCRIPT = """
+name: "fp_net"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "relu1" type: RELU bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+
+class TestFingerprintStability:
+    def test_reparse_same_text_same_fingerprint(self):
+        assert graph_from_text(SCRIPT).fingerprint() == \
+            graph_from_text(SCRIPT).fingerprint()
+
+    def test_repeated_calls_stable(self):
+        graph = graph_from_text(SCRIPT)
+        assert graph.fingerprint() == graph.fingerprint()
+
+    def test_zoo_model_stable_across_builds(self):
+        assert mnist().fingerprint() == mnist().fingerprint()
+
+    def test_fingerprint_is_hex_sha256(self):
+        digest = graph_from_text(SCRIPT).fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestFingerprintIsContentHash:
+    def test_network_name_excluded(self):
+        renamed = SCRIPT.replace('name: "fp_net"', 'name: "other_net"')
+        assert graph_from_text(SCRIPT).fingerprint() == \
+            graph_from_text(renamed).fingerprint()
+
+    def test_declaration_order_independent(self):
+        # relu1 is in-place on ip1's blob; declaring ip2 before relu1
+        # changes file order but not the network content.
+        reordered = """
+name: "fp_net"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+layers { name: "relu1" type: RELU bottom: "ip1" top: "ip1" }
+"""
+        assert graph_from_text(SCRIPT).fingerprint() == \
+            graph_from_text(reordered).fingerprint()
+
+
+class TestFingerprintSensitivity:
+    def test_parameter_change_changes_fingerprint(self):
+        changed = SCRIPT.replace("num_output: 16", "num_output: 17")
+        assert graph_from_text(SCRIPT).fingerprint() != \
+            graph_from_text(changed).fingerprint()
+
+    def test_layer_rename_changes_fingerprint(self):
+        changed = SCRIPT.replace('"relu1"', '"relu_renamed"')
+        assert graph_from_text(SCRIPT).fingerprint() != \
+            graph_from_text(changed).fingerprint()
+
+    def test_input_shape_changes_fingerprint(self):
+        changed = SCRIPT.replace("dim: 8", "dim: 16")
+        assert graph_from_text(SCRIPT).fingerprint() != \
+            graph_from_text(changed).fingerprint()
+
+    def test_different_topologies_differ(self):
+        assert graph_from_text(SCRIPT).fingerprint() != \
+            mnist().fingerprint()
