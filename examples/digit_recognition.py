@@ -13,14 +13,12 @@ import tempfile
 
 import numpy as np
 
-from repro.compiler import DeepBurningCompiler
+import repro
 from repro.experiments.config import scheme_budget
 from repro.experiments.training import trained_mnist_small
 from repro.nn.reference import ReferenceNetwork
-from repro.nngen import NNGen
 from repro.rtl.emit import write_project
 from repro.rtl.lint import lint_source
-from repro.sim import AcceleratorSimulator
 from repro.sim.quantized import QuantizedExecutor
 
 
@@ -28,15 +26,13 @@ def main() -> None:
     print("training the digit CNN on synthetic digits (cached)...")
     graph, weights, test_x, test_y = trained_mnist_small()
 
-    budget = scheme_budget("DB")
-    design = NNGen().generate(graph, budget)
-    print(design.summary())
-
-    program = DeepBurningCompiler().compile(
-        design, weights=weights, calibration_inputs=[test_x[0], test_x[1]])
+    artifacts = repro.build(graph, budget=scheme_budget("DB"),
+                            weights=weights,
+                            calibration_inputs=[test_x[0], test_x[1]])
+    print(artifacts.design.summary())
 
     rtl_dir = os.path.join(tempfile.gettempdir(), "deepburning_digit_rtl")
-    paths = write_project(design, rtl_dir)
+    paths = write_project(artifacts.design, rtl_dir)
     sources = {os.path.basename(p): open(p).read()
                for p in paths if p.endswith(".v")}
     report = lint_source(sources)
@@ -44,7 +40,7 @@ def main() -> None:
     print(f"wrote {len(paths)} RTL files to {rtl_dir} (lint clean)")
 
     float_net = ReferenceNetwork(graph, weights)
-    quantized = QuantizedExecutor.from_program(program, weights)
+    quantized = QuantizedExecutor.from_program(artifacts.program, weights)
 
     float_correct = 0
     fixed_correct = 0
@@ -59,8 +55,7 @@ def main() -> None:
     print(f"  fixed-point accelerator accuracy: {100 * fixed_correct / total:.1f}%")
 
     # Timing/energy of one classification on the simulated board.
-    result = AcceleratorSimulator(program, weights=weights).run(
-        test_x[0], functional=True)
+    result = repro.simulate(artifacts, test_x[0])
     predicted = int(np.argmax(result.outputs["ip2"]))
     print(f"\none inference: {result.summary()}")
     print(f"accelerator predicts digit {predicted}, label is {int(test_y[0])}")

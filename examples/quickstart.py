@@ -1,26 +1,22 @@
 """Quickstart: one-click from descriptive script to accelerator.
 
-The DeepBurning flow of paper Fig. 3 in five steps:
+The DeepBurning flow of paper Fig. 3, driven through the
+``repro.build`` facade:
 
 1. write a Caffe-compatible descriptive script,
-2. NN-Gen generates the accelerator design under a resource budget,
-3. the compiler produces the control program (folds, AGU patterns,
-   Approx-LUT contents, data layout),
-4. the RTL backend emits synthesizable Verilog,
-5. the simulator runs a forward propagation and reports time/energy.
+2. ``repro.build`` runs the whole chain — parse, shape inference,
+   NN-Gen under a resource budget, compiler — in one call,
+3. the RTL backend emits synthesizable Verilog from the artifacts,
+4. ``repro.simulate`` runs a forward propagation and reports
+   time/energy plus the bit-accurate fixed-point outputs.
 
 Run: ``python examples/quickstart.py``
 """
 
 import numpy as np
 
-from repro.compiler import DeepBurningCompiler
-from repro.devices import Z7020, budget_fraction
-from repro.frontend.graph import graph_from_text
-from repro.nn.reference import init_weights
-from repro.nngen import NNGen
+import repro
 from repro.rtl.emit import emit_project, project_stats
-from repro.sim import AcceleratorSimulator
 
 SCRIPT = """
 name: "quickstart_net"
@@ -37,29 +33,23 @@ layers { name: "prob"  type: SOFTMAX bottom: "ip1" top: "prob" }
 
 
 def main() -> None:
-    # 1. Parse the descriptive script into the network IR.
-    graph = graph_from_text(SCRIPT)
-    print(f"parsed '{graph.name}': {len(graph)} layers")
+    # 1+2. Parse, infer shapes, generate hardware under a Z-7020 budget
+    # and compile the control program — one facade call.
+    artifacts = repro.build(SCRIPT, device="Z-7020", fraction=0.3,
+                            label="quickstart")
+    print(f"parsed '{artifacts.graph.name}': {len(artifacts.graph)} layers")
+    print(artifacts.design.summary())
+    print(artifacts.program.summary())
 
-    # 2. Generate the accelerator under a Z-7020 budget.
-    budget = budget_fraction(Z7020, 0.3, label="quickstart")
-    design = NNGen().generate(graph, budget)
-    print(design.summary())
-
-    # 3. Compile control flow, layout and LUT contents (with weights).
-    weights = init_weights(graph, np.random.default_rng(0))
-    program = DeepBurningCompiler().compile(design, weights=weights)
-    print(program.summary())
-
-    # 4. Emit the Verilog project.
-    sources = emit_project(design)
+    # 3. Emit the Verilog project.
+    sources = emit_project(artifacts.design)
     stats = project_stats(sources)
     print(f"emitted {stats['files']} Verilog files, "
           f"{stats['modules']} modules, {stats['lines']} lines")
 
-    # 5. Simulate one forward propagation (bit-level + timing).
-    image = np.random.default_rng(1).uniform(-1, 1, (1, 16, 16))
-    result = AcceleratorSimulator(program, weights=weights).run(image)
+    # 4. Simulate one forward propagation (bit-level + timing).
+    image = np.random.default_rng(1).uniform(-1, 1, artifacts.input_shape)
+    result = repro.simulate(artifacts, image)
     print(f"forward propagation: {result.summary()}")
     print(f"class scores (fixed-point): "
           f"{np.round(result.outputs['ip1'], 3)}")

@@ -8,6 +8,10 @@ the FPGA board.
 
 Entry points:
 
+* :func:`repro.build` / :func:`repro.simulate` — the one-call facade
+  over parse → NN-Gen → compile → simulate (see :mod:`repro.api`),
+* :mod:`repro.runtime` — batched inference serving over a built
+  accelerator,
 * :class:`repro.nngen.NNGen` — the hardware generator,
 * :class:`repro.compiler.DeepBurningCompiler` — the compiler,
 * :func:`repro.rtl.emit.write_project` — Verilog emission,
@@ -19,6 +23,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-__version__ = "1.0.0"
+from repro.api import BuildArtifacts, build, simulate
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = ["BuildArtifacts", "build", "simulate", "__version__"]

@@ -1,0 +1,187 @@
+"""One-call facade over the DeepBurning flow.
+
+Every consumer of the pipeline used to hand-wire the same five steps —
+parse the descriptive script, infer shapes, run NN-Gen under a budget,
+compile the control program, construct a simulator.  :func:`build`
+collapses that chain into a single call returning a
+:class:`BuildArtifacts` bundle, and :func:`simulate` runs one forward
+propagation on it::
+
+    import repro
+
+    artifacts = repro.build(script, device="Z-7020", fraction=0.3)
+    result = repro.simulate(artifacts)
+    print(result.summary())
+
+The CLI, the design-space explorer, the experiment runner, the baselines
+and the examples all route through this module; only the compiler
+package itself and :mod:`repro.api` construct the chain by hand.  The
+batched serving runtime (:mod:`repro.runtime`) wraps the same artifacts
+in a :class:`~repro.runtime.model.CompiledModel` for request streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.compiler import DeepBurningCompiler
+from repro.compiler.program import ControlProgram
+from repro.devices.device import (
+    Device,
+    ResourceBudget,
+    budget_fraction,
+    device_by_name,
+)
+from repro.fixedpoint.format import (
+    DEFAULT_DATA_FORMAT,
+    DEFAULT_WEIGHT_FORMAT,
+    QFormat,
+)
+from repro.frontend.graph import NetworkGraph, graph_from_text
+from repro.frontend.shapes import TensorShape, infer_shapes
+from repro.nn.reference import init_weights
+from repro.nngen.design import AcceleratorDesign
+from repro.nngen.generator import NNGen
+from repro.sim.accel import AcceleratorSimulator, SimulationResult
+
+#: Sentinel for ``build(weights=...)``: draw Gaussian weights from the
+#: build seed (what every untrained flow did by hand before the facade).
+RANDOM_WEIGHTS = "random"
+
+
+@dataclass(frozen=True)
+class BuildArtifacts:
+    """Everything the flow produced for one (network, budget) pair.
+
+    Immutable bundle of the parsed graph, inferred blob shapes, the
+    generated design, the compiled control program, the weights the
+    program was compiled against (``None`` for a weightless timing-only
+    build) and the resource budget.  Hand it to :func:`simulate`, to
+    :mod:`repro.rtl.emit` for Verilog, or to the serving runtime.
+    """
+
+    graph: NetworkGraph
+    shapes: dict[str, TensorShape]
+    design: AcceleratorDesign
+    program: ControlProgram
+    budget: ResourceBudget
+    weights: dict[str, dict[str, np.ndarray]] | None = None
+    seed: int = 0
+
+    @property
+    def input_blob(self) -> str:
+        return self.graph.inputs()[0].tops[0]
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        return self.shapes[self.input_blob].dims
+
+    def random_input(self, seed: int | None = None) -> np.ndarray:
+        """A uniform [-1, 1) input tensor of the network's input shape.
+
+        Defaults to ``build`` seed + 1, matching the convention every
+        hand-wired call site used, so facade runs are bit-identical to
+        the code they replaced.
+        """
+        rng = np.random.default_rng(
+            self.seed + 1 if seed is None else seed)
+        return rng.uniform(-1.0, 1.0, self.input_shape)
+
+    def summary(self) -> str:
+        return f"{self.design.summary()}\n{self.program.summary()}"
+
+
+def _as_graph(script_or_graph: str | NetworkGraph) -> NetworkGraph:
+    """Accept a parsed graph, a descriptive-script text, or a file path."""
+    if isinstance(script_or_graph, NetworkGraph):
+        return script_or_graph
+    text = script_or_graph
+    if "\n" not in text and "{" not in text:
+        with open(text, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return graph_from_text(text)
+
+
+def build(
+    script_or_graph: str | NetworkGraph,
+    *,
+    device: str | Device = "Z-7045",
+    fraction: float = 0.3,
+    budget: ResourceBudget | None = None,
+    data_format: QFormat | None = None,
+    weight_format: QFormat | None = None,
+    max_lanes: int = 0,
+    max_simd: int = 0,
+    fold_capacity_scale: float = 1.0,
+    weights: dict[str, dict[str, np.ndarray]] | str | None = RANDOM_WEIGHTS,
+    calibration_inputs: list[np.ndarray] | None = None,
+    seed: int = 0,
+    label: str = "",
+) -> BuildArtifacts:
+    """Run the whole flow: script/graph + constraint → build artifacts.
+
+    ``script_or_graph`` is a :class:`NetworkGraph`, the text of a
+    descriptive script, or a path to a ``*.prototxt`` file.  The budget
+    is either ``budget`` directly or carved from ``device`` (name or
+    :class:`Device`) by ``fraction``.  ``weights`` is a trained weight
+    dict, :data:`RANDOM_WEIGHTS` (Gaussian init from ``seed``, the
+    default) or ``None`` for a weightless timing-only build.  The
+    remaining knobs pass straight through to
+    :meth:`~repro.nngen.generator.NNGen.generate` and
+    :meth:`~repro.compiler.compiler.DeepBurningCompiler.compile`.
+    """
+    graph = _as_graph(script_or_graph)
+    if budget is None:
+        if isinstance(device, str):
+            device = device_by_name(device)
+        budget = budget_fraction(device, fraction, label)
+    design = NNGen().generate(
+        graph, budget,
+        data_format=data_format or DEFAULT_DATA_FORMAT,
+        weight_format=weight_format or DEFAULT_WEIGHT_FORMAT,
+        max_lanes=max_lanes,
+        max_simd=max_simd,
+        fold_capacity_scale=fold_capacity_scale,
+    )
+    if isinstance(weights, str):
+        if weights != RANDOM_WEIGHTS:
+            raise ValueError(
+                f"weights must be a dict, None or '{RANDOM_WEIGHTS}', "
+                f"got '{weights}'"
+            )
+        weights = init_weights(graph, np.random.default_rng(seed))
+    program = DeepBurningCompiler().compile(
+        design, weights=weights, calibration_inputs=calibration_inputs)
+    return BuildArtifacts(
+        graph=graph,
+        shapes=infer_shapes(graph),
+        design=design,
+        program=program,
+        budget=budget,
+        weights=weights,
+        seed=seed,
+    )
+
+
+def simulator(artifacts: BuildArtifacts) -> AcceleratorSimulator:
+    """A fresh simulator over the artifacts' program and weights."""
+    return AcceleratorSimulator(artifacts.program, weights=artifacts.weights)
+
+
+def simulate(
+    artifacts: BuildArtifacts,
+    inputs: np.ndarray | None = None,
+    *,
+    functional: bool = True,
+) -> SimulationResult:
+    """One forward propagation on the built accelerator.
+
+    ``functional=True`` (the default) runs the bit-level fixed-point
+    execution as well as timing/energy; with ``inputs=None`` a random
+    input from :meth:`BuildArtifacts.random_input` is used.
+    """
+    if functional and inputs is None:
+        inputs = artifacts.random_input()
+    return simulator(artifacts).run(inputs, functional=functional)

@@ -18,13 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.compiler import DeepBurningCompiler
+from repro import api
 from repro.devices.cost import ResourceCost
 from repro.devices.device import ResourceBudget
 from repro.frontend.graph import NetworkGraph
 from repro.nngen.design import AcceleratorDesign
-from repro.nngen.generator import NNGen
-from repro.sim.accel import AcceleratorSimulator, SimulationResult
+from repro.sim.accel import SimulationResult
 
 #: Fraction of the generated design's LUT/FF glue the hand design needs.
 HAND_TUNED_LUT_FACTOR = 0.93
@@ -41,7 +40,11 @@ HAND_TUNED_ENERGY_FACTOR = 1.0 / 1.12
 class CustomAccelerator:
     """A manually-designed accelerator for one specific network."""
 
-    design: AcceleratorDesign
+    artifacts: api.BuildArtifacts
+
+    @property
+    def design(self) -> AcceleratorDesign:
+        return self.artifacts.design
 
     def resource_report(self) -> ResourceCost:
         generated = self.design.resource_report()
@@ -52,11 +55,9 @@ class CustomAccelerator:
             bram_bits=generated.bram_bits,
         )
 
-    def simulate(self, weights=None) -> SimulationResult:
+    def simulate(self) -> SimulationResult:
         """Timing/energy of one forward pass on the hand design."""
-        program = DeepBurningCompiler().compile(self.design, weights=weights)
-        result = AcceleratorSimulator(program, weights=weights).run(
-            functional=False)
+        result = api.simulate(self.artifacts, functional=False)
         cycles = int(result.cycles / HAND_TUNED_SPEEDUP)
         scale = cycles / max(1, result.cycles)
         energy = result.energy
@@ -87,5 +88,5 @@ def custom_design(graph: NetworkGraph, budget: ResourceBudget) -> CustomAccelera
     The student starts from the same resource envelope the generated DB
     accelerator gets, so Table 3's DSP columns match.
     """
-    design = NNGen().generate(graph, budget)
-    return CustomAccelerator(design=design)
+    artifacts = api.build(graph, budget=budget, weights=None)
+    return CustomAccelerator(artifacts=artifacts)

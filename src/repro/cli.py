@@ -6,13 +6,14 @@
         --fraction 0.3 --out rtl/
     python -m repro simulate --script net.prototxt --device Z-7020 \
         --fraction 0.2
+    python -m repro bench --model mnist --requests 64
     python -m repro experiment fig8
 
-``generate`` parses the descriptive script, runs NN-Gen and the
-compiler, writes the Verilog project and prints the design summary;
-``simulate`` additionally runs a forward propagation with random
-weights and inputs; ``experiment`` regenerates one of the paper's
-tables/figures by id.
+``generate`` runs :func:`repro.api.build` and writes the Verilog
+project; ``simulate`` additionally runs a forward propagation with
+random weights and inputs; ``bench`` measures the batched serving
+runtime against the sequential loop; ``experiment`` regenerates one of
+the paper's tables/figures by id.
 """
 
 from __future__ import annotations
@@ -22,21 +23,10 @@ import sys
 
 import numpy as np
 
-from repro.compiler.compiler import DeepBurningCompiler
-from repro.devices.device import (
-    DEVICES as _DEVICE_REGISTRY,
-    Device,
-    budget_fraction,
-)
+from repro import api
+from repro.devices.device import DEVICES
 from repro.errors import DeepBurningError
 from repro.frontend.graph import graph_from_text
-from repro.frontend.shapes import infer_shapes
-from repro.nn.reference import init_weights
-from repro.nngen.generator import NNGen
-from repro.rtl.emit import write_project
-from repro.sim.accel import AcceleratorSimulator
-
-DEVICES: dict[str, Device] = dict(_DEVICE_REGISTRY)
 
 EXPERIMENTS = (
     "table1", "table2", "fig8", "fig9", "fig10", "table3", "claims",
@@ -48,37 +38,29 @@ def _load_graph(path: str):
         return graph_from_text(handle.read())
 
 
-def _budget(args: argparse.Namespace):
-    try:
-        device = DEVICES[args.device]
-    except KeyError:
-        raise DeepBurningError(
-            f"unknown device '{args.device}'; options: {sorted(DEVICES)}"
-        ) from None
-    return budget_fraction(device, args.fraction)
-
-
-def _prepare(args: argparse.Namespace):
-    graph = _load_graph(args.script)
-    design = NNGen().generate(graph, _budget(args))
-    weights = init_weights(graph, np.random.default_rng(args.seed))
-    program = DeepBurningCompiler().compile(design, weights=weights)
-    return graph, design, weights, program
+def _prepare(args: argparse.Namespace) -> api.BuildArtifacts:
+    return api.build(
+        _load_graph(args.script),
+        device=args.device,
+        fraction=args.fraction,
+        seed=args.seed,
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    graph, design, _, program = _prepare(args)
-    print(design.summary())
-    print(program.summary())
+    artifacts = _prepare(args)
+    print(artifacts.design.summary())
+    print(artifacts.program.summary())
     if args.out:
+        from repro.rtl.emit import write_project
         from repro.rtl.images import write_images
         from repro.rtl.testbench import emit_testbench
         import os
-        paths = write_project(design, args.out)
-        paths += write_images(program, args.out)
+        paths = write_project(artifacts.design, args.out)
+        paths += write_images(artifacts.program, args.out)
         tb_path = os.path.join(args.out, "accelerator_top_tb.v")
         with open(tb_path, "w", encoding="utf-8") as handle:
-            handle.write(emit_testbench(design))
+            handle.write(emit_testbench(artifacts.design))
         paths.append(tb_path)
         print(f"wrote {len(paths)} files to {args.out} "
               "(RTL + testbench + memory images)")
@@ -86,14 +68,10 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    graph, design, weights, program = _prepare(args)
+    artifacts = _prepare(args)
+    design = artifacts.design
     print(design.summary())
-    shapes = infer_shapes(graph)
-    input_blob = graph.inputs()[0].tops[0]
-    rng = np.random.default_rng(args.seed + 1)
-    image = rng.uniform(-1.0, 1.0, shapes[input_blob].dims)
-    result = AcceleratorSimulator(program, weights=weights).run(
-        image, functional=not args.timing_only)
+    result = api.simulate(artifacts, functional=not args.timing_only)
     print(result.summary())
     if args.report:
         print(result.layer_report(
@@ -141,6 +119,30 @@ def cmd_dse(args: argparse.Namespace) -> int:
               f"({len(sweep.results)} points, jobs={args.jobs})"
     ))
     print(f"swept {len(sweep.results)} points in {sweep.elapsed_s:.2f}s")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runtime import run_bench
+
+    report = run_bench(
+        args.model,
+        script=args.script,
+        requests=args.requests,
+        workers=args.workers,
+        max_batch_size=args.batch_size,
+        max_queue_depth=args.queue_depth,
+        batch_timeout_s=args.batch_timeout,
+        timeout_s=args.timeout,
+        device=args.device,
+        fraction=args.fraction,
+        functional=not args.timing_only,
+        seed=args.seed,
+        out=args.out,
+    )
+    print(report.render())
+    if args.out:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -235,6 +237,37 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--seed", type=int, default=0,
                      help="seed for functional evaluation")
     dse.set_defaults(handler=cmd_dse)
+
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark the batched serving runtime vs the sequential loop")
+    bench.add_argument("--model", default="mnist",
+                       help="zoo benchmark network to serve")
+    bench.add_argument("--script", default="",
+                       help="serve a *.prototxt script instead of --model")
+    bench.add_argument("--requests", type=int, default=64,
+                       help="number of requests in the synthetic stream")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker simulator sessions")
+    bench.add_argument("--batch-size", type=int, default=8,
+                       help="micro-batch flush size")
+    bench.add_argument("--queue-depth", type=int, default=256,
+                       help="bounded request-queue capacity")
+    bench.add_argument("--batch-timeout", type=float, default=0.002,
+                       help="micro-batch flush deadline in seconds")
+    bench.add_argument("--timeout", type=float, default=None,
+                       help="per-request deadline in seconds")
+    bench.add_argument("--device", default="Z-7045", choices=sorted(DEVICES),
+                       help="target FPGA device")
+    bench.add_argument("--fraction", type=float, default=0.3,
+                       help="resource budget as a fraction of the device")
+    bench.add_argument("--timing-only", action="store_true",
+                       help="skip the bit-level functional execution")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="seed for weights and the request stream")
+    bench.add_argument("--out", default="BENCH_runtime.json",
+                       help="report path ('' to skip writing)")
+    bench.set_defaults(handler=cmd_bench)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure")

@@ -1,13 +1,11 @@
 """The sweep engine: enumerate, cache-check, evaluate, aggregate.
 
-Each sweep point runs the full existing pipeline —
-:class:`~repro.nngen.generator.NNGen` →
-:class:`~repro.compiler.compiler.DeepBurningCompiler` →
-:class:`~repro.sim.accel.AcceleratorSimulator` — in a worker process
-(``--jobs N``) or serially (``--jobs 1``).  Results come back in point
-order regardless of completion order, so parallel and serial sweeps are
-bit-identical.  A :class:`~repro.dse.cache.DesignCache` short-circuits
-points already evaluated for the same network fingerprint.
+Each sweep point runs the full pipeline through the
+:func:`repro.api.build` facade in a worker process (``--jobs N``) or
+serially (``--jobs 1``).  Results come back in point order regardless
+of completion order, so parallel and serial sweeps are bit-identical.
+A :class:`~repro.dse.cache.DesignCache` short-circuits points already
+evaluated for the same network fingerprint.
 """
 
 from __future__ import annotations
@@ -17,22 +15,19 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 
 import numpy as np
 
-from repro.compiler.compiler import DeepBurningCompiler
+from repro import api
 from repro.devices.device import budget_fraction, device_by_name
 from repro.dse.cache import DesignCache
 from repro.dse.result import PointResult, SweepResult
 from repro.dse.spec import SweepPoint, SweepSpec
 from repro.errors import DeepBurningError
 from repro.frontend.graph import NetworkGraph
-from repro.frontend.shapes import infer_shapes
-from repro.nn.reference import ReferenceNetwork, init_weights
-from repro.nngen.generator import NNGen
-from repro.sim.accel import AcceleratorSimulator
+from repro.nn.reference import ReferenceNetwork
 
 
 def evaluate_point(graph: NetworkGraph, point: SweepPoint,
                    functional: bool = False, seed: int = 0) -> PointResult:
-    """Run one point through generate→compile→simulate.
+    """Run one point through the build→simulate facade.
 
     Any :class:`~repro.errors.DeepBurningError` — a budget that cannot
     fit the minimal datapath, an unsupported layer, a compile failure —
@@ -41,30 +36,24 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
     """
     try:
         device = device_by_name(point.device)
-        budget = budget_fraction(device, point.fraction)
-        design = NNGen().generate(
-            graph, budget,
+        artifacts = api.build(
+            graph,
+            budget=budget_fraction(device, point.fraction),
             data_format=point.data_format,
             weight_format=point.weight_format,
             max_lanes=point.max_lanes,
             max_simd=point.max_simd,
             fold_capacity_scale=point.fold_capacity_scale,
+            weights=api.RANDOM_WEIGHTS if functional else None,
+            seed=seed,
         )
-        weights = None
-        if functional:
-            weights = init_weights(graph, np.random.default_rng(seed))
-        program = DeepBurningCompiler().compile(design, weights=weights)
-        simulator = AcceleratorSimulator(program, weights=weights)
-        inputs = None
-        if functional:
-            shapes = infer_shapes(graph)
-            input_blob = graph.inputs()[0].tops[0]
-            rng = np.random.default_rng(seed + 1)
-            inputs = rng.uniform(-1.0, 1.0, shapes[input_blob].dims)
-        sim = simulator.run(inputs, functional=functional)
+        design = artifacts.design
+        sim = api.simulate(artifacts, functional=functional)
         accuracy = None
         if functional:
-            reference = ReferenceNetwork(graph, weights).output(inputs)
+            inputs = artifacts.random_input()
+            reference = ReferenceNetwork(graph,
+                                         artifacts.weights).output(inputs)
             accuracy = _fidelity(np.asarray(sim.output, dtype=float),
                                  np.asarray(reference, dtype=float))
         used = design.resource_report()

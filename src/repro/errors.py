@@ -63,3 +63,15 @@ class RTLError(DeepBurningError):
 
 class QuantizationError(DeepBurningError):
     """A value cannot be represented in the requested fixed-point format."""
+
+
+class ServingError(DeepBurningError):
+    """The inference serving runtime was misused or reached a bad state."""
+
+
+class QueueFullError(ServingError):
+    """The server's bounded request queue rejected a submission.
+
+    Backpressure signal: the caller should retry later or shed load.
+    """
+

@@ -28,7 +28,7 @@ from repro.apps.robot import (
     denormalise_angles,
     inverse_kinematics_dataset,
 )
-from repro.compiler.compiler import DeepBurningCompiler
+from repro import api
 from repro.compiler.lut import build_lut
 from repro.experiments.config import scheme_budget
 from repro.experiments.report import render_table
@@ -46,7 +46,6 @@ from repro.nn.cmac import CMAC
 from repro.nn.hopfield import HopfieldTSPSolver, TSPInstance, \
     nearest_neighbour_tour
 from repro.nn.reference import ReferenceNetwork
-from repro.nngen.generator import NNGen
 from repro.sim.quantized import QuantizedExecutor
 
 
@@ -65,10 +64,9 @@ class AccuracyRecord:
 
 def quantized_from_trained(graph, weights, calibration_inputs):
     """Run the trained model through the full DeepBurning flow."""
-    design = NNGen().generate(graph, scheme_budget("DB"))
-    program = DeepBurningCompiler().compile(
-        design, weights=weights, calibration_inputs=calibration_inputs)
-    return QuantizedExecutor.from_program(program, weights)
+    artifacts = api.build(graph, budget=scheme_budget("DB"), weights=weights,
+                          calibration_inputs=calibration_inputs)
+    return QuantizedExecutor.from_program(artifacts.program, weights)
 
 
 # --- approximate-computing benchmarks ---------------------------------

@@ -12,15 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import api
 from repro.baselines.cpu import XEON_2_4GHZ
 from repro.baselines.custom import custom_design
 from repro.baselines.zhang_fpga15 import ZhangFPGA15
-from repro.compiler.compiler import DeepBurningCompiler
 from repro.devices.cost import ResourceCost
 from repro.errors import SimulationError
 from repro.experiments.config import benchmark_case, scheme_budget
-from repro.nngen.generator import NNGen
-from repro.sim.accel import AcceleratorSimulator
 
 
 @dataclass(frozen=True)
@@ -39,9 +37,9 @@ class PerfRecord:
 
 
 @lru_cache(maxsize=None)
-def _generated_design(benchmark: str, scheme: str):
+def _built(benchmark: str, scheme: str) -> api.BuildArtifacts:
     graph = benchmark_case(benchmark).graph()
-    return NNGen().generate(graph, scheme_budget(scheme))
+    return api.build(graph, budget=scheme_budget(scheme), weights=None)
 
 
 @lru_cache(maxsize=None)
@@ -75,7 +73,7 @@ def simulate_scheme(benchmark: str, scheme: str) -> PerfRecord:
             energy_j=model.conv_energy_j(graph), power_w=model.power_w,
         )
     if scheme == "Custom":
-        design = _generated_design(benchmark, "DB")
+        design = _built(benchmark, "DB").design
         custom = custom_design(design.graph, design.budget)
         result = custom.simulate()
         return PerfRecord(
@@ -87,9 +85,9 @@ def simulate_scheme(benchmark: str, scheme: str) -> PerfRecord:
             simd=custom.design.datapath.simd,
             fold_phases=len(custom.design.folding),
         )
-    design = _generated_design(benchmark, scheme)
-    program = DeepBurningCompiler().compile(design)
-    result = AcceleratorSimulator(program).run(functional=False)
+    artifacts = _built(benchmark, scheme)
+    design = artifacts.design
+    result = api.simulate(artifacts, functional=False)
     return PerfRecord(
         benchmark=benchmark, scheme=scheme,
         time_s=result.time_s, energy_j=result.energy.total_j,

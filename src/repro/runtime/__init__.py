@@ -1,0 +1,48 @@
+"""Batched inference serving on top of the cycle-level simulator.
+
+The paper's flow stops at one accelerator running one forward pass;
+this package turns a built accelerator into a serving endpoint:
+
+* :class:`~repro.runtime.model.CompiledModel` — the immutable handle
+  over one :class:`~repro.api.BuildArtifacts` bundle, with per-thread
+  simulator sessions;
+* :class:`~repro.runtime.server.InferenceServer` — bounded request
+  queue, dynamic micro-batcher (flush on size or deadline), N worker
+  sessions, structured timeout/error responses;
+* :class:`~repro.runtime.metrics.MetricsRegistry` — counters and
+  latency/batch-size histograms with a text report;
+* :func:`~repro.runtime.bench.run_bench` — the ``repro bench``
+  sequential-vs-batched measurement writing ``BENCH_runtime.json``.
+
+Typical use::
+
+    model = CompiledModel.from_zoo("mnist", device="Z-7045", fraction=0.3)
+    with InferenceServer(model, workers=4, max_batch_size=8) as server:
+        responses = [server.submit(x) for x in inputs]
+        outputs = [r.result().output for r in responses]
+"""
+
+from repro.runtime.batcher import MicroBatcher
+from repro.runtime.bench import BenchReport, run_bench
+from repro.runtime.metrics import Counter, Histogram, MetricsRegistry
+from repro.runtime.model import CompiledModel
+from repro.runtime.server import (
+    InferenceResponse,
+    InferenceServer,
+    PendingRequest,
+    RequestTimeout,
+)
+
+__all__ = [
+    "BenchReport",
+    "CompiledModel",
+    "Counter",
+    "Histogram",
+    "InferenceResponse",
+    "InferenceServer",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "PendingRequest",
+    "RequestTimeout",
+    "run_bench",
+]

@@ -1,0 +1,103 @@
+"""Bounded request queue + dynamic micro-batcher.
+
+The :class:`MicroBatcher` owns the server's bounded FIFO.  ``put`` is
+the backpressure point: a full queue raises
+:class:`~repro.errors.QueueFullError` instead of growing without bound.
+``next_batch`` is the dynamic batching policy: it blocks for the first
+request, then keeps the batch open until either ``max_batch_size``
+requests are aboard or ``batch_timeout_s`` has elapsed since the batch
+opened — flush on size or deadline, whichever comes first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.errors import QueueFullError
+
+
+class MicroBatcher:
+    """Thread-safe bounded queue with batch-forming pop."""
+
+    def __init__(self, max_depth: int, max_batch_size: int,
+                 batch_timeout_s: float) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if batch_timeout_s < 0:
+            raise ValueError(
+                f"batch_timeout_s must be >= 0, got {batch_timeout_s}")
+        self.max_depth = max_depth
+        self.max_batch_size = max_batch_size
+        self.batch_timeout_s = batch_timeout_s
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def put(self, request) -> int:
+        """Enqueue; returns the queue depth after the append.
+
+        Raises :class:`QueueFullError` when the queue is at capacity or
+        closed; never blocks.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise QueueFullError("server is stopped; queue is closed")
+            if len(self._queue) >= self.max_depth:
+                raise QueueFullError(
+                    f"request queue is full ({self.max_depth} pending); "
+                    "retry later"
+                )
+            self._queue.append(request)
+            depth = len(self._queue)
+            self._not_empty.notify()
+            return depth
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Stop accepting requests and wake any waiting batch-former."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+
+    def next_batch(self) -> list:
+        """Form the next micro-batch; ``[]`` once closed and drained.
+
+        Blocks until at least one request is queued, then collects up to
+        ``max_batch_size`` requests, waiting at most ``batch_timeout_s``
+        (measured from the moment the batch opened) for stragglers.
+        """
+        with self._not_empty:
+            while not self._queue:
+                if self._closed:
+                    return []
+                self._not_empty.wait(timeout=0.05)
+            batch = [self._queue.popleft()]
+            deadline = time.perf_counter() + self.batch_timeout_s
+            while len(batch) < self.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                if self._closed:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._not_empty.wait(timeout=remaining)
+            return batch

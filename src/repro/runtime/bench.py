@@ -1,0 +1,210 @@
+"""The serving benchmark behind ``repro bench``.
+
+Builds one zoo network (or a user script), replays a synthetic request
+stream through two paths and reports the contrast:
+
+* **sequential** — the pre-runtime behaviour: every request constructs a
+  fresh :class:`~repro.sim.accel.AcceleratorSimulator` and runs alone,
+  exactly what the six hand-wired call sites used to do in a loop;
+* **runtime** — the :class:`~repro.runtime.server.InferenceServer` with
+  dynamic micro-batching and N worker sessions.
+
+The report is written as ``BENCH_runtime.json`` (schema documented in
+``docs/file_formats.md``) and rendered as text for the terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro import api
+from repro.errors import QueueFullError, ServingError
+from repro.runtime.model import CompiledModel
+from repro.runtime.server import InferenceServer
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``repro bench`` run measured."""
+
+    model: str
+    device: str
+    fraction: float
+    requests: int
+    workers: int
+    max_batch_size: int
+    functional: bool
+    seed: int
+    #: simulated per-request accelerator cost (input-independent).
+    simulated_cycles: int = 0
+    simulated_time_s: float = 0.0
+    sequential: dict = field(default_factory=dict)
+    runtime: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        base = self.sequential.get("requests_per_s", 0.0)
+        served = self.runtime.get("requests_per_s", 0.0)
+        return served / base if base else 0.0
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["speedup"] = self.speedup
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"serving benchmark: '{self.model}' on {self.device} "
+            f"@ {self.fraction:.0%}, {self.requests} requests",
+            f"  simulated accelerator latency: {self.simulated_cycles} "
+            f"cycles = {self.simulated_time_s * 1e3:.3f} ms/request",
+            f"  sequential loop:  {self.sequential['requests_per_s']:8.1f} "
+            f"req/s  ({self.sequential['wall_s']:.3f}s wall)",
+            f"  batched runtime:  {self.runtime['requests_per_s']:8.1f} "
+            f"req/s  ({self.runtime['wall_s']:.3f}s wall, "
+            f"{self.workers} workers, batch<= {self.max_batch_size})",
+            f"  speedup: {self.speedup:.2f}x",
+            f"  latency p50/p95: {self.runtime['latency_p50_s'] * 1e3:.2f}/"
+            f"{self.runtime['latency_p95_s'] * 1e3:.2f} ms",
+            f"  mean batch size: {self.runtime['mean_batch_size']:.2f} "
+            f"({self.runtime['batches']} batches)",
+        ]
+        return "\n".join(lines)
+
+
+def _sequential_pass(model: CompiledModel, stream, functional: bool) -> dict:
+    """The old one-request-at-a-time loop: fresh simulator per request."""
+    from repro.sim.accel import AcceleratorSimulator
+    artifacts = model.artifacts
+    started = time.perf_counter()
+    for inputs in stream:
+        simulator = AcceleratorSimulator(artifacts.program,
+                                         weights=artifacts.weights)
+        simulator.run(inputs, functional=functional)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": wall,
+        "requests_per_s": len(stream) / wall if wall else 0.0,
+    }
+
+
+def _runtime_pass(model: CompiledModel, stream, *, workers: int,
+                  max_batch_size: int, max_queue_depth: int,
+                  batch_timeout_s: float, timeout_s: float | None,
+                  functional: bool) -> tuple[dict, dict]:
+    server = InferenceServer(
+        model,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_queue_depth=max_queue_depth,
+        batch_timeout_s=batch_timeout_s,
+        request_timeout_s=timeout_s,
+        functional=functional,
+    )
+    pending = []
+    with server:
+        # Clock starts with the server warm: steady-state serving
+        # throughput, not pool spin-up.
+        started = time.perf_counter()
+        for inputs in stream:
+            while True:
+                try:
+                    pending.append(server.submit(inputs))
+                    break
+                except QueueFullError:
+                    # Backpressure: wait for the oldest in-flight request.
+                    if not pending:
+                        raise
+                    pending[0].result()
+        responses = [p.result() for p in pending]
+        wall = time.perf_counter() - started
+    failed = [r for r in responses if not r.ok]
+    if failed:
+        raise ServingError(
+            f"{len(failed)}/{len(responses)} requests failed during the "
+            f"benchmark (first: {failed[0].status}: {failed[0].error})"
+        )
+    latency = server.metrics.histogram("latency_s")
+    batch_size = server.metrics.histogram("batch_size")
+    queue_depth = server.metrics.histogram("queue_depth")
+    runtime = {
+        "wall_s": wall,
+        "requests_per_s": len(stream) / wall if wall else 0.0,
+        "latency_p50_s": latency.percentile(50),
+        "latency_p95_s": latency.percentile(95),
+        "latency_mean_s": latency.mean,
+        "latency_max_s": latency.max,
+        "mean_batch_size": batch_size.mean,
+        "max_batch_size_seen": batch_size.max,
+        "batches": batch_size.count,
+        "max_queue_depth_seen": queue_depth.max,
+    }
+    return runtime, server.metrics.snapshot()
+
+
+def run_bench(
+    model: str = "mnist",
+    *,
+    script: str = "",
+    requests: int = 64,
+    workers: int = 4,
+    max_batch_size: int = 8,
+    max_queue_depth: int = 256,
+    batch_timeout_s: float = 0.002,
+    timeout_s: float | None = None,
+    device: str = "Z-7045",
+    fraction: float = 0.3,
+    functional: bool = True,
+    seed: int = 0,
+    out: str = "BENCH_runtime.json",
+) -> BenchReport:
+    """Measure sequential vs batched serving and write the JSON report.
+
+    ``model`` names a zoo benchmark; a non-empty ``script`` (path or
+    descriptive-script text) overrides it.  ``out=""`` skips the file.
+    """
+    if script:
+        compiled = CompiledModel.build(script, device=device,
+                                       fraction=fraction, seed=seed)
+    else:
+        compiled = CompiledModel.from_zoo(model, device=device,
+                                          fraction=fraction, seed=seed)
+    stream = compiled.random_requests(requests, seed=seed + 1)
+    probe = compiled.new_session().run(stream[0], functional=functional)
+
+    sequential = _sequential_pass(compiled, stream, functional)
+    runtime, metrics = _runtime_pass(
+        compiled, stream,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_queue_depth=max_queue_depth,
+        batch_timeout_s=batch_timeout_s,
+        timeout_s=timeout_s,
+        functional=functional,
+    )
+    report = BenchReport(
+        model=compiled.name,
+        device=device,
+        fraction=fraction,
+        requests=requests,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        functional=functional,
+        seed=seed,
+        simulated_cycles=probe.cycles,
+        simulated_time_s=probe.time_s,
+        sequential=sequential,
+        runtime=runtime,
+        metrics=metrics,
+    )
+    if out:
+        report.write(out)
+    return report

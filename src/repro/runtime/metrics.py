@@ -1,0 +1,154 @@
+"""Lightweight serving metrics: counters, histograms, text report.
+
+A :class:`MetricsRegistry` is a named bag of :class:`Counter`s and
+:class:`Histogram`s, thread-safe so the batcher thread and every worker
+can record into the same registry.  Histograms keep raw observations
+(bounded by a reservoir cap) and answer percentile queries directly —
+at serving-benchmark scale that is simpler and more precise than fixed
+buckets.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter '{self.name}' cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Raw-observation histogram with percentile queries.
+
+    Keeps at most ``cap`` observations (a simple head reservoir: once
+    full, later observations still update count/sum/min/max but no
+    longer widen the percentile sample).
+    """
+
+    def __init__(self, name: str, cap: int = 100_000) -> None:
+        self.name = name
+        self.cap = cap
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if len(self._samples) < self.cap:
+                self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), linearly interpolated."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} must be in [0, 100]")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        position = (len(samples) - 1) * q / 100.0
+        low = int(position)
+        high = min(low + 1, len(samples) - 1)
+        weight = position - low
+        return samples[low] * (1.0 - weight) + samples[high] * weight
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Create-or-get registry of named counters and histograms."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self.counters:
+                self.counters[name] = Counter(name)
+            return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self.histograms:
+                self.histograms[name] = Histogram(name)
+            return self.histograms[name]
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-ready dict."""
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(self.counters.items())},
+            "histograms": {name: histogram.snapshot()
+                           for name, histogram
+                           in sorted(self.histograms.items())},
+        }
+
+    def render(self) -> str:
+        """Human-readable report of every counter and histogram."""
+        lines = ["counters"]
+        for name, counter in sorted(self.counters.items()):
+            lines.append(f"  {name:28s} {counter.value}")
+        lines.append("histograms            count       mean        p50"
+                     "        p95        max")
+        for name, histogram in sorted(self.histograms.items()):
+            lines.append(
+                f"  {name:18s} {histogram.count:8d} {histogram.mean:10.4g}"
+                f" {histogram.percentile(50):10.4g}"
+                f" {histogram.percentile(95):10.4g}"
+                f" {histogram.max:10.4g}"
+            )
+        return "\n".join(lines)

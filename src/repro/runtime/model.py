@@ -1,0 +1,88 @@
+"""The immutable serving handle: one built accelerator, many requests.
+
+A :class:`CompiledModel` wraps the :class:`~repro.api.BuildArtifacts`
+bundle (graph, design, control program, weights, memory layout) behind a
+request-oriented interface.  The artifacts never change after
+construction; every mutable piece of simulation state lives in
+per-worker :class:`~repro.sim.accel.AcceleratorSimulator` sessions, so
+N workers can serve the same model concurrently without sharing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import threading
+
+import numpy as np
+
+from repro import api
+from repro.sim.accel import AcceleratorSimulator, SimulationResult
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """One generated accelerator, packaged for the serving runtime."""
+
+    artifacts: api.BuildArtifacts
+    name: str = ""
+    _local: threading.local = field(default_factory=threading.local,
+                                    repr=False, compare=False)
+
+    @classmethod
+    def build(cls, script_or_graph, name: str = "",
+              **build_kwargs) -> "CompiledModel":
+        """Run :func:`repro.api.build` and wrap the result."""
+        artifacts = api.build(script_or_graph, **build_kwargs)
+        return cls(artifacts=artifacts, name=name or artifacts.graph.name)
+
+    @classmethod
+    def from_zoo(cls, benchmark: str, **build_kwargs) -> "CompiledModel":
+        """Build a zoo benchmark network (e.g. ``"mnist"``) for serving."""
+        from repro.zoo import benchmark_graph
+        graph = benchmark_graph(benchmark)
+        return cls.build(graph, name=benchmark, **build_kwargs)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        return self.artifacts.input_shape
+
+    def new_session(self) -> AcceleratorSimulator:
+        """A fresh simulator session (one per worker thread).
+
+        Each session caches its own timing pass and quantized executor,
+        so a long-lived worker pays the schedule replay once, not once
+        per request.
+        """
+        return api.simulator(self.artifacts)
+
+    def session(self) -> AcceleratorSimulator:
+        """The calling thread's private session, created on first use."""
+        session = getattr(self._local, "session", None)
+        if session is None:
+            session = self.new_session()
+            self._local.session = session
+        return session
+
+    def warm_session(self, functional: bool = True) -> AcceleratorSimulator:
+        """Pre-build this thread's session caches (timing + executor)."""
+        session = self.session()
+        session.warm(functional=functional)
+        return session
+
+    def run(self, inputs: np.ndarray,
+            functional: bool = True) -> SimulationResult:
+        """One forward propagation on this thread's session."""
+        return self.session().run(inputs, functional=functional)
+
+    def run_batch(self, batch: list[np.ndarray],
+                  functional: bool = True) -> list[SimulationResult]:
+        """One forward propagation per input, sharing session state."""
+        return self.session().run_batch(batch, functional=functional)
+
+    def random_requests(self, count: int, seed: int = 0) -> list[np.ndarray]:
+        """``count`` random input tensors (a synthetic request stream)."""
+        rng = np.random.default_rng(seed)
+        return [rng.uniform(-1.0, 1.0, self.input_shape)
+                for _ in range(count)]

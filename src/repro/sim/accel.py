@@ -119,8 +119,39 @@ class AcceleratorSimulator:
         self.device = self.design.budget.device
         self.dram = DRAMModel.for_device(self.device)
         self._word_bytes = -(-self.design.datapath.data_width // 8)
+        self._timing_cache: tuple[int, list[PhaseTrace], EnergyModel] | None \
+            = None
+        self._executor: QuantizedExecutor | None = None
 
     # ------------------------------------------------------------------
+
+    def _timing(self) -> tuple[int, list[PhaseTrace], EnergyModel]:
+        """The timing/energy pass, computed once per simulator.
+
+        The control program is input-independent (the fold schedule and
+        address streams are fixed at compile time), so one simulator can
+        serve many requests reusing the same cycle/energy result — the
+        batched serving runtime leans on this.
+        """
+        if self._timing_cache is None:
+            self._timing_cache = self._run_timing()
+        return self._timing_cache
+
+    def _functional_executor(self) -> QuantizedExecutor:
+        """The bit-level executor, built once and reset per request."""
+        if self.weights is None:
+            raise SimulationError("functional run needs the trained weights")
+        if self._executor is None:
+            self._executor = QuantizedExecutor.from_program(self.program,
+                                                            self.weights)
+        self._executor.reset_state()
+        return self._executor
+
+    def warm(self, functional: bool = True) -> None:
+        """Populate the per-simulator caches before the first request."""
+        self._timing()
+        if functional and self.weights is not None:
+            self._functional_executor()
 
     def run(self, inputs: np.ndarray | None = None,
             functional: bool = True) -> SimulationResult:
@@ -129,18 +160,13 @@ class AcceleratorSimulator:
         ``functional=False`` skips the bit-level execution (used by the
         performance sweeps where only timing/energy are measured).
         """
-        cycles, traces, energy_model = self._run_timing()
+        cycles, traces, energy_model = self._timing()
         energy = energy_model.report(cycles)
         outputs = None
         if functional:
             if inputs is None:
                 raise SimulationError("functional run needs an input array")
-            if self.weights is None:
-                raise SimulationError(
-                    "functional run needs the trained weights"
-                )
-            executor = QuantizedExecutor.from_program(self.program,
-                                                      self.weights)
+            executor = self._functional_executor()
             blobs = executor.forward(inputs)
             output_blob = self.design.graph.outputs()[-1].tops[0]
             outputs = dict(blobs)
@@ -154,6 +180,17 @@ class AcceleratorSimulator:
             dram_words=energy_model.dram_words,
             macs=energy_model.macs,
         )
+
+    def run_batch(self, batch: "list[np.ndarray] | np.ndarray",
+                  functional: bool = True) -> list[SimulationResult]:
+        """Simulate one forward propagation per input in ``batch``.
+
+        The timing pass and the quantized executor are shared across the
+        whole batch (each request still starts from clean recurrent
+        state), so serving *n* requests costs one schedule replay plus
+        *n* bit-level forwards instead of *n* of each.
+        """
+        return [self.run(inputs, functional=functional) for inputs in batch]
 
     # ------------------------------------------------------------------
 

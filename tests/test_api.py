@@ -1,0 +1,159 @@
+"""Tests for the repro.api facade: build() + simulate().
+
+The contract under test: the facade is *bit-identical* to the hand-wired
+pipeline it replaced — same graph, same budget carving, same weight
+init, same random-input convention, same simulator — on outputs, cycles
+and energy.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.compiler.compiler import DeepBurningCompiler
+from repro.devices.device import budget_fraction, device_by_name
+from repro.errors import DeepBurningError, ResourceError
+from repro.frontend.graph import graph_from_text
+from repro.frontend.shapes import infer_shapes
+from repro.nn.reference import init_weights
+from repro.nngen.generator import NNGen
+from repro.sim.accel import AcceleratorSimulator, SimulationError
+from repro.zoo import benchmark_graph
+
+SCRIPT = """
+name: "api_net"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "relu1" type: RELU bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+
+class TestBitIdentity:
+    """build()+simulate() vs the hand-wired chain on zoo MNIST."""
+
+    @pytest.fixture(scope="class")
+    def hand_wired(self):
+        graph = benchmark_graph("mnist")
+        device = device_by_name("Z-7045")
+        budget = budget_fraction(device, 0.3)
+        design = NNGen().generate(graph, budget)
+        weights = init_weights(graph, np.random.default_rng(0))
+        program = DeepBurningCompiler().compile(design, weights=weights)
+        shapes = infer_shapes(graph)
+        input_blob = graph.inputs()[0].tops[0]
+        inputs = np.random.default_rng(1).uniform(
+            -1.0, 1.0, shapes[input_blob].dims)
+        simulator = AcceleratorSimulator(program, weights=weights)
+        return simulator.run(inputs, functional=True)
+
+    @pytest.fixture(scope="class")
+    def facade(self):
+        artifacts = repro.build(benchmark_graph("mnist"),
+                                device="Z-7045", fraction=0.3)
+        return repro.simulate(artifacts)
+
+    def test_outputs_bit_identical(self, hand_wired, facade):
+        np.testing.assert_array_equal(hand_wired.output, facade.output)
+
+    def test_all_blobs_bit_identical(self, hand_wired, facade):
+        assert hand_wired.outputs.keys() == facade.outputs.keys()
+        for blob in hand_wired.outputs:
+            np.testing.assert_array_equal(hand_wired.outputs[blob],
+                                          facade.outputs[blob])
+
+    def test_cycles_identical(self, hand_wired, facade):
+        assert hand_wired.cycles == facade.cycles
+
+    def test_energy_identical(self, hand_wired, facade):
+        assert hand_wired.energy.total_j == facade.energy.total_j
+
+
+class TestBuildInputs:
+    def test_accepts_script_text(self):
+        artifacts = api.build(SCRIPT, device="Z-7045", fraction=0.3)
+        assert artifacts.graph.name == "api_net"
+        assert artifacts.input_shape == (8,)
+
+    def test_accepts_parsed_graph(self):
+        graph = graph_from_text(SCRIPT)
+        artifacts = api.build(graph, device="Z-7045", fraction=0.3)
+        assert artifacts.graph is graph
+
+    def test_accepts_path(self, tmp_path):
+        path = tmp_path / "net.prototxt"
+        path.write_text(SCRIPT)
+        artifacts = api.build(str(path), device="Z-7045", fraction=0.3)
+        assert artifacts.graph.name == "api_net"
+
+    def test_explicit_budget_overrides_device(self):
+        budget = budget_fraction(device_by_name("Z-7020"), 0.3, "explicit")
+        artifacts = api.build(SCRIPT, device="Z-7045", budget=budget)
+        assert artifacts.budget is budget
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ResourceError, match="unknown device"):
+            api.build(SCRIPT, device="Z-9999")
+
+    def test_bad_weights_string_rejected(self):
+        with pytest.raises(ValueError, match="weights must be"):
+            api.build(SCRIPT, weights="trained")
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(DeepBurningError):
+            api.build(benchmark_graph("mnist"),
+                      device="Z-7020", fraction=0.0005)
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        return api.build(SCRIPT, device="Z-7045", fraction=0.3, seed=3)
+
+    def test_random_input_convention(self, artifacts):
+        expected = np.random.default_rng(4).uniform(-1.0, 1.0, (8,))
+        np.testing.assert_array_equal(artifacts.random_input(), expected)
+
+    def test_random_input_explicit_seed(self, artifacts):
+        expected = np.random.default_rng(9).uniform(-1.0, 1.0, (8,))
+        np.testing.assert_array_equal(artifacts.random_input(9), expected)
+
+    def test_weights_seeded_from_build_seed(self, artifacts):
+        expected = init_weights(artifacts.graph, np.random.default_rng(3))
+        assert artifacts.weights.keys() == expected.keys()
+        for layer in expected:
+            for name in expected[layer]:
+                np.testing.assert_array_equal(artifacts.weights[layer][name],
+                                              expected[layer][name])
+
+    def test_summary_mentions_design_and_program(self, artifacts):
+        text = artifacts.summary()
+        assert text.strip()
+
+    def test_simulate_default_input_matches_explicit(self, artifacts):
+        by_default = api.simulate(artifacts)
+        by_hand = api.simulate(artifacts, artifacts.random_input())
+        np.testing.assert_array_equal(by_default.output, by_hand.output)
+
+
+class TestWeightlessBuild:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        return api.build(SCRIPT, device="Z-7045", fraction=0.3, weights=None)
+
+    def test_timing_only_simulation_works(self, artifacts):
+        result = api.simulate(artifacts, functional=False)
+        assert result.cycles > 0
+        assert result.outputs is None
+
+    def test_functional_needs_weights(self, artifacts):
+        with pytest.raises(SimulationError):
+            api.simulate(artifacts, artifacts.random_input())
+
+
+class TestPackageSurface:
+    def test_reexports(self):
+        assert repro.build is api.build
+        assert repro.simulate is api.simulate
+        assert repro.BuildArtifacts is api.BuildArtifacts

@@ -164,6 +164,29 @@ class TestDse:
         assert "fidelity" in capsys.readouterr().out
 
 
+class TestBench:
+    def test_bench_writes_report(self, script_file, tmp_path, capsys):
+        import json
+        out = str(tmp_path / "BENCH_runtime.json")
+        code = main(["bench", "--script", script_file, "--requests", "8",
+                     "--workers", "2", "--batch-size", "4", "--out", out])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "speedup" in text
+        assert "serving benchmark: 'cli_net'" in text
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["requests"] == 8
+        assert report["speedup"] > 0
+        assert report["metrics"]["counters"]["requests_completed"] == 8
+        assert report["simulated_cycles"] > 0
+
+    def test_bench_unknown_model_errors(self, capsys):
+        code = main(["bench", "--model", "no_such_net", "--requests", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_table1_runs(self, capsys):
         code = main(["experiment", "table1"])

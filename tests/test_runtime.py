@@ -1,0 +1,272 @@
+"""Tests for the repro.runtime serving stack.
+
+Covers the micro-batcher policy (flush on size or deadline, bounded
+queue backpressure), the server lifecycle (deterministic batch
+formation, structured timeouts, error responses, metrics counts) and
+the session model (per-thread simulator state, bit-identical reuse).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import QueueFullError, ServingError
+from repro.runtime import (
+    CompiledModel,
+    Counter,
+    Histogram,
+    InferenceResponse,
+    InferenceServer,
+    MetricsRegistry,
+    MicroBatcher,
+    RequestTimeout,
+)
+
+SCRIPT = """
+name: "runtime_net"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "relu1" type: RELU bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CompiledModel.build(SCRIPT, device="Z-7045", fraction=0.3)
+
+
+class TestMicroBatcher:
+    def test_flush_on_size(self):
+        batcher = MicroBatcher(max_depth=16, max_batch_size=3,
+                               batch_timeout_s=10.0)
+        for item in range(5):
+            batcher.put(item)
+        assert batcher.next_batch() == [0, 1, 2]
+
+    def test_drains_remainder_without_waiting_when_queued(self):
+        batcher = MicroBatcher(max_depth=16, max_batch_size=3,
+                               batch_timeout_s=0.01)
+        for item in range(5):
+            batcher.put(item)
+        batcher.next_batch()
+        assert batcher.next_batch() == [3, 4]
+
+    def test_flush_on_deadline(self):
+        batcher = MicroBatcher(max_depth=16, max_batch_size=8,
+                               batch_timeout_s=0.01)
+        batcher.put("only")
+        assert batcher.next_batch() == ["only"]
+
+    def test_put_returns_depth(self):
+        batcher = MicroBatcher(max_depth=4, max_batch_size=2,
+                               batch_timeout_s=0.0)
+        assert batcher.put("a") == 1
+        assert batcher.put("b") == 2
+
+    def test_full_queue_raises(self):
+        batcher = MicroBatcher(max_depth=2, max_batch_size=2,
+                               batch_timeout_s=0.0)
+        batcher.put("a")
+        batcher.put("b")
+        with pytest.raises(QueueFullError, match="full"):
+            batcher.put("c")
+
+    def test_closed_queue_rejects_and_drains(self):
+        batcher = MicroBatcher(max_depth=4, max_batch_size=8,
+                               batch_timeout_s=0.0)
+        batcher.put("a")
+        batcher.close()
+        with pytest.raises(QueueFullError, match="closed"):
+            batcher.put("b")
+        assert batcher.next_batch() == ["a"]
+        assert batcher.next_batch() == []
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(1, 0, 0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(1, 1, -1.0)
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_histogram_stats(self):
+        histogram = Histogram("latency")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 4.0
+        assert histogram.percentile(50) == 2.5
+
+    def test_empty_histogram(self):
+        histogram = Histogram("empty")
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.snapshot()["count"] == 0
+
+    def test_registry_create_or_get(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_render_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("served").inc(3)
+        registry.histogram("latency_s").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["served"] == 3
+        assert snapshot["histograms"]["latency_s"]["count"] == 1
+        text = registry.render()
+        assert "served" in text and "latency_s" in text
+
+
+class TestCompiledModel:
+    def test_session_is_thread_local(self, model):
+        main_session = model.session()
+        assert model.session() is main_session
+        other = {}
+
+        def grab():
+            other["session"] = model.session()
+
+        thread = threading.Thread(target=grab)
+        thread.start()
+        thread.join()
+        assert other["session"] is not main_session
+
+    def test_session_reuse_is_bit_identical(self, model):
+        inputs = model.random_requests(1, seed=5)[0]
+        fresh = api.simulate(model.artifacts, inputs)
+        first = model.run(inputs)
+        second = model.run(inputs)
+        np.testing.assert_array_equal(first.output, fresh.output)
+        np.testing.assert_array_equal(second.output, fresh.output)
+        assert first.cycles == fresh.cycles == second.cycles
+
+    def test_run_batch(self, model):
+        stream = model.random_requests(3, seed=7)
+        results = model.run_batch(stream)
+        assert len(results) == 3
+        for inputs, result in zip(stream, results):
+            np.testing.assert_array_equal(
+                result.output, api.simulate(model.artifacts, inputs).output)
+
+    def test_from_zoo_names_the_model(self):
+        compiled = CompiledModel.from_zoo("mnist")
+        assert compiled.name == "mnist"
+        assert compiled.input_shape == (1, 28, 28)
+
+
+class TestInferenceServer:
+    def test_deterministic_batch_formation(self, model):
+        """8 pre-queued requests with max_batch_size=4 -> two batches."""
+        server = InferenceServer(model, workers=1, max_batch_size=4,
+                                 batch_timeout_s=0.0)
+        stream = model.random_requests(8, seed=1)
+        pending = [server.submit(x) for x in stream]
+        with server:
+            responses = [p.result() for p in pending]
+        assert all(r.ok for r in responses)
+        assert [r.batch_size for r in responses] == [4] * 8
+        assert server.metrics.counter("batches_formed").value == 2
+        assert server.metrics.histogram("batch_size").max == 4
+
+    def test_responses_bit_identical_to_facade(self, model):
+        stream = model.random_requests(4, seed=2)
+        with InferenceServer(model, workers=2, max_batch_size=2) as server:
+            responses = [server.submit(x).result() for x in stream]
+        for inputs, response in zip(stream, responses):
+            expected = api.simulate(model.artifacts, inputs)
+            np.testing.assert_array_equal(response.output, expected.output)
+            assert response.cycles == expected.cycles
+            assert response.energy_j == expected.energy.total_j
+
+    def test_impossible_deadline_times_out(self, model):
+        with InferenceServer(model, workers=1) as server:
+            response = server.infer(model.random_requests(1)[0],
+                                    timeout_s=0.0)
+        assert isinstance(response, RequestTimeout)
+        assert response.status == "timeout"
+        assert not response.ok
+        assert "deadline" in response.error
+        assert server.metrics.counter("requests_timeout").value == 1
+        assert server.metrics.counter("requests_completed").value == 0
+
+    def test_queue_full_backpressure(self, model):
+        server = InferenceServer(model, workers=1, max_queue_depth=2)
+        stream = model.random_requests(3, seed=3)
+        server.submit(stream[0])
+        server.submit(stream[1])
+        with pytest.raises(QueueFullError):
+            server.submit(stream[2])
+        server.stop()
+
+    def test_submit_after_stop_rejected(self, model):
+        server = InferenceServer(model, workers=1)
+        with server:
+            pass
+        with pytest.raises(QueueFullError, match="closed"):
+            server.submit(model.random_requests(1)[0])
+
+    def test_bad_input_is_structured_error(self, model):
+        with InferenceServer(model, workers=1) as server:
+            response = server.infer(np.zeros(3))
+        assert response.status == "error"
+        assert not response.ok
+        assert response.error
+        assert server.metrics.counter("requests_error").value == 1
+
+    def test_metrics_counts_add_up(self, model):
+        stream = model.random_requests(6, seed=4)
+        with InferenceServer(model, workers=2, max_batch_size=4) as server:
+            responses = [p.result() for p in
+                         [server.submit(x) for x in stream]]
+        assert all(r.ok for r in responses)
+        metrics = server.metrics
+        assert metrics.counter("requests_submitted").value == 6
+        assert metrics.counter("requests_completed").value == 6
+        assert metrics.counter("requests_timeout").value == 0
+        assert metrics.counter("requests_error").value == 0
+        assert metrics.histogram("latency_s").count == 6
+        assert metrics.histogram("queue_depth").count == 6
+        total_batched = metrics.histogram("batch_size").sum
+        assert total_batched == 6
+
+    def test_result_wait_timeout_raises(self, model):
+        server = InferenceServer(model, workers=1)
+        pending = server.submit(model.random_requests(1)[0])
+        with pytest.raises(ServingError, match="not completed"):
+            pending.result(timeout=0.01)
+        server.stop()
+
+    def test_workers_must_be_positive(self, model):
+        with pytest.raises(ServingError):
+            InferenceServer(model, workers=0)
+
+    def test_double_start_rejected(self, model):
+        server = InferenceServer(model, workers=1)
+        with server:
+            with pytest.raises(ServingError, match="already started"):
+                server.start()
+
+    def test_response_defaults(self):
+        response = InferenceResponse(request_id=1)
+        assert response.ok
+        timeout = RequestTimeout(request_id=2)
+        assert timeout.status == "timeout"
