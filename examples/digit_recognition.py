@@ -55,7 +55,7 @@ def main() -> None:
     print(f"  fixed-point accelerator accuracy: {100 * fixed_correct / total:.1f}%")
 
     # Timing/energy of one classification on the simulated board.
-    result = repro.simulate(artifacts, test_x[0])
+    result = repro.simulate(artifacts, test_x[0], all_blobs=True)
     predicted = int(np.argmax(result.outputs["ip2"]))
     print(f"\none inference: {result.summary()}")
     print(f"accelerator predicts digit {predicted}, label is {int(test_y[0])}")

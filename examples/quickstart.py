@@ -49,7 +49,7 @@ def main() -> None:
 
     # 4. Simulate one forward propagation (bit-level + timing).
     image = np.random.default_rng(1).uniform(-1, 1, artifacts.input_shape)
-    result = repro.simulate(artifacts, image)
+    result = repro.simulate(artifacts, image, all_blobs=True)
     print(f"forward propagation: {result.summary()}")
     print(f"class scores (fixed-point): "
           f"{np.round(result.outputs['ip1'], 3)}")

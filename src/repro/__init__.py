@@ -23,8 +23,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from repro.api import BuildArtifacts, build, simulate
+from repro.api import BuildArtifacts, build, simulate, simulate_batch
 
 __version__ = "1.1.0"
 
-__all__ = ["BuildArtifacts", "build", "simulate", "__version__"]
+__all__ = ["BuildArtifacts", "build", "simulate", "simulate_batch",
+           "__version__"]

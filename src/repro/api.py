@@ -175,13 +175,36 @@ def simulate(
     inputs: np.ndarray | None = None,
     *,
     functional: bool = True,
+    all_blobs: bool = False,
 ) -> SimulationResult:
     """One forward propagation on the built accelerator.
 
     ``functional=True`` (the default) runs the bit-level fixed-point
     execution as well as timing/energy; with ``inputs=None`` a random
     input from :meth:`BuildArtifacts.random_input` is used.
+    ``all_blobs=True`` dequantizes and returns every intermediate blob
+    instead of just the network output.
     """
     if functional and inputs is None:
         inputs = artifacts.random_input()
-    return simulator(artifacts).run(inputs, functional=functional)
+    return simulator(artifacts).run(inputs, functional=functional,
+                                    all_blobs=all_blobs)
+
+
+def simulate_batch(
+    artifacts: BuildArtifacts,
+    batch: "list[np.ndarray] | np.ndarray",
+    *,
+    functional: bool = True,
+    all_blobs: bool = False,
+) -> list[SimulationResult]:
+    """One forward propagation per input, vectorized across the batch.
+
+    All inputs run through a single
+    :meth:`~repro.sim.accel.AcceleratorSimulator.run_batch` pass over
+    the shared execution plan; each entry is an independent request
+    starting from clean recurrent state, and the per-sample results are
+    bit-identical to running :func:`simulate` once per input.
+    """
+    return simulator(artifacts).run_batch(batch, functional=functional,
+                                          all_blobs=all_blobs)

@@ -125,12 +125,23 @@ def cmd_dse(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.runtime import run_bench
 
+    batch_sizes = None
+    if args.batch_sizes:
+        try:
+            batch_sizes = [int(part) for part in args.batch_sizes.split(",")
+                           if part.strip()]
+        except ValueError:
+            raise DeepBurningError(
+                f"--batch-sizes wants comma-separated integers, "
+                f"got '{args.batch_sizes}'"
+            ) from None
     report = run_bench(
         args.model,
         script=args.script,
         requests=args.requests,
         workers=args.workers,
         max_batch_size=args.batch_size,
+        batch_sizes=batch_sizes,
         max_queue_depth=args.queue_depth,
         batch_timeout_s=args.batch_timeout,
         timeout_s=args.timeout,
@@ -143,6 +154,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(report.render())
     if args.out:
         print(f"wrote {args.out}")
+    if args.require_speedup is not None \
+            and report.best_batched_speedup < args.require_speedup:
+        print(f"FAIL: best batched speedup "
+              f"{report.best_batched_speedup:.2f}x is below the required "
+              f"{args.require_speedup:.2f}x")
+        return 1
     return 0
 
 
@@ -251,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker simulator sessions")
     bench.add_argument("--batch-size", type=int, default=8,
                        help="micro-batch flush size")
+    bench.add_argument("--batch-sizes", default="",
+                       help="comma-separated flush sizes to sweep "
+                            "(e.g. '1,8,16'); each adds a runtime pass "
+                            "recorded under batch_sweep in the report")
+    bench.add_argument("--require-speedup", type=float, default=None,
+                       help="exit non-zero unless the best batched pass "
+                            "beats the sequential loop by this factor")
     bench.add_argument("--queue-depth", type=int, default=256,
                        help="bounded request-queue capacity")
     bench.add_argument("--batch-timeout", type=float, default=0.002,

@@ -11,6 +11,7 @@ bit-width.
 
 from repro.fixedpoint.format import QFormat
 from repro.fixedpoint.ops import (
+    accumulator_format,
     dequantize,
     fixed_add,
     fixed_mul,
@@ -23,6 +24,7 @@ from repro.fixedpoint.calibrate import calibrate_format, calibrate_network_forma
 
 __all__ = [
     "QFormat",
+    "accumulator_format",
     "quantize",
     "quantize_to_ints",
     "dequantize",

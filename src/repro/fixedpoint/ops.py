@@ -39,6 +39,18 @@ def dequantize(raw: np.ndarray, fmt: QFormat) -> np.ndarray:
     return np.asarray(raw, dtype=np.float64) * fmt.scale
 
 
+def accumulator_format(data_fmt: QFormat, weight_fmt: QFormat) -> QFormat:
+    """The wide accumulator format for ``data x weight`` dot products.
+
+    Full product precision in the fraction field, integer bits capped so
+    the register stays inside the 64-bit host word with headroom for the
+    summation (the synergy-neuron accumulator is at most 40 integer
+    bits).
+    """
+    fraction = data_fmt.fraction_bits + weight_fmt.fraction_bits
+    return QFormat(min(40, 62 - fraction), fraction)
+
+
 def requantize(raw: np.ndarray, src: QFormat, dst: QFormat) -> np.ndarray:
     """Convert raw integers from format ``src`` to format ``dst``.
 
@@ -105,10 +117,7 @@ def fixed_dot(
     accumulator register is sized by :meth:`QFormat.accumulator_for`) and
     the result is requantized to ``out_fmt``.
     """
-    acc_fmt = QFormat(
-        min(62 - (data_fmt.fraction_bits + weight_fmt.fraction_bits), 40),
-        data_fmt.fraction_bits + weight_fmt.fraction_bits,
-    )
+    acc_fmt = accumulator_format(data_fmt, weight_fmt)
     acc = np.asarray(data_raw, dtype=np.int64) @ np.asarray(weight_raw, dtype=np.int64)
     return requantize(acc, acc_fmt, out_fmt)
 

@@ -50,6 +50,45 @@ def im2col(image: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndar
     return windows.transpose(1, 2, 0, 3, 4).reshape(out_h * out_w, channels * kernel * kernel)
 
 
+def im2col_indices(
+    image_shape: tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+) -> tuple[np.ndarray, int, int]:
+    """Gather indices turning a padded image into im2col columns.
+
+    Returns ``(indices, out_h, out_w)`` where ``indices`` has shape
+    ``(out_h*out_w, C*k*k)`` and indexes into the *zero-padded* image
+    flattened to ``C*(H+2p)*(W+2p)``, so a whole batch unfolds with one
+    fancy index: ``padded.reshape(n, -1)[:, indices]``.  Row/column
+    layout matches :func:`im2col` element for element.
+    """
+    channels, height, width = image_shape
+    padded_h, padded_w = height + 2 * pad, width + 2 * pad
+    flat = np.arange(channels * padded_h * padded_w, dtype=np.intp)
+    columns = im2col(flat.reshape(channels, padded_h, padded_w),
+                     kernel, stride, pad=0)
+    out_h = (padded_h - kernel) // stride + 1
+    out_w = (padded_w - kernel) // stride + 1
+    return columns, out_h, out_w
+
+
+def im2col_batch(images: np.ndarray, indices: np.ndarray,
+                 pad: int = 0) -> np.ndarray:
+    """Unfold a batch ``(N, C, H, W)`` through precomputed gather indices.
+
+    ``indices`` comes from :func:`im2col_indices` over the per-sample
+    image shape; the result is ``(N, out_h*out_w, C*k*k)`` with each
+    ``[n]`` slice equal to ``im2col(images[n], ...)``.
+    """
+    if images.ndim != 4:
+        raise ShapeError(
+            f"im2col_batch expects (N, C, H, W), got shape {images.shape}")
+    padded = pad2d(images, pad)
+    return padded.reshape(images.shape[0], -1)[:, indices]
+
+
 def col2im(
     columns: np.ndarray,
     image_shape: tuple[int, int, int],
@@ -155,6 +194,57 @@ def _pool_windows(image: np.ndarray, kernel: int, stride: int,
     return windows, out_h, out_w
 
 
+def pool_windows_batch(
+    images: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+    pad_values: np.ndarray | float = 0.0,
+) -> tuple[np.ndarray, int, int]:
+    """Batched :func:`_pool_windows`: ``(N, C, H, W)`` in, windows out.
+
+    Returns ``(windows, out_h, out_w)`` with ``windows`` shaped
+    ``(N, C, out_h, out_w, k, k)``.  ``pad_values`` is the constant used
+    for the explicit border padding — a scalar or one value per sample
+    (max pooling pads with each sample's minimum so padding never wins).
+    Ceil-mode overflow rows/columns are edge-replicated, exactly as the
+    per-sample helper does.
+    """
+    if images.ndim != 4:
+        raise ShapeError(
+            f"pool_windows_batch expects (N, C, H, W), got {images.shape}")
+    n, channels, height, width = images.shape
+    if pad:
+        padded = np.empty((n, channels, height + 2 * pad, width + 2 * pad),
+                          dtype=images.dtype)
+        padded[...] = np.reshape(pad_values, (-1, 1, 1, 1)) \
+            if np.ndim(pad_values) else pad_values
+        padded[:, :, pad:pad + height, pad:pad + width] = images
+        images = padded
+        height += 2 * pad
+        width += 2 * pad
+    out_h = -(-(height - kernel) // stride) + 1
+    out_w = -(-(width - kernel) // stride) + 1
+    need_h = (out_h - 1) * stride + kernel
+    need_w = (out_w - 1) * stride + kernel
+    if need_h > height or need_w > width:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (0, max(0, need_h - height)),
+             (0, max(0, need_w - width))),
+            mode="edge",
+        )
+    strides = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, channels, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1], strides[2] * stride,
+                 strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    return windows, out_h, out_w
+
+
 def max_pool2d(image: np.ndarray, kernel: int, stride: int,
                pad: int = 0) -> np.ndarray:
     """Max pooling over ``(C, H, W)``; padding never wins the max."""
@@ -212,6 +302,26 @@ def softmax(x: np.ndarray) -> np.ndarray:
     shifted = flat - flat.max()
     exp = np.exp(shifted)
     return exp / exp.sum()
+
+
+def softmax_batch(x: np.ndarray) -> np.ndarray:
+    """Per-sample softmax over a batch: each row of ``(N, ...)`` is
+    flattened and normalised independently, matching :func:`softmax`
+    applied sample by sample."""
+    x = np.asarray(x, dtype=np.float64)
+    flat = x.reshape(x.shape[0], -1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def argmax_classifier_batch(x: np.ndarray, top_k: int = 1) -> np.ndarray:
+    """Batched :func:`argmax_classifier`: ``(N, top_k)`` index rows."""
+    flat = np.asarray(x).reshape(x.shape[0], -1)
+    order = np.argsort(-flat, axis=1, kind="stable")
+    if top_k < flat.shape[1]:
+        order = order[:, :top_k]
+    return order.astype(np.int64)
 
 
 def lrn(x: np.ndarray, local_size: int = 5, alpha: float = 1e-4,

@@ -72,14 +72,23 @@ class CompiledModel:
         return session
 
     def run(self, inputs: np.ndarray,
-            functional: bool = True) -> SimulationResult:
+            functional: bool = True,
+            all_blobs: bool = False) -> SimulationResult:
         """One forward propagation on this thread's session."""
-        return self.session().run(inputs, functional=functional)
+        return self.session().run(inputs, functional=functional,
+                                  all_blobs=all_blobs)
 
     def run_batch(self, batch: list[np.ndarray],
-                  functional: bool = True) -> list[SimulationResult]:
-        """One forward propagation per input, sharing session state."""
-        return self.session().run_batch(batch, functional=functional)
+                  functional: bool = True,
+                  all_blobs: bool = False) -> list[SimulationResult]:
+        """One vectorized forward propagation over the whole batch.
+
+        All requests ride one
+        :meth:`~repro.sim.accel.AcceleratorSimulator.run_batch` pass on
+        this thread's session; each starts from clean recurrent state.
+        """
+        return self.session().run_batch(batch, functional=functional,
+                                        all_blobs=all_blobs)
 
     def random_requests(self, count: int, seed: int = 0) -> list[np.ndarray]:
         """``count`` random input tensors (a synthetic request stream)."""

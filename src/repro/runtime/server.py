@@ -242,49 +242,78 @@ class InferenceServer:
 
     def _run_batch(self, batch: list[_Request]) -> None:
         session = self.model.session()
+        now = time.perf_counter()
+        live = []
         for request in batch:
-            self._serve_one(session, request, len(batch))
+            if request.expired(now):
+                self._complete_timeout(request, len(batch), "in queue")
+            else:
+                live.append(request)
+        if not live:
+            return
+        if len(live) == 1 or not self.functional:
+            for request in live:
+                self._serve_one(session, request, len(batch))
+            return
+        try:
+            results = session.run_batch([r.inputs for r in live],
+                                        functional=True)
+        except Exception:
+            # The vectorized pass is all-or-nothing (one malformed
+            # input fails the stacked forward); fall back to serving
+            # each request alone so one bad request cannot take down
+            # its batch-mates.
+            for request in live:
+                self._serve_one(session, request, len(batch))
+            return
+        for request, result in zip(live, results):
+            self._complete_result(request, result, len(batch))
 
     def _serve_one(self, session, request: _Request,
                    batch_size: int) -> None:
         now = time.perf_counter()
         if request.expired(now):
-            self.metrics.counter("requests_timeout").inc()
-            request.complete(RequestTimeout(
-                request_id=request.id,
-                latency_s=now - request.submitted_at,
-                batch_size=batch_size,
-                error=f"deadline of {request.timeout_s}s exceeded in queue",
-            ))
+            self._complete_timeout(request, batch_size, "in queue")
             return
         try:
             result = session.run(request.inputs,
                                  functional=self.functional)
         except DeepBurningError as error:
-            self.metrics.counter("requests_error").inc()
-            request.complete(InferenceResponse(
-                request_id=request.id, status="error",
-                latency_s=time.perf_counter() - request.submitted_at,
-                batch_size=batch_size, error=str(error),
-            ))
+            self._complete_error(request, batch_size, str(error))
             return
         except Exception:
-            self.metrics.counter("requests_error").inc()
-            request.complete(InferenceResponse(
-                request_id=request.id, status="error",
-                latency_s=time.perf_counter() - request.submitted_at,
-                batch_size=batch_size, error=traceback.format_exc(limit=3),
-            ))
+            self._complete_error(request, batch_size,
+                                 traceback.format_exc(limit=3))
             return
+        self._complete_result(request, result, batch_size)
+
+    # -- completion helpers (shared by the batched and solo paths) -----
+
+    def _complete_timeout(self, request: _Request, batch_size: int,
+                          where: str) -> None:
+        self.metrics.counter("requests_timeout").inc()
+        request.complete(RequestTimeout(
+            request_id=request.id,
+            latency_s=time.perf_counter() - request.submitted_at,
+            batch_size=batch_size,
+            error=f"deadline of {request.timeout_s}s exceeded {where}",
+        ))
+
+    def _complete_error(self, request: _Request, batch_size: int,
+                        error: str) -> None:
+        self.metrics.counter("requests_error").inc()
+        request.complete(InferenceResponse(
+            request_id=request.id, status="error",
+            latency_s=time.perf_counter() - request.submitted_at,
+            batch_size=batch_size, error=error,
+        ))
+
+    def _complete_result(self, request: _Request, result,
+                         batch_size: int) -> None:
         finished = time.perf_counter()
         latency = finished - request.submitted_at
         if request.expired(finished):
-            self.metrics.counter("requests_timeout").inc()
-            request.complete(RequestTimeout(
-                request_id=request.id, latency_s=latency,
-                batch_size=batch_size,
-                error=f"deadline of {request.timeout_s}s exceeded in flight",
-            ))
+            self._complete_timeout(request, batch_size, "in flight")
             return
         self.metrics.counter("requests_completed").inc()
         self.metrics.histogram("latency_s").observe(latency)

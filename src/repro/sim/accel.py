@@ -151,14 +151,18 @@ class AcceleratorSimulator:
         """Populate the per-simulator caches before the first request."""
         self._timing()
         if functional and self.weights is not None:
-            self._functional_executor()
+            self._functional_executor().plan()
 
     def run(self, inputs: np.ndarray | None = None,
-            functional: bool = True) -> SimulationResult:
+            functional: bool = True,
+            all_blobs: bool = False) -> SimulationResult:
         """Simulate one forward propagation.
 
         ``functional=False`` skips the bit-level execution (used by the
         performance sweeps where only timing/energy are measured).
+        ``all_blobs=True`` keeps every intermediate blob in ``outputs``;
+        by default only the network output (and the ``"__output__"``
+        alias) is dequantized and returned.
         """
         cycles, traces, energy_model = self._timing()
         energy = energy_model.report(cycles)
@@ -167,7 +171,7 @@ class AcceleratorSimulator:
             if inputs is None:
                 raise SimulationError("functional run needs an input array")
             executor = self._functional_executor()
-            blobs = executor.forward(inputs)
+            blobs = executor.forward(inputs, all_blobs=all_blobs)
             output_blob = self.design.graph.outputs()[-1].tops[0]
             outputs = dict(blobs)
             outputs["__output__"] = blobs[output_blob]
@@ -182,15 +186,39 @@ class AcceleratorSimulator:
         )
 
     def run_batch(self, batch: "list[np.ndarray] | np.ndarray",
-                  functional: bool = True) -> list[SimulationResult]:
+                  functional: bool = True,
+                  all_blobs: bool = False) -> list[SimulationResult]:
         """Simulate one forward propagation per input in ``batch``.
 
-        The timing pass and the quantized executor are shared across the
-        whole batch (each request still starts from clean recurrent
-        state), so serving *n* requests costs one schedule replay plus
-        *n* bit-level forwards instead of *n* of each.
+        The whole batch runs through one vectorized
+        :meth:`~repro.sim.quantized.QuantizedExecutor.forward_batch`
+        pass over the shared execution plan, and the input-independent
+        timing pass is replayed once for all requests.  Every request
+        starts from clean recurrent state — batch entries are
+        independent requests, not timesteps of one sequence.
         """
-        return [self.run(inputs, functional=functional) for inputs in batch]
+        if not functional:
+            return [self.run(functional=False) for _ in batch]
+        cycles, traces, energy_model = self._timing()
+        energy = energy_model.report(cycles)
+        executor = self._functional_executor()
+        stacked = executor.forward_batch(batch, all_blobs=all_blobs)
+        output_blob = self.design.graph.outputs()[-1].tops[0]
+        results = []
+        for index in range(len(batch)):
+            outputs = {blob: array[index]
+                       for blob, array in stacked.items()}
+            outputs["__output__"] = outputs[output_blob]
+            results.append(SimulationResult(
+                cycles=cycles,
+                time_s=cycles / self.device.clock_hz,
+                energy=energy,
+                phase_traces=traces,
+                outputs=outputs,
+                dram_words=energy_model.dram_words,
+                macs=energy_model.macs,
+            ))
+        return results
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,386 @@
+"""Per-design execution plan: the batched bit-level hot path.
+
+A :class:`ExecutionPlan` is everything about one compiled design that a
+forward propagation needs but that does not depend on the input: packed
+``(Dout, Cin*k*k)`` int64 weight matrices, precomputed im2col
+gather-index tensors per convolution layer, pre-resolved wide
+accumulator formats with the bias already shifted into them, and the
+shared Approx-LUT contents.  It is built once per
+:class:`~repro.sim.quantized.QuantizedExecutor` (so once per serving
+session) and replayed for every request.
+
+:meth:`ExecutionPlan.forward_batch_raw` vectorizes every layer kernel
+over a leading batch axis ``N``: a micro-batch of requests costs one
+fancy-index plus one GEMM per convolution instead of ``N`` of each.  The
+arithmetic is integer-exact against the per-sample reference path in
+:mod:`repro.sim.quantized` — every blob it produces equals the
+corresponding :meth:`~repro.sim.quantized.QuantizedExecutor.forward_raw`
+blob with a leading batch dimension, which the test suite asserts
+network by network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.compiler.lut import ApproxLUTContent
+from repro.errors import SimulationError
+from repro.fixedpoint.format import QFormat
+from repro.fixedpoint.ops import (
+    accumulator_format,
+    dequantize,
+    quantize_to_ints,
+    requantize,
+)
+from repro.frontend.layers import LayerKind, LayerSpec, PoolMethod
+from repro.frontend.shapes import TensorShape
+from repro.nn import functional as F
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and n & (n - 1) == 0
+
+
+#: Largest integer float64 represents exactly (53-bit mantissa).
+_FLOAT_EXACT_LIMIT = float(2 ** 53)
+
+
+def _float_gemm_exact(reduce_dim: int, in_fmt: QFormat,
+                      weight_fmt: QFormat) -> bool:
+    """Whether a float64 BLAS GEMM reproduces the int64 matmul exactly.
+
+    Every product of a data word and a weight word is an integer of at
+    most ``in_bits + weight_bits`` magnitude, and any partial sum over
+    the reduction axis is bounded by ``K * max|d| * max|w|``.  When that
+    bound stays under 2^53 every intermediate value is an integer float64
+    represents exactly, so dgemm returns the same integers as the int64
+    kernel **regardless of its blocking or summation order** — and runs
+    an order of magnitude faster, since numpy's integer matmul cannot
+    use BLAS.
+    """
+    bound = float(reduce_dim) * float(in_fmt.max_int + 1) \
+        * float(weight_fmt.max_int + 1)
+    return bound < _FLOAT_EXACT_LIMIT
+
+
+def _bias_in_accumulator(bias: np.ndarray | None, acc_fmt: QFormat,
+                         weight_fmt: QFormat) -> np.ndarray | None:
+    """The bias pre-shifted into the accumulator's fraction field."""
+    if bias is None:
+        return None
+    shift = acc_fmt.fraction_bits - weight_fmt.fraction_bits
+    return bias.astype(np.int64) << np.int64(shift)
+
+
+@dataclass
+class LayerStep:
+    """One layer of the plan: spec plus its input-independent pieces."""
+
+    spec: LayerSpec
+    in_fmts: list[QFormat]
+    out_fmt: QFormat
+    #: Wide accumulator format for MAC layers (conv / FC / recurrent).
+    acc_fmt: QFormat | None = None
+    #: Packed weights, transposed for ``columns @ weight``: one
+    #: ``(Cin/g*k*k, Dout/g)`` matrix per convolution group, or a single
+    #: ``(In, Out)`` matrix for dense layers.  Stored as transposed
+    #: views of C-contiguous ``(Out, In)`` packs — the F-contiguous
+    #: right-hand side is what numpy's integer matmul kernel wants
+    #: (contiguous along the reduction axis; ~8x faster than the
+    #: C-contiguous transpose copy).
+    weights: list[np.ndarray] = field(default_factory=list)
+    #: float64 copies of ``weights`` when the accumulation provably fits
+    #: the 53-bit mantissa (see :func:`_float_gemm_exact`); ``None``
+    #: keeps the GEMM on the int64 kernel.
+    float_weights: list[np.ndarray] | None = None
+    #: Bias already shifted into ``acc_fmt`` (full ``Dout`` vector).
+    bias_acc: np.ndarray | None = None
+    #: Transposed recurrent weight ``(Out, Out)`` for the feedback MAC.
+    recurrent_t: np.ndarray | None = None
+    float_recurrent: np.ndarray | None = None
+    recurrent_acc_fmt: QFormat | None = None
+    #: im2col gather indices ``(out_h*out_w, Cin/g*k*k)`` into one
+    #: group's zero-padded flattened image.
+    gather: np.ndarray | None = None
+    out_h: int = 0
+    out_w: int = 0
+    #: Shared Approx-LUT content for sigmoid/tanh/LRN scaling.
+    lut: ApproxLUTContent | None = None
+
+
+@dataclass
+class ExecutionPlan:
+    """Input-independent execution state for one compiled design."""
+
+    input_blob: str
+    input_fmt: QFormat
+    input_dims: tuple[int, ...]
+    output_blob: str
+    steps: list[LayerStep]
+    blob_formats: dict[str, QFormat]
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @staticmethod
+    def build(
+        graph,
+        shapes: dict[str, TensorShape],
+        order: list[LayerSpec],
+        quantized_weights: dict[str, dict[str, np.ndarray]],
+        blob_formats: dict[str, QFormat],
+        weight_format: QFormat,
+        lut_for: Callable[[str, QFormat], ApproxLUTContent],
+    ) -> "ExecutionPlan":
+        data_layers = graph.inputs()
+        if len(data_layers) != 1:
+            raise SimulationError("execution plan expects a single input")
+        input_blob = data_layers[0].tops[0]
+        steps: list[LayerStep] = []
+        for spec in order:
+            if spec.kind is LayerKind.DATA:
+                continue
+            in_fmts = [blob_formats[b] for b in spec.bottoms]
+            out_fmt = blob_formats[spec.tops[0]] if spec.tops else in_fmts[0]
+            step = LayerStep(spec=spec, in_fmts=in_fmts, out_fmt=out_fmt)
+            params = quantized_weights.get(spec.name, {})
+            kind = spec.kind
+            if kind is LayerKind.CONVOLUTION:
+                ExecutionPlan._plan_conv(step, shapes[spec.bottoms[0]].dims,
+                                         params, weight_format)
+            elif kind in (LayerKind.INNER_PRODUCT, LayerKind.ASSOCIATIVE,
+                          LayerKind.RECURRENT):
+                step.acc_fmt = accumulator_format(in_fmts[0], weight_format)
+                weight = params["weight"].reshape(spec.num_output, -1)
+                step.weights = [
+                    np.ascontiguousarray(weight, dtype=np.int64).T]
+                if _float_gemm_exact(weight.shape[1], in_fmts[0],
+                                     weight_format):
+                    step.float_weights = [
+                        step.weights[0].astype(np.float64)]
+                step.bias_acc = _bias_in_accumulator(
+                    params.get("bias"), step.acc_fmt, weight_format)
+                if kind is LayerKind.RECURRENT:
+                    step.recurrent_t = np.ascontiguousarray(
+                        params["recurrent_weight"], dtype=np.int64).T
+                    step.recurrent_acc_fmt = accumulator_format(
+                        out_fmt, weight_format)
+                    if _float_gemm_exact(step.recurrent_t.shape[0],
+                                         out_fmt, weight_format):
+                        step.float_recurrent = step.recurrent_t.astype(
+                            np.float64)
+            elif kind in (LayerKind.SIGMOID, LayerKind.TANH):
+                function = "sigmoid" if kind is LayerKind.SIGMOID else "tanh"
+                step.lut = lut_for(function, out_fmt)
+            elif kind is LayerKind.LRN:
+                step.lut = lut_for("reciprocal_power", in_fmts[0])
+            steps.append(step)
+        return ExecutionPlan(
+            input_blob=input_blob,
+            input_fmt=blob_formats[input_blob],
+            input_dims=shapes[input_blob].dims,
+            output_blob=graph.outputs()[-1].tops[0],
+            steps=steps,
+            blob_formats=blob_formats,
+        )
+
+    @staticmethod
+    def _plan_conv(step: LayerStep, in_dims: tuple[int, ...],
+                   params: dict[str, np.ndarray],
+                   weight_format: QFormat) -> None:
+        spec = step.spec
+        weight = params["weight"]
+        dout = weight.shape[0]
+        groups = max(1, spec.group)
+        cin_per_group = in_dims[0] // groups
+        dout_per_group = dout // groups
+        step.acc_fmt = accumulator_format(step.in_fmts[0], weight_format)
+        step.weights = [
+            np.ascontiguousarray(
+                weight[g * dout_per_group:(g + 1) * dout_per_group]
+                .reshape(dout_per_group, -1), dtype=np.int64).T
+            for g in range(groups)
+        ]
+        if _float_gemm_exact(step.weights[0].shape[0], step.in_fmts[0],
+                             weight_format):
+            step.float_weights = [w.astype(np.float64)
+                                  for w in step.weights]
+        step.bias_acc = _bias_in_accumulator(params.get("bias"),
+                                             step.acc_fmt, weight_format)
+        step.gather, step.out_h, step.out_w = F.im2col_indices(
+            (cin_per_group, in_dims[1], in_dims[2]),
+            spec.kernel_size, spec.stride, spec.pad)
+
+    # ------------------------------------------------------------------
+    # Batched execution
+
+    def forward_batch_raw(
+        self,
+        inputs: np.ndarray,
+        state: dict[str, np.ndarray],
+    ) -> dict[str, np.ndarray]:
+        """One vectorized forward pass; raw integer blobs, leading ``N``.
+
+        ``state`` is the executor's recurrent-state dict; batched entries
+        carry the batch dimension ``(N, Out)`` and evolve per sample.
+        """
+        blobs: dict[str, np.ndarray] = {
+            self.input_blob: quantize_to_ints(inputs, self.input_fmt)
+        }
+        for step in self.steps:
+            raw_inputs = [blobs[b] for b in step.spec.bottoms]
+            result = self._run_step(step, raw_inputs, state)
+            for top in step.spec.tops:
+                blobs[top] = result
+        return blobs
+
+    def _run_step(self, step: LayerStep, raw_inputs: list[np.ndarray],
+                  state: dict[str, np.ndarray]) -> np.ndarray:
+        spec = step.spec
+        kind = spec.kind
+        first = raw_inputs[0] if raw_inputs else None
+        first_fmt = step.in_fmts[0] if step.in_fmts else step.out_fmt
+        out_fmt = step.out_fmt
+
+        if kind is LayerKind.CONVOLUTION:
+            return self._conv(step, first)
+        if kind is LayerKind.INNER_PRODUCT or kind is LayerKind.ASSOCIATIVE:
+            return self._dense(step, first)
+        if kind is LayerKind.RECURRENT:
+            return self._recurrent(step, first, state)
+        if kind is LayerKind.POOLING:
+            return self._pool(step, first)
+        if kind is LayerKind.RELU:
+            return requantize(np.maximum(first, 0), first_fmt, out_fmt)
+        if kind in (LayerKind.SIGMOID, LayerKind.TANH):
+            values = step.lut.evaluate(dequantize(first, first_fmt))
+            return quantize_to_ints(values, out_fmt)
+        if kind is LayerKind.LRN:
+            return self._lrn(step, first)
+        if kind is LayerKind.DROPOUT:
+            return requantize(first, first_fmt, out_fmt)
+        if kind is LayerKind.SOFTMAX:
+            probabilities = F.softmax_batch(dequantize(first, first_fmt))
+            return quantize_to_ints(probabilities, out_fmt)
+        if kind is LayerKind.CLASSIFIER:
+            return F.argmax_classifier_batch(first, spec.top_k)
+        if kind is LayerKind.CONCAT:
+            aligned = [requantize(raw, fmt, out_fmt)
+                       for raw, fmt in zip(raw_inputs, step.in_fmts)]
+            if all(a.ndim == 4 for a in aligned):
+                return np.concatenate(aligned, axis=1)
+            count = aligned[0].shape[0]
+            return np.concatenate(
+                [a.reshape(count, -1) for a in aligned], axis=1)
+        raise SimulationError(f"batched execution has no rule for {kind}")
+
+    def _conv(self, step: LayerStep, raw: np.ndarray) -> np.ndarray:
+        spec = step.spec
+        count, channels = raw.shape[0], raw.shape[1]
+        groups = max(1, spec.group)
+        cin_per_group = channels // groups
+        padded = F.pad2d(raw, spec.pad)
+        # (N, groups, Cin/g * Hp * Wp): one flat image slab per group.
+        flat = padded.reshape(count, groups,
+                              cin_per_group * padded.shape[2]
+                              * padded.shape[3])
+        use_float = step.float_weights is not None
+        if use_float:
+            # Convert the (small) image slab once; the gathered columns
+            # come out float64 and the GEMM goes through BLAS.
+            flat = flat.astype(np.float64)
+        group_outputs = []
+        offset = 0
+        for g, weight_t in enumerate(step.weights):
+            dout_per_group = weight_t.shape[1]
+            columns = flat[:, g][:, step.gather]      # (N, P, Cin/g*k*k)
+            if use_float:
+                reduce = columns.shape[-1]
+                acc = (columns.reshape(-1, reduce)
+                       @ step.float_weights[g]).astype(np.int64)
+                acc = acc.reshape(count, -1, dout_per_group)
+            else:
+                acc = columns @ weight_t              # (N, P, Dout/g)
+            if step.bias_acc is not None:
+                acc = acc + step.bias_acc[offset:offset + dout_per_group]
+            group_outputs.append(
+                acc.transpose(0, 2, 1).reshape(count, dout_per_group,
+                                               step.out_h, step.out_w))
+            offset += dout_per_group
+        acc = np.concatenate(group_outputs, axis=1)
+        return requantize(acc, step.acc_fmt, step.out_fmt)
+
+    def _dense(self, step: LayerStep, raw: np.ndarray) -> np.ndarray:
+        flat = raw.reshape(raw.shape[0], -1)
+        if step.float_weights is not None:
+            acc = (flat.astype(np.float64)
+                   @ step.float_weights[0]).astype(np.int64)
+        else:
+            acc = flat @ step.weights[0]
+        if step.bias_acc is not None:
+            acc = acc + step.bias_acc
+        return requantize(acc, step.acc_fmt, step.out_fmt)
+
+    def _recurrent(self, step: LayerStep, raw: np.ndarray,
+                   state: dict[str, np.ndarray]) -> np.ndarray:
+        drive = self._dense(step, raw)
+        previous = state.get(step.spec.name)
+        if previous is not None:
+            if previous.shape != drive.shape:
+                raise SimulationError(
+                    f"recurrent state for '{step.spec.name}' has shape "
+                    f"{previous.shape}, batch expects {drive.shape}; call "
+                    "reset_state() between batch shapes"
+                )
+            if step.float_recurrent is not None:
+                echo = (previous.astype(np.float64)
+                        @ step.float_recurrent).astype(np.int64)
+            else:
+                echo = previous @ step.recurrent_t
+            feedback = requantize(echo, step.recurrent_acc_fmt,
+                                  step.out_fmt)
+            drive = np.clip(drive + feedback, step.out_fmt.min_int,
+                            step.out_fmt.max_int)
+        state[step.spec.name] = drive
+        return drive
+
+    def _pool(self, step: LayerStep, raw: np.ndarray) -> np.ndarray:
+        spec = step.spec
+        in_fmt, out_fmt = step.in_fmts[0], step.out_fmt
+        if spec.pool_method is PoolMethod.MAX:
+            # Padding never wins the max: pad with each sample's minimum.
+            pad_values = raw.min(axis=(1, 2, 3)) \
+                if spec.pad and raw.size else 0
+            windows, _, _ = F.pool_windows_batch(
+                raw.astype(np.int64), spec.kernel_size, spec.stride,
+                spec.pad, pad_values)
+            return requantize(windows.max(axis=(4, 5)), in_fmt, out_fmt)
+        windows, _, _ = F.pool_windows_batch(
+            raw.astype(np.int64), spec.kernel_size, spec.stride, spec.pad,
+            0)
+        sums = windows.sum(axis=(4, 5)).astype(np.int64)
+        area = spec.kernel_size * spec.kernel_size
+        if _is_power_of_two(area):
+            shift = area.bit_length() - 1
+            averaged = (sums + (1 << (shift - 1))) >> np.int64(shift)
+        else:
+            reciprocal = int(round((1 << 15) / area))
+            averaged = (sums * reciprocal + (1 << 14)) >> np.int64(15)
+        return requantize(averaged.astype(np.int64), in_fmt, out_fmt)
+
+    def _lrn(self, step: LayerStep, raw: np.ndarray) -> np.ndarray:
+        spec = step.spec
+        values = dequantize(raw, step.in_fmts[0])
+        channels = values.shape[1]
+        half = spec.local_size // 2
+        squared = values ** 2
+        scale_arg = np.zeros_like(values)
+        for c in range(channels):
+            lo, hi = max(0, c - half), min(channels, c + half + 1)
+            scale_arg[:, c] = (spec.alpha / spec.local_size) \
+                * squared[:, lo:hi].sum(axis=1)
+        scale = step.lut.evaluate(scale_arg)
+        return quantize_to_ints(values * scale, step.out_fmt)

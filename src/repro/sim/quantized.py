@@ -19,11 +19,17 @@ from repro.compiler.lut import ApproxLUTContent, build_lut, \
 from repro.compiler.program import ControlProgram
 from repro.errors import SimulationError
 from repro.fixedpoint.format import QFormat
-from repro.fixedpoint.ops import dequantize, quantize_to_ints, requantize
+from repro.fixedpoint.ops import (
+    accumulator_format,
+    dequantize,
+    quantize_to_ints,
+    requantize,
+)
 from repro.frontend.graph import NetworkGraph
 from repro.frontend.layers import LayerKind, LayerSpec, PoolMethod
 from repro.frontend.shapes import infer_shapes
 from repro.nn import functional as F
+from repro.sim.plan import ExecutionPlan
 
 
 def _is_power_of_two(n: int) -> bool:
@@ -62,6 +68,7 @@ class QuantizedExecutor:
                 cooked["recurrent_weight"] = quantize_to_ints(
                     entry["recurrent_weight"], self.weight_format)
             self._quantized_weights[spec.name] = cooked
+        self._plan: ExecutionPlan | None = None
 
     @staticmethod
     def from_program(program: ControlProgram,
@@ -77,6 +84,26 @@ class QuantizedExecutor:
 
     def reset_state(self) -> None:
         self.state.clear()
+
+    def plan(self) -> ExecutionPlan:
+        """The per-design execution plan, built once and reused.
+
+        Holds every input-independent piece of a forward pass (packed
+        weight matrices, im2col gather indices, resolved accumulator
+        formats, LUT contents) so :meth:`forward_batch` replays it per
+        request instead of re-deriving it.
+        """
+        if self._plan is None:
+            self._plan = ExecutionPlan.build(
+                self.graph,
+                self._shapes,
+                self._order,
+                self._quantized_weights,
+                self.blob_formats,
+                self.weight_format,
+                self._lut,
+            )
+        return self._plan
 
     # ------------------------------------------------------------------
 
@@ -108,17 +135,77 @@ class QuantizedExecutor:
                 blobs[top] = result
         return blobs
 
-    def forward(self, inputs: np.ndarray) -> dict[str, np.ndarray]:
-        """Forward propagation; returns real-valued blobs."""
-        raw = self.forward_raw(inputs)
-        return {
-            blob: dequantize(values, self.blob_formats[blob])
-            for blob, values in raw.items()
-        }
+    def forward(self, inputs: np.ndarray, *,
+                all_blobs: bool = False) -> dict[str, np.ndarray]:
+        """Forward propagation; returns real-valued blobs.
+
+        Dequantization is lazy: by default only the network's output
+        blob is converted back to real values (the only blob a serving
+        caller consumes); ``all_blobs=True`` dequantizes every
+        intermediate blob for inspection.
+        """
+        return self._dequantized(self.forward_raw(inputs), all_blobs)
 
     def output(self, inputs: np.ndarray) -> np.ndarray:
         blobs = self.forward(inputs)
         return blobs[self.graph.outputs()[-1].tops[0]]
+
+    # ------------------------------------------------------------------
+
+    def stack_batch(self, batch: "list[np.ndarray] | np.ndarray") -> np.ndarray:
+        """Validate and stack a request batch into one ``(N, ...)`` array."""
+        data_layers = self.graph.inputs()
+        if len(data_layers) != 1:
+            raise SimulationError("quantized executor expects a single input")
+        expected = self._shapes[data_layers[0].tops[0]]
+        if isinstance(batch, np.ndarray) and batch.ndim and \
+                batch.shape[1:] == expected.dims:
+            return np.asarray(batch, dtype=np.float64)
+        stacked = np.empty((len(batch),) + expected.dims, dtype=np.float64)
+        for index, inputs in enumerate(batch):
+            inputs = np.asarray(inputs, dtype=np.float64)
+            if inputs.shape != expected.dims:
+                if inputs.size != expected.size:
+                    raise SimulationError(
+                        f"batch item {index} has shape {inputs.shape}, "
+                        f"expected {expected.dims}"
+                    )
+                inputs = inputs.reshape(expected.dims)
+            stacked[index] = inputs
+        return stacked
+
+    def forward_batch_raw(
+            self, batch: "list[np.ndarray] | np.ndarray") -> dict[str, np.ndarray]:
+        """Vectorized forward propagation over a batch of inputs.
+
+        ``batch`` is a list of per-request tensors or one stacked
+        ``(N, ...)`` array.  Returns raw integer blobs with a leading
+        batch axis, integer-exact against ``N`` independent
+        :meth:`forward_raw` calls.  Recurrent state entries written by
+        this path carry the batch dimension; call :meth:`reset_state`
+        between batches (the simulator does) so every request starts
+        from clean state.
+        """
+        return self.plan().forward_batch_raw(self.stack_batch(batch),
+                                             self.state)
+
+    def forward_batch(self, batch: "list[np.ndarray] | np.ndarray", *,
+                      all_blobs: bool = False) -> dict[str, np.ndarray]:
+        """Batched forward propagation; lazily dequantized blobs."""
+        return self._dequantized(self.forward_batch_raw(batch), all_blobs)
+
+    def _dequantized(self, raw: dict[str, np.ndarray],
+                     all_blobs: bool) -> dict[str, np.ndarray]:
+        if all_blobs:
+            return {
+                blob: dequantize(values, self.blob_formats[blob])
+                for blob, values in raw.items()
+            }
+        output_blob = self.graph.outputs()[-1].tops[0]
+        return {
+            output_blob: dequantize(raw[output_blob],
+                                    self.blob_formats[output_blob])
+        }
 
     # ------------------------------------------------------------------
 
@@ -135,10 +222,7 @@ class QuantizedExecutor:
     def _mac_layer(self, raw: np.ndarray, in_fmt: QFormat, out_fmt: QFormat,
                    weight: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
         """Dot products in exact integer arithmetic, then requantize."""
-        acc_fmt = QFormat(
-            min(40, 62 - in_fmt.fraction_bits - self.weight_format.fraction_bits),
-            in_fmt.fraction_bits + self.weight_format.fraction_bits,
-        )
+        acc_fmt = accumulator_format(in_fmt, self.weight_format)
         acc = weight.astype(np.int64) @ np.ravel(raw).astype(np.int64)
         if bias is not None:
             bias_shift = acc_fmt.fraction_bits - self.weight_format.fraction_bits
@@ -203,10 +287,7 @@ class QuantizedExecutor:
     def _conv(self, spec, raw, in_fmt, out_fmt, params):
         weight = params["weight"]
         dout = weight.shape[0]
-        acc_fmt = QFormat(
-            min(40, 62 - in_fmt.fraction_bits - self.weight_format.fraction_bits),
-            in_fmt.fraction_bits + self.weight_format.fraction_bits,
-        )
+        acc_fmt = accumulator_format(in_fmt, self.weight_format)
         bias = params.get("bias")
         groups = max(1, spec.group)
         cin_per_group = raw.shape[0] // groups

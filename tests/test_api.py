@@ -46,13 +46,13 @@ class TestBitIdentity:
         inputs = np.random.default_rng(1).uniform(
             -1.0, 1.0, shapes[input_blob].dims)
         simulator = AcceleratorSimulator(program, weights=weights)
-        return simulator.run(inputs, functional=True)
+        return simulator.run(inputs, functional=True, all_blobs=True)
 
     @pytest.fixture(scope="class")
     def facade(self):
         artifacts = repro.build(benchmark_graph("mnist"),
                                 device="Z-7045", fraction=0.3)
-        return repro.simulate(artifacts)
+        return repro.simulate(artifacts, all_blobs=True)
 
     def test_outputs_bit_identical(self, hand_wired, facade):
         np.testing.assert_array_equal(hand_wired.output, facade.output)

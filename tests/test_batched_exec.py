@@ -1,0 +1,301 @@
+"""Bit-exactness and serving tests for the batched execution plan.
+
+The vectorized :meth:`QuantizedExecutor.forward_batch` path is a second,
+independent implementation of the fixed-point semantics; these tests pin
+it to the per-sample :meth:`forward_raw` reference *integer by integer*
+(``assert_array_equal`` on raw blobs, never floats-close) across every
+zoo benchmark — including AlexNet's grouped convolutions and NiN's
+non-power-of-two average pooling — plus the recurrent-state, lazy
+dequantization, server fallback and bench-sweep behaviour around it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.errors import SimulationError
+from repro.fixedpoint import QFormat
+from repro.frontend.shapes import infer_shapes
+from repro.nn.reference import init_weights
+from repro.runtime import CompiledModel, InferenceServer, run_bench
+from repro.sim.quantized import QuantizedExecutor
+from repro.zoo import BENCHMARKS, benchmark_graph
+
+#: Batch sizes per network: big CNNs get a small batch to keep the
+#: suite fast, everything else gets enough samples to exercise the
+#: batched kernels properly.
+BATCH_SIZES = {"alexnet": 2, "nin": 2}
+
+SCRIPT = """
+name: "batched_net"
+layers { name: "data" type: DATA top: "data" param { dim: 8 } }
+layers { name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1" param { num_output: 16 } }
+layers { name: "relu1" type: RELU bottom: "ip1" top: "ip1" }
+layers { name: "ip2" type: INNER_PRODUCT bottom: "ip1" top: "ip2" param { num_output: 4 } }
+"""
+
+
+def make_executor(name):
+    graph = benchmark_graph(name)
+    weights = init_weights(graph, np.random.default_rng(1))
+    shapes = infer_shapes(graph)
+    return QuantizedExecutor(
+        graph=graph,
+        weights=weights,
+        blob_formats={blob: QFormat(5, 10) for blob in shapes},
+        weight_format=QFormat(3, 12),
+    )
+
+
+class TestBatchedBitExactness:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_forward_batch_matches_per_sample_reference(self, name):
+        executor = make_executor(name)
+        dims = executor.plan().input_dims
+        count = BATCH_SIZES.get(name, 3)
+        rng = np.random.default_rng(7)
+        batch = [rng.standard_normal(dims) for _ in range(count)]
+
+        reference = []
+        for sample in batch:
+            executor.reset_state()
+            reference.append(executor.forward_raw(sample))
+
+        executor.reset_state()
+        stacked = executor.forward_batch_raw(batch)
+
+        assert stacked.keys() == reference[0].keys()
+        for blob, array in stacked.items():
+            assert array.dtype == np.int64
+            for index in range(count):
+                np.testing.assert_array_equal(
+                    array[index], reference[index][blob],
+                    err_msg=f"{name}: blob '{blob}', sample {index}")
+
+    def test_ndarray_batch_equals_list_batch(self):
+        executor = make_executor("mnist")
+        rng = np.random.default_rng(3)
+        batch = [rng.standard_normal(executor.plan().input_dims)
+                 for _ in range(2)]
+        from_list = executor.forward_batch_raw(batch)
+        from_array = executor.forward_batch_raw(np.stack(batch))
+        for blob in from_list:
+            np.testing.assert_array_equal(from_list[blob],
+                                          from_array[blob])
+
+    def test_bad_item_shape_rejected(self):
+        executor = make_executor("mnist")
+        good = np.zeros(executor.plan().input_dims)
+        with pytest.raises(SimulationError, match="batch item 1"):
+            executor.stack_batch([good, np.zeros(3)])
+
+
+class TestRecurrentState:
+    def test_forward_batch_state_evolves_without_reset(self):
+        """Batched recurrent state is per-sample and carries over calls."""
+        executor = make_executor("hopfield")
+        rng = np.random.default_rng(5)
+        batch = [rng.standard_normal(executor.plan().input_dims)
+                 for _ in range(3)]
+
+        executor.reset_state()
+        first = executor.forward_batch_raw(batch)
+        second = executor.forward_batch_raw(batch)
+
+        # The reference: two forward_raw settling steps per sample.
+        per_sample_second = []
+        for sample in batch:
+            executor.reset_state()
+            executor.forward_raw(sample)
+            per_sample_second.append(executor.forward_raw(sample))
+        for blob in second:
+            for index in range(3):
+                np.testing.assert_array_equal(
+                    second[blob][index], per_sample_second[index][blob])
+        # And the evolution is real: at least one blob changed.
+        assert any(not np.array_equal(first[blob], second[blob])
+                   for blob in first)
+
+    def test_reset_state_restores_first_step(self):
+        executor = make_executor("hopfield")
+        batch = [np.random.default_rng(6).standard_normal(
+            executor.plan().input_dims) for _ in range(2)]
+        executor.reset_state()
+        first = executor.forward_batch_raw(batch)
+        executor.forward_batch_raw(batch)
+        executor.reset_state()
+        again = executor.forward_batch_raw(batch)
+        for blob in first:
+            np.testing.assert_array_equal(first[blob], again[blob])
+
+    def test_mixing_batch_shapes_without_reset_rejected(self):
+        executor = make_executor("hopfield")
+        dims = executor.plan().input_dims
+        executor.reset_state()
+        executor.forward_batch_raw([np.zeros(dims), np.zeros(dims)])
+        with pytest.raises(SimulationError, match="reset_state"):
+            executor.forward_batch_raw([np.zeros(dims)])
+
+    def test_run_batch_requests_start_from_clean_state(self):
+        """Every run_batch request is independent — no state leakage."""
+        artifacts = api.build(benchmark_graph("hopfield"),
+                              device="Z-7045", fraction=0.3)
+        simulator = api.simulator(artifacts)
+        stream = [artifacts.random_input(seed) for seed in (1, 2, 3)]
+
+        batched = simulator.run_batch(stream)
+        for inputs, result in zip(stream, batched):
+            fresh = api.simulator(artifacts).run(inputs)
+            np.testing.assert_array_equal(result.output, fresh.output)
+        # A second identical batch on the same session: same answers.
+        again = simulator.run_batch(stream)
+        for first, second in zip(batched, again):
+            np.testing.assert_array_equal(first.output, second.output)
+
+
+class TestSimulateBatchFacade:
+    def test_bit_identical_to_simulate(self):
+        artifacts = api.build(SCRIPT, device="Z-7045", fraction=0.3)
+        stream = [artifacts.random_input(seed) for seed in (1, 2, 3, 4)]
+        batched = api.simulate_batch(artifacts, stream)
+        assert len(batched) == 4
+        for inputs, result in zip(stream, batched):
+            solo = api.simulate(artifacts, inputs)
+            np.testing.assert_array_equal(result.output, solo.output)
+            assert result.cycles == solo.cycles
+
+    def test_all_blobs_flag(self):
+        artifacts = api.build(SCRIPT, device="Z-7045", fraction=0.3)
+        stream = [artifacts.random_input(1)]
+        full = api.simulate_batch(artifacts, stream, all_blobs=True)[0]
+        assert {"data", "ip1", "ip2"} <= set(full.outputs)
+
+
+class TestLazyDequantize:
+    def test_forward_default_returns_output_blob_only(self):
+        executor = make_executor("mnist")
+        inputs = np.zeros(executor.plan().input_dims)
+        blobs = executor.forward(inputs)
+        output_blob = executor.graph.outputs()[-1].tops[0]
+        assert set(blobs) == {output_blob}
+
+    def test_forward_all_blobs_matches_default_output(self):
+        executor = make_executor("mnist")
+        inputs = np.random.default_rng(8).standard_normal(
+            executor.plan().input_dims)
+        lazy = executor.forward(inputs)
+        executor.reset_state()
+        full = executor.forward(inputs, all_blobs=True)
+        output_blob = executor.graph.outputs()[-1].tops[0]
+        assert len(full) > 1
+        np.testing.assert_array_equal(lazy[output_blob], full[output_blob])
+
+    def test_simulate_all_blobs_flag(self):
+        artifacts = api.build(SCRIPT, device="Z-7045", fraction=0.3)
+        lean = api.simulate(artifacts)
+        full = api.simulate(artifacts, all_blobs=True)
+        assert set(lean.outputs) == {"ip2", "__output__"}
+        assert {"data", "ip1", "ip2", "__output__"} <= set(full.outputs)
+        np.testing.assert_array_equal(lean.output, full.output)
+
+
+class TestServerBatchedPath:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CompiledModel.build(SCRIPT, device="Z-7045", fraction=0.3)
+
+    def test_batched_responses_bit_identical_to_solo(self, model):
+        server = InferenceServer(model, workers=1, max_batch_size=4,
+                                 batch_timeout_s=0.0)
+        stream = model.random_requests(4, seed=9)
+        pending = [server.submit(x) for x in stream]
+        with server:
+            responses = [p.result() for p in pending]
+        assert [r.batch_size for r in responses] == [4] * 4
+        for inputs, response in zip(stream, responses):
+            expected = api.simulate(model.artifacts, inputs)
+            np.testing.assert_array_equal(response.output, expected.output)
+
+    def test_bad_request_does_not_poison_batch_mates(self, model):
+        """One malformed input fails alone; the rest of its batch is ok."""
+        server = InferenceServer(model, workers=1, max_batch_size=4,
+                                 batch_timeout_s=0.0)
+        stream = model.random_requests(3, seed=10)
+        pending = [server.submit(stream[0]), server.submit(np.zeros(3)),
+                   server.submit(stream[1]), server.submit(stream[2])]
+        with server:
+            responses = [p.result() for p in pending]
+        statuses = [r.status for r in responses]
+        assert statuses == ["ok", "error", "ok", "ok"]
+        for inputs, response in zip(stream, [responses[0], responses[2],
+                                             responses[3]]):
+            expected = api.simulate(model.artifacts, inputs)
+            np.testing.assert_array_equal(response.output, expected.output)
+        assert server.metrics.counter("requests_error").value == 1
+        assert server.metrics.counter("requests_completed").value == 3
+
+
+class TestBenchBatchSweep:
+    def test_sweep_entries_recorded(self, tmp_path):
+        import json
+        out = str(tmp_path / "BENCH_runtime.json")
+        report = run_bench(
+            script=SCRIPT, requests=8, workers=2, max_batch_size=4,
+            batch_sizes=[1, 4], batch_timeout_s=0.001, out=out)
+        assert set(report.batch_sweep) == {"1", "4"}
+        for entry in report.batch_sweep.values():
+            assert entry["requests_per_s"] > 0
+            assert entry["speedup_vs_sequential"] > 0
+        assert report.best_batched_speedup >= report.speedup
+        with open(out) as handle:
+            payload = json.load(handle)
+        assert set(payload["batch_sweep"]) == {"1", "4"}
+        assert payload["best_batched_speedup"] > 0
+        rendered = report.render()
+        assert "batch sweep" in rendered
+        assert "best batched speedup" in rendered
+
+    def test_no_sweep_by_default(self):
+        report = run_bench(script=SCRIPT, requests=4, workers=1,
+                           max_batch_size=2, out="")
+        assert report.batch_sweep == {}
+        assert "batch sweep" not in report.render()
+
+    def test_bad_batch_size_rejected(self):
+        from repro.errors import ServingError
+        with pytest.raises(ServingError, match="batch sizes"):
+            run_bench(script=SCRIPT, requests=2, workers=1,
+                      batch_sizes=[0], out="")
+
+
+class TestBenchCli:
+    @pytest.fixture
+    def script_file(self, tmp_path):
+        path = tmp_path / "net.prototxt"
+        path.write_text(SCRIPT)
+        return str(path)
+
+    def test_batch_sizes_flag(self, script_file, tmp_path, capsys):
+        import json
+        out = str(tmp_path / "BENCH_runtime.json")
+        code = main(["bench", "--script", script_file, "--requests", "6",
+                     "--workers", "1", "--batch-sizes", "1,3",
+                     "--out", out])
+        assert code == 0
+        assert "batch sweep" in capsys.readouterr().out
+        with open(out) as handle:
+            assert set(json.load(handle)["batch_sweep"]) == {"1", "3"}
+
+    def test_require_speedup_gates_exit_code(self, script_file, capsys):
+        code = main(["bench", "--script", script_file, "--requests", "4",
+                     "--workers", "1", "--batch-sizes", "2",
+                     "--require-speedup", "1000", "--out", ""])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_malformed_batch_sizes_errors(self, script_file, capsys):
+        code = main(["bench", "--script", script_file,
+                     "--batch-sizes", "1,x", "--out", ""])
+        assert code == 1
+        assert "comma-separated" in capsys.readouterr().err
