@@ -1,0 +1,56 @@
+"""Static design verification and IR lint for compiled accelerators.
+
+The package statically analyzes a compiled
+:class:`~repro.compiler.program.ControlProgram` (or a full
+:class:`~repro.api.BuildArtifacts` bundle) — no simulation, no input
+data — and emits a severity-ranked
+:class:`~repro.analysis.report.AnalysisReport`:
+
+* :mod:`repro.analysis.ranges` — fixed-point interval propagation
+  proving accumulators cannot wrap (or the exact bit deficit);
+* :mod:`repro.analysis.memory` — every AGU pattern stays inside its
+  DRAM region, regions never alias, folds fit the on-chip buffers;
+* :mod:`repro.analysis.control` — coordinator-FSM reachability and
+  termination, fold/state bijection, traffic consistency;
+* :mod:`repro.analysis.lint` — extensible graph-level rule registry.
+
+Surfaced as ``repro verify`` in the CLI, ``check=True`` in
+:func:`repro.api.build`, and the static pre-filter in :mod:`repro.dse`.
+"""
+
+from repro.analysis.control import analyze_control
+from repro.analysis.lint import LintContext, RULES, analyze_lint, rule
+from repro.analysis.memory import analyze_memory, pattern_span
+from repro.analysis.ranges import Interval, analyze_ranges
+from repro.analysis.report import (
+    AnalysisReport,
+    Finding,
+    REPORT_SCHEMA,
+    Severity,
+)
+from repro.analysis.verifier import (
+    ALL_PASSES,
+    analyze,
+    require_clean,
+    verify_artifacts,
+)
+
+__all__ = [
+    "ALL_PASSES",
+    "AnalysisReport",
+    "Finding",
+    "Interval",
+    "LintContext",
+    "REPORT_SCHEMA",
+    "RULES",
+    "Severity",
+    "analyze",
+    "analyze_control",
+    "analyze_lint",
+    "analyze_memory",
+    "analyze_ranges",
+    "pattern_span",
+    "require_clean",
+    "rule",
+    "verify_artifacts",
+]

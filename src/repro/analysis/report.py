@@ -1,0 +1,183 @@
+"""Structured findings and the severity-ranked verification report.
+
+Every static pass emits :class:`Finding` records — a stable rule id
+(``pass.rule-name``), a :class:`Severity`, the design locus and a
+human-readable message — and the orchestrator aggregates them into one
+:class:`AnalysisReport`.  Rule ids are the suppression handles: a
+finding whose id is listed in the suppression set is counted but never
+raised to the caller.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: Report schema version, bumped when the JSON layout changes.
+REPORT_SCHEMA = 1
+
+
+class Severity(enum.IntEnum):
+    """Ranked severity of one finding.
+
+    ``ERROR`` findings mark designs that are provably broken — the flow
+    treats them as verification failures.  ``WARNING`` marks risks the
+    design survives with degraded behaviour (saturation, clamping,
+    dead logic); ``INFO`` records proofs and notes.
+    """
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verdict of one rule at one locus of the design."""
+
+    rule: str
+    severity: Severity
+    where: str
+    message: str
+    #: Analysis pass that produced the finding ("ranges", "memory",
+    #: "control", "lint"); filled by the orchestrator.
+    pass_name: str = ""
+    #: Machine-readable context (bit deficits, addresses, intervals).
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return (f"[{self.severity.label:7s}] {self.rule:30s} "
+                f"{self.where}: {self.message}")
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "pass": self.pass_name,
+            "where": self.where,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregate outcome of one static verification run.
+
+    Findings are kept severity-ranked (errors first); ``suppressed``
+    counts findings filtered by rule id before they reached the list.
+    """
+
+    design_name: str = ""
+    passes_run: tuple[str, ...] = ()
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: dict[str, int] = field(default_factory=dict)
+
+    def extend(self, pass_name: str, findings: Iterable[Finding],
+               suppress: frozenset[str]) -> None:
+        """Tag, filter and merge one pass's findings."""
+        for finding in findings:
+            tagged = Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                where=finding.where,
+                message=finding.message,
+                pass_name=pass_name,
+                details=finding.details,
+            )
+            if tagged.rule in suppress:
+                self.suppressed[tagged.rule] = \
+                    self.suppressed.get(tagged.rule, 0) + 1
+                continue
+            self.findings.append(tagged)
+        self.findings.sort(key=lambda f: (-int(f.severity), f.pass_name,
+                                          f.rule, f.where))
+
+    # --- views ---------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived suppression."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Per-pass ``{"errors": n, "warnings": n, "info": n}`` table.
+
+        Every pass that ran appears, even with all-zero counts — the
+        benchmark report uses this as the correctness signature.
+        """
+        table: dict[str, dict[str, int]] = {
+            name: {"errors": 0, "warnings": 0, "info": 0}
+            for name in self.passes_run
+        }
+        for finding in self.findings:
+            entry = table.setdefault(
+                finding.pass_name, {"errors": 0, "warnings": 0, "info": 0})
+            if finding.severity is Severity.ERROR:
+                entry["errors"] += 1
+            elif finding.severity is Severity.WARNING:
+                entry["warnings"] += 1
+            else:
+                entry["info"] += 1
+        return table
+
+    # --- rendering -----------------------------------------------------
+
+    def summary(self) -> str:
+        suppressed = sum(self.suppressed.values())
+        parts = [
+            f"{len(self.errors)} errors",
+            f"{len(self.warnings)} warnings",
+            f"{len(self.infos)} notes",
+        ]
+        if suppressed:
+            parts.append(f"{suppressed} suppressed")
+        verdict = "PASS" if self.ok else "FAIL"
+        return (f"static verification of '{self.design_name}': {verdict} "
+                f"({', '.join(parts)}; passes: "
+                f"{', '.join(self.passes_run) or 'none'})")
+
+    def render(self, max_findings: int | None = None) -> str:
+        lines = [self.summary()]
+        shown = self.findings if max_findings is None \
+            else self.findings[:max_findings]
+        lines.extend(f"  {finding.render()}" for finding in shown)
+        if max_findings is not None and len(self.findings) > max_findings:
+            lines.append(f"  ... {len(self.findings) - max_findings} more "
+                         "findings (use --json for the full report)")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "design": self.design_name,
+            "ok": self.ok,
+            "passes": list(self.passes_run),
+            "counts": self.counts(),
+            "suppressed": dict(self.suppressed),
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+    def json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)

@@ -119,6 +119,7 @@ def build(
     calibration_inputs: list[np.ndarray] | None = None,
     seed: int = 0,
     label: str = "",
+    check: bool = False,
 ) -> BuildArtifacts:
     """Run the whole flow: script/graph + constraint → build artifacts.
 
@@ -127,8 +128,11 @@ def build(
     is either ``budget`` directly or carved from ``device`` (name or
     :class:`Device`) by ``fraction``.  ``weights`` is a trained weight
     dict, :data:`RANDOM_WEIGHTS` (Gaussian init from ``seed``, the
-    default) or ``None`` for a weightless timing-only build.  The
-    remaining knobs pass straight through to
+    default) or ``None`` for a weightless timing-only build.
+    ``check=True`` runs the static verifier (:mod:`repro.analysis`)
+    over the finished artifacts and raises
+    :class:`~repro.errors.VerificationError` on any error-severity
+    finding.  The remaining knobs pass straight through to
     :meth:`~repro.nngen.generator.NNGen.generate` and
     :meth:`~repro.compiler.compiler.DeepBurningCompiler.compile`.
     """
@@ -154,7 +158,7 @@ def build(
         weights = init_weights(graph, np.random.default_rng(seed))
     program = DeepBurningCompiler().compile(
         design, weights=weights, calibration_inputs=calibration_inputs)
-    return BuildArtifacts(
+    artifacts = BuildArtifacts(
         graph=graph,
         shapes=infer_shapes(graph),
         design=design,
@@ -163,6 +167,12 @@ def build(
         weights=weights,
         seed=seed,
     )
+    if check:
+        # Imported lazily: the verifier is an optional stage and the
+        # analysis package itself builds designs through this facade.
+        from repro.analysis import require_clean, verify_artifacts
+        require_clean(verify_artifacts(artifacts))
+    return artifacts
 
 
 def simulator(artifacts: BuildArtifacts) -> AcceleratorSimulator:

@@ -82,6 +82,34 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis import verify_artifacts
+
+    if args.script:
+        graph = _load_graph(args.script)
+    elif args.model:
+        from repro.zoo.models import benchmark_graph
+        graph = benchmark_graph(args.model)
+    else:
+        raise DeepBurningError("verify needs --script or --model")
+    artifacts = api.build(
+        graph,
+        device=args.device,
+        fraction=args.fraction,
+        seed=args.seed,
+    )
+    passes = None
+    if args.passes:
+        passes = [name for name in args.passes.split(",") if name.strip()]
+    suppress = [item for item in args.suppress.split(",") if item.strip()]
+    report = verify_artifacts(artifacts, passes=passes, suppress=suppress)
+    if args.json:
+        print(report.json_text())
+    else:
+        print(report.render(max_findings=args.max_findings))
+    return 0 if report.ok else 1
+
+
 def cmd_dse(args: argparse.Namespace) -> int:
     from repro.dse import (
         DesignCache,
@@ -106,6 +134,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
         weight_formats=format_list(args.weight_formats),
         fold_capacity_scales=float_list(args.fold_scales),
         functional=args.functional,
+        static_filter=args.static_filter,
         seed=args.seed,
     )
     if not spec.points():
@@ -226,6 +255,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the per-layer cycle/utilization table")
     simulate.set_defaults(handler=cmd_simulate)
 
+    verify = commands.add_parser(
+        "verify",
+        help="statically verify a compiled design: ranges, memory "
+             "safety, control program, IR lint")
+    verify.add_argument("--script", default="",
+                        help="path to the *.prototxt descriptive script")
+    verify.add_argument("--model", default="",
+                        help="zoo benchmark network to verify instead of "
+                             "--script")
+    verify.add_argument("--device", default="Z-7045",
+                        choices=sorted(DEVICES),
+                        help="target FPGA device")
+    verify.add_argument("--fraction", type=float, default=0.3,
+                        help="resource budget as a fraction of the device")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="seed for random weights")
+    verify.add_argument("--passes", default="",
+                        help="comma-separated subset of analysis passes "
+                             "(lint,ranges,memory,control)")
+    verify.add_argument("--suppress", default="",
+                        help="comma-separated rule ids to suppress "
+                             "(e.g. mem.read-overfetch)")
+    verify.add_argument("--max-findings", type=int, default=None,
+                        help="truncate the text report after N findings")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the full machine-readable report")
+    verify.set_defaults(handler=cmd_verify)
+
     dse = commands.add_parser(
         "dse", help="explore the design space: sweep, cache, Pareto frontier")
     dse.add_argument("--script", required=True,
@@ -251,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--functional", action="store_true",
                      help="also measure output fidelity vs the float "
                           "reference (slower)")
+    dse.add_argument("--static-filter", action="store_true",
+                     help="run the static verifier on each built design "
+                          "and reject points with errors unsimulated")
     dse.add_argument("--seed", type=int, default=0,
                      help="seed for functional evaluation")
     dse.set_defaults(handler=cmd_dse)

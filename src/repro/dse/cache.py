@@ -54,11 +54,14 @@ class DesignCache:
 
     @staticmethod
     def key(fingerprint: str, point: SweepPoint,
-            functional: bool = False, seed: int = 0) -> str:
+            functional: bool = False, seed: int = 0,
+            static_filter: bool = False) -> str:
         """Content address of one evaluation.
 
         ``functional``/``seed`` are part of the key because a functional
         run carries a fidelity figure a timing-only run lacks.
+        ``static_filter`` joins the record only when set, so caches
+        written before the verifier existed stay valid for plain sweeps.
         """
         record = {
             "schema": RESULT_SCHEMA,
@@ -67,6 +70,8 @@ class DesignCache:
             "functional": functional,
             "seed": seed if functional else 0,
         }
+        if static_filter:
+            record["static_filter"] = True
         canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

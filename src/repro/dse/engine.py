@@ -26,13 +26,16 @@ from repro.nn.reference import ReferenceNetwork
 
 
 def evaluate_point(graph: NetworkGraph, point: SweepPoint,
-                   functional: bool = False, seed: int = 0) -> PointResult:
+                   functional: bool = False, seed: int = 0,
+                   static_filter: bool = False) -> PointResult:
     """Run one point through the build→simulate facade.
 
     Any :class:`~repro.errors.DeepBurningError` — a budget that cannot
     fit the minimal datapath, an unsupported layer, a compile failure —
     becomes a structured ``infeasible`` result carrying the reason, so a
-    sweep always completes.
+    sweep always completes.  With ``static_filter=True`` the built
+    design runs the static verifier first; a design with error-severity
+    findings becomes a ``rejected`` result without ever simulating.
     """
     try:
         device = device_by_name(point.device)
@@ -47,6 +50,17 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
             weights=api.RANDOM_WEIGHTS if functional else None,
             seed=seed,
         )
+        if static_filter:
+            from repro.analysis import verify_artifacts
+            report = verify_artifacts(artifacts)
+            if not report.ok:
+                first = report.errors[0]
+                return PointResult(
+                    point=point, status="rejected",
+                    reason=(f"{len(report.errors)} static error(s); first: "
+                            f"{first.rule} at {first.where}: "
+                            f"{first.message}"),
+                )
         design = artifacts.design
         sim = api.simulate(artifacts, functional=functional)
         accuracy = None
@@ -90,9 +104,9 @@ def _fidelity(quantized: np.ndarray, reference: np.ndarray) -> float:
 
 def _evaluate_job(args: tuple) -> tuple[int, PointResult]:
     """Process-pool entry point: evaluate one indexed sweep point."""
-    index, graph, point, functional, seed = args
+    index, graph, point, functional, seed, static_filter = args
     return index, evaluate_point(graph, point, functional=functional,
-                                 seed=seed)
+                                 seed=seed, static_filter=static_filter)
 
 
 def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
@@ -118,7 +132,8 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
     for index, point in enumerate(points):
         if cache is not None:
             key = DesignCache.key(fingerprint, point,
-                                  functional=spec.functional, seed=spec.seed)
+                                  functional=spec.functional, seed=spec.seed,
+                                  static_filter=spec.static_filter)
             keys[index] = key
             hit = cache.load(key)
             if hit is not None:
@@ -127,7 +142,8 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
         pending.append((index, point))
 
     if jobs > 1 and len(pending) > 1:
-        job_args = [(index, graph, point, spec.functional, spec.seed)
+        job_args = [(index, graph, point, spec.functional, spec.seed,
+                     spec.static_filter)
                     for index, point in pending]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [pool.submit(_evaluate_job, args) for args in job_args]
@@ -137,7 +153,8 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
     else:
         for index, point in pending:
             results[index] = evaluate_point(
-                graph, point, functional=spec.functional, seed=spec.seed)
+                graph, point, functional=spec.functional, seed=spec.seed,
+                static_filter=spec.static_filter)
 
     if cache is not None:
         for index, _ in pending:

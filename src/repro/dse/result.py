@@ -25,7 +25,7 @@ class PointResult:
     """Outcome of evaluating one sweep point."""
 
     point: SweepPoint
-    status: str  # "ok" | "infeasible"
+    status: str  # "ok" | "infeasible" | "rejected" (static verifier)
     reason: str = ""
     # Design shape
     lanes: int = 0
@@ -178,6 +178,11 @@ class SweepResult:
         return [r for r in self.results if not r.feasible]
 
     @property
+    def rejected(self) -> list[PointResult]:
+        """Points the static verifier filtered out before simulation."""
+        return [r for r in self.results if r.status == "rejected"]
+
+    @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -221,7 +226,7 @@ class SweepResult:
                                else f"{result.accuracy:.3f}")
                 row.append("*" if id(result) in on_frontier else "")
             else:
-                row = [result.point.label, "infeasible", "-", "-", "-", "-",
+                row = [result.point.label, result.status, "-", "-", "-", "-",
                        "-", "-", "-"]
                 if has_accuracy:
                     row.append("-")
@@ -236,7 +241,12 @@ class SweepResult:
                 f"points; knee at {knee.point.label} "
                 f"({format_time(knee.time_s)}, {knee.lut} LUT)"
             )
-        if self.infeasible:
-            lines.append(f"infeasible: {len(self.infeasible)} points "
+        rejected = self.rejected
+        if rejected:
+            lines.append(f"static filter: {len(rejected)} points rejected "
+                         "before simulation (see status column)")
+        plain_infeasible = len(self.infeasible) - len(rejected)
+        if plain_infeasible:
+            lines.append(f"infeasible: {plain_infeasible} points "
                          "(see status column)")
         return "\n".join(lines)

@@ -138,6 +138,9 @@ class SweepSpec:
     #: When True, each point also runs the bit-level functional
     #: simulation against the float reference and records fidelity.
     functional: bool = False
+    #: When True, each built design runs the static verifier first and
+    #: points with error-severity findings are rejected unsimulated.
+    static_filter: bool = False
     #: Seed for the random weights/input of functional evaluation.
     seed: int = 0
     _points: tuple[SweepPoint, ...] = field(default=(), repr=False)
@@ -165,7 +168,7 @@ class SweepSpec:
 
     @staticmethod
     def explicit(points: list[SweepPoint], functional: bool = False,
-                 seed: int = 0) -> "SweepSpec":
+                 static_filter: bool = False, seed: int = 0) -> "SweepSpec":
         """A spec over a hand-picked point list instead of a product."""
-        return SweepSpec(functional=functional, seed=seed,
-                         _points=tuple(points))
+        return SweepSpec(functional=functional, static_filter=static_filter,
+                         seed=seed, _points=tuple(points))

@@ -65,6 +65,10 @@ class QuantizationError(DeepBurningError):
     """A value cannot be represented in the requested fixed-point format."""
 
 
+class VerificationError(DeepBurningError):
+    """Static verification found an error-severity defect in a design."""
+
+
 class ServingError(DeepBurningError):
     """The inference serving runtime was misused or reached a bad state."""
 

@@ -47,6 +47,9 @@ class BenchReport:
     #: flush size as a string; each entry carries the same fields as
     #: ``runtime`` plus ``speedup_vs_sequential``.
     batch_sweep: dict = field(default_factory=dict)
+    #: static-verifier verdict over the served design: ``ok`` plus the
+    #: per-pass ``{"errors", "warnings", "info"}`` counts.
+    verifier: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -104,6 +107,15 @@ class BenchReport:
                 )
             lines.append(
                 f"  best batched speedup: {self.best_batched_speedup:.2f}x")
+        if self.verifier:
+            passes = self.verifier.get("passes", {})
+            errors = sum(entry.get("errors", 0) for entry in passes.values())
+            warnings = sum(entry.get("warnings", 0)
+                           for entry in passes.values())
+            verdict = "PASS" if self.verifier.get("ok") else "FAIL"
+            lines.append(
+                f"  static verifier: {verdict} ({errors} errors, "
+                f"{warnings} warnings over {len(passes)} passes)")
         return "\n".join(lines)
 
 
@@ -211,6 +223,10 @@ def run_bench(
     stream = compiled.random_requests(requests, seed=seed + 1)
     probe = compiled.new_session().run(stream[0], functional=functional)
 
+    from repro.analysis import verify_artifacts
+    verdict = verify_artifacts(compiled.artifacts)
+    verifier = {"ok": verdict.ok, "passes": verdict.counts()}
+
     sequential = _sequential_pass(compiled, stream, functional)
     runtime, metrics = _runtime_pass(
         compiled, stream,
@@ -253,6 +269,7 @@ def run_bench(
         runtime=runtime,
         metrics=metrics,
         batch_sweep=batch_sweep,
+        verifier=verifier,
     )
     if out:
         report.write(out)

@@ -248,3 +248,44 @@ class TestSweepResultRender:
         assert restored.as_cached() == restored
         assert restored.to_json() == result.to_json()
         assert restored.cached
+
+
+class TestStaticFilter:
+    """The static verifier as a pre-simulation filter: same frontier,
+    fewer points simulated."""
+
+    SPEC_AXES = dict(fractions=(0.1, 0.3),
+                     # Q0.20 cannot hold even one Q3.12 product in the
+                     # 32-bit accumulator, so the verifier rejects it.
+                     data_formats=((7, 8), (0, 20)))
+
+    def test_filtered_sweep_preserves_the_frontier(self):
+        from repro.zoo.models import benchmark_graph
+        graph = benchmark_graph("ann0")
+        plain = run_sweep(graph, SweepSpec(**self.SPEC_AXES), jobs=1)
+        filtered = run_sweep(
+            graph, SweepSpec(static_filter=True, **self.SPEC_AXES), jobs=1)
+
+        def coords(sweep):
+            return [(r.point.label, r.time_s, r.lut)
+                    for r in sweep.frontier()]
+
+        assert coords(filtered) == coords(plain)
+        assert len(filtered.rejected) == 2
+        assert not plain.rejected
+
+    def test_rejection_carries_the_verifier_locus(self, graph):
+        spec = SweepSpec.explicit(
+            [SweepPoint(fraction=0.3, data_bits=(0, 20))],
+            static_filter=True)
+        sweep = run_sweep(graph, spec, jobs=1)
+        (result,) = sweep.results
+        assert result.status == "rejected"
+        assert not result.feasible
+        assert "range.accumulator-overflow" in (result.reason or "")
+        assert "static filter: 1 points rejected" in sweep.render()
+
+    def test_cache_key_distinguishes_filtered_sweeps(self):
+        point = SweepPoint(fraction=0.3)
+        assert DesignCache.key("fp", point) != \
+            DesignCache.key("fp", point, static_filter=True)

@@ -217,3 +217,66 @@ class TestQuantizedConvergence:
         x = np.random.default_rng(seed + 1).uniform(-1, 1, 6)
         assert np.allclose(executor.output(x), reference.output(x),
                            atol=0.02)
+
+
+class TestPatternRoundTrip:
+    """``expand(infer(stream)) == stream`` — the analyzer contract the
+    AGU compiler and the static memory pass both rest on."""
+
+    @given(
+        start=st.integers(0, 4096),
+        x_length=st.integers(1, 48),
+        stride=st.integers(0, 64),
+        y_length=st.integers(1, 8),
+        offset=st.integers(0, 512),
+    )
+    @settings(max_examples=200)
+    def test_single_pattern_round_trips(self, start, x_length, stride,
+                                        y_length, offset):
+        from repro.compiler.patterns import (
+            AccessPattern,
+            expand_patterns,
+            infer_pattern,
+        )
+
+        original = AccessPattern(start_address=start, x_length=x_length,
+                                 stride=stride, y_length=y_length,
+                                 offset=offset)
+        stream = original.expand()
+        inferred = infer_pattern(stream)
+        assert inferred.expand() == stream
+        assert inferred.footprint == original.footprint
+        assert expand_patterns([inferred]) == stream
+
+    @given(stream=st.lists(st.integers(0, 1000), min_size=1, max_size=120))
+    @settings(max_examples=200)
+    def test_arbitrary_stream_round_trips(self, stream):
+        from repro.compiler.patterns import expand_patterns, infer_patterns
+
+        patterns = infer_patterns(stream, max_patterns=len(stream))
+        assert expand_patterns(patterns) == stream
+        assert sum(p.footprint for p in patterns) == len(stream)
+
+    @given(
+        specs=st.lists(
+            st.tuples(st.integers(0, 2000), st.integers(1, 16),
+                      st.integers(0, 32), st.integers(1, 4),
+                      st.integers(0, 128)),
+            min_size=1, max_size=4,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_concatenated_sweeps_round_trip(self, specs):
+        from repro.compiler.patterns import (
+            AccessPattern,
+            expand_patterns,
+            infer_patterns,
+        )
+
+        stream = expand_patterns([
+            AccessPattern(start_address=s, x_length=x, stride=dx,
+                          y_length=y, offset=dy)
+            for s, x, dx, y, dy in specs
+        ])
+        patterns = infer_patterns(stream, max_patterns=len(stream))
+        assert expand_patterns(patterns) == stream

@@ -6,6 +6,7 @@ formation, structured timeouts, error responses, metrics counts) and
 the session model (per-thread simulator state, bit-identical reuse).
 """
 
+import json
 import threading
 
 import numpy as np
@@ -270,3 +271,18 @@ class TestInferenceServer:
         assert response.ok
         timeout = RequestTimeout(request_id=2)
         assert timeout.status == "timeout"
+
+
+class TestBenchVerifier:
+    def test_bench_report_records_static_verdict(self):
+        from repro.runtime.bench import run_bench
+        report = run_bench(script=SCRIPT, requests=4, workers=2,
+                           max_batch_size=2, functional=False, out="")
+        assert report.verifier["ok"] is True
+        assert set(report.verifier["passes"]) == \
+            {"lint", "ranges", "memory", "control"}
+        for counts in report.verifier["passes"].values():
+            assert counts["errors"] == 0
+        payload = json.loads(report.to_json())
+        assert payload["verifier"]["ok"] is True
+        assert "static verifier: PASS" in report.render()
