@@ -13,38 +13,41 @@ propagation on it::
     result = repro.simulate(artifacts)
     print(result.summary())
 
+Since the stage-memoized pipeline (:mod:`repro.pipeline`) landed,
+``build`` is a thin wrapper over a shared
+:class:`~repro.pipeline.BuildPipeline`: repeated builds of the same
+network reuse shape inference, weight init, weight quantization,
+generated designs and compiled control programs stage by stage, and the
+returned artifacts carry ``stage_seconds``/``stage_keys`` describing
+where the time went and which memoized intermediates they reference.
+Results are bit-identical to the monolithic chain the wrapper replaced.
+
 The CLI, the design-space explorer, the experiment runner, the baselines
 and the examples all route through this module; only the compiler
-package itself and :mod:`repro.api` construct the chain by hand.  The
-batched serving runtime (:mod:`repro.runtime`) wraps the same artifacts
-in a :class:`~repro.runtime.model.CompiledModel` for request streams.
+package itself and :mod:`repro.pipeline` construct the chain by hand.
+The batched serving runtime (:mod:`repro.runtime`) wraps the same
+artifacts in a :class:`~repro.runtime.model.CompiledModel` for request
+streams.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.compiler.compiler import DeepBurningCompiler
 from repro.compiler.program import ControlProgram
-from repro.devices.device import (
-    Device,
-    ResourceBudget,
-    budget_fraction,
-    device_by_name,
-)
-from repro.fixedpoint.format import (
-    DEFAULT_DATA_FORMAT,
-    DEFAULT_WEIGHT_FORMAT,
-    QFormat,
-)
+from repro.devices.device import Device, ResourceBudget
+from repro.fixedpoint.format import QFormat
 from repro.frontend.graph import NetworkGraph, graph_from_text
-from repro.frontend.shapes import TensorShape, infer_shapes
-from repro.nn.reference import init_weights
+from repro.frontend.shapes import TensorShape
 from repro.nngen.design import AcceleratorDesign
-from repro.nngen.generator import NNGen
 from repro.sim.accel import AcceleratorSimulator, SimulationResult
+from repro.sim.plan import ExecutionPlan
+
+if TYPE_CHECKING:
+    from repro.pipeline import BuildPipeline
 
 #: Sentinel for ``build(weights=...)``: draw Gaussian weights from the
 #: build seed (what every untrained flow did by hand before the facade).
@@ -69,6 +72,17 @@ class BuildArtifacts:
     budget: ResourceBudget
     weights: dict[str, dict[str, np.ndarray]] | None = None
     seed: int = 0
+    #: Per-stage build time split (``parse_s``, ``shapes_s``,
+    #: ``nngen_s``, ``quantize_s``, ``compile_s``, ``plan_s``); a stage
+    #: served from the pipeline cache reads 0.0.  Diagnostic only —
+    #: excluded from equality.
+    stage_seconds: dict[str, float] | None = field(default=None,
+                                                   compare=False)
+    #: Content addresses of the memoized intermediates this bundle was
+    #: assembled from (``fingerprint``, ``design``, ``seeded``); None
+    #: when built outside the staged pipeline.  Excluded from equality.
+    stage_keys: dict[str, object] | None = field(default=None,
+                                                 compare=False)
 
     @property
     def input_blob(self) -> str:
@@ -120,6 +134,7 @@ def build(
     seed: int = 0,
     label: str = "",
     check: bool = False,
+    pipeline: BuildPipeline | None = None,
 ) -> BuildArtifacts:
     """Run the whole flow: script/graph + constraint → build artifacts.
 
@@ -135,37 +150,30 @@ def build(
     finding.  The remaining knobs pass straight through to
     :meth:`~repro.nngen.generator.NNGen.generate` and
     :meth:`~repro.compiler.compiler.DeepBurningCompiler.compile`.
+
+    The build runs on a :class:`~repro.pipeline.BuildPipeline` —
+    ``pipeline`` directly, or the process-wide default — so stages
+    shared with previous builds (same network, seed, formats, budget)
+    come out of the stage cache instead of being recomputed.
     """
-    graph = _as_graph(script_or_graph)
-    if budget is None:
-        if isinstance(device, str):
-            device = device_by_name(device)
-        budget = budget_fraction(device, fraction, label)
-    design = NNGen().generate(
-        graph, budget,
-        data_format=data_format or DEFAULT_DATA_FORMAT,
-        weight_format=weight_format or DEFAULT_WEIGHT_FORMAT,
+    # Imported lazily: the pipeline module imports this one for the
+    # BuildArtifacts contract.
+    from repro.pipeline import default_pipeline
+
+    artifacts = (pipeline or default_pipeline()).build(
+        script_or_graph,
+        device=device,
+        fraction=fraction,
+        budget=budget,
+        data_format=data_format,
+        weight_format=weight_format,
         max_lanes=max_lanes,
         max_simd=max_simd,
         fold_capacity_scale=fold_capacity_scale,
-    )
-    if isinstance(weights, str):
-        if weights != RANDOM_WEIGHTS:
-            raise ValueError(
-                f"weights must be a dict, None or '{RANDOM_WEIGHTS}', "
-                f"got '{weights}'"
-            )
-        weights = init_weights(graph, np.random.default_rng(seed))
-    program = DeepBurningCompiler().compile(
-        design, weights=weights, calibration_inputs=calibration_inputs)
-    artifacts = BuildArtifacts(
-        graph=graph,
-        shapes=infer_shapes(graph),
-        design=design,
-        program=program,
-        budget=budget,
         weights=weights,
+        calibration_inputs=calibration_inputs,
         seed=seed,
+        label=label,
     )
     if check:
         # Imported lazily: the verifier is an optional stage and the
@@ -175,9 +183,19 @@ def build(
     return artifacts
 
 
-def simulator(artifacts: BuildArtifacts) -> AcceleratorSimulator:
-    """A fresh simulator over the artifacts' program and weights."""
-    return AcceleratorSimulator(artifacts.program, weights=artifacts.weights)
+def simulator(
+    artifacts: BuildArtifacts,
+    plan: ExecutionPlan | Callable[[], ExecutionPlan] | None = None,
+) -> AcceleratorSimulator:
+    """A fresh simulator over the artifacts' program and weights.
+
+    ``plan`` injects a pre-built (typically pipeline-memoized)
+    :class:`~repro.sim.plan.ExecutionPlan` — or a lazy provider for one
+    — so the session skips weight packing; the serving runtime shares
+    one plan across its worker sessions this way.
+    """
+    return AcceleratorSimulator(artifacts.program,
+                                weights=artifacts.weights, plan=plan)
 
 
 def simulate(

@@ -122,16 +122,27 @@ def cmd_dse(args: argparse.Namespace) -> int:
     def float_list(text: str) -> tuple[float, ...]:
         return tuple(float(item) for item in text.split(",") if item.strip())
 
+    def int_list(text: str) -> tuple[int, ...]:
+        return tuple(int(item) for item in text.split(",") if item.strip())
+
     def format_list(text: str) -> tuple[tuple[int, int], ...]:
         return tuple(parse_qformat(item) for item in text.split(",")
                      if item.strip())
 
-    graph = _load_graph(args.script)
+    if args.script:
+        graph = _load_graph(args.script)
+    elif args.model:
+        from repro.zoo.models import benchmark_graph
+        graph = benchmark_graph(args.model)
+    else:
+        raise DeepBurningError("dse needs --script or --model")
     spec = SweepSpec(
         device=args.device,
         fractions=float_list(args.fractions),
         data_formats=format_list(args.data_formats),
         weight_formats=format_list(args.weight_formats),
+        max_lanes=int_list(args.max_lanes) or (0,),
+        max_simd=int_list(args.max_simd) or (0,),
         fold_capacity_scales=float_list(args.fold_scales),
         functional=args.functional,
         static_filter=args.static_filter,
@@ -139,6 +150,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
     )
     if not spec.points():
         raise DeepBurningError("sweep has no points; check --fractions")
+    if args.bench:
+        return _dse_bench(graph, spec, args)
     cache = None
     if not args.no_cache:
         cache = DesignCache(args.cache_dir or default_cache_dir())
@@ -149,6 +162,31 @@ def cmd_dse(args: argparse.Namespace) -> int:
     ))
     print(f"swept {len(sweep.results)} points in {sweep.elapsed_s:.2f}s")
     return 0
+
+
+def _dse_bench(graph, spec, args: argparse.Namespace) -> int:
+    from repro.dse.bench import run_dse_bench
+
+    report = run_dse_bench(graph, spec, jobs=args.jobs)
+    print(report.render())
+    if args.bench_out:
+        report.write(args.bench_out)
+        print(f"wrote {args.bench_out}")
+    code = 0
+    if not report.bit_identical:
+        print("FAIL: sweep regimes disagree — memoization changed results")
+        code = 1
+    if args.require_speedup is not None \
+            and report.speedup < args.require_speedup:
+        print(f"FAIL: sweep speedup {report.speedup:.2f}x is below the "
+              f"required {args.require_speedup:.2f}x")
+        code = 1
+    if args.require_warm_speedup is not None \
+            and report.warm_speedup < args.require_warm_speedup:
+        print(f"FAIL: warm-sweep speedup {report.warm_speedup:.2f}x is "
+              f"below the required {args.require_warm_speedup:.2f}x")
+        code = 1
+    return code
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -285,8 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     dse = commands.add_parser(
         "dse", help="explore the design space: sweep, cache, Pareto frontier")
-    dse.add_argument("--script", required=True,
+    dse.add_argument("--script", default="",
                      help="path to the *.prototxt descriptive script")
+    dse.add_argument("--model", default="",
+                     help="zoo benchmark network to sweep instead of "
+                          "--script (e.g. mnist)")
     dse.add_argument("--device", default="Z-7045", choices=sorted(DEVICES),
                      help="target FPGA device")
     dse.add_argument("--fractions",
@@ -296,6 +337,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated Qm.n feature formats")
     dse.add_argument("--weight-formats", default="3.12",
                      help="comma-separated Qm.n weight formats")
+    dse.add_argument("--max-lanes", default="0",
+                     help="comma-separated lane caps (0 = budget-driven)")
+    dse.add_argument("--max-simd", default="0",
+                     help="comma-separated SIMD caps (0 = budget-driven)")
     dse.add_argument("--fold-scales", default="1.0",
                      help="comma-separated fold-capacity scales in (0, 1]")
     dse.add_argument("--jobs", type=int, default=1,
@@ -311,6 +356,19 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--static-filter", action="store_true",
                      help="run the static verifier on each built design "
                           "and reject points with errors unsimulated")
+    dse.add_argument("--bench", action="store_true",
+                     help="benchmark sweep throughput (baseline vs "
+                          "memoized serial/parallel/warm) instead of "
+                          "reporting the frontier")
+    dse.add_argument("--bench-out", default="BENCH_dse.json",
+                     help="where --bench writes its JSON report "
+                          "('' to skip)")
+    dse.add_argument("--require-speedup", type=float, default=None,
+                     help="with --bench: fail unless the cold parallel "
+                          "sweep beats the baseline by this factor")
+    dse.add_argument("--require-warm-speedup", type=float, default=None,
+                     help="with --bench: fail unless the warm re-sweep "
+                          "beats the baseline by this factor")
     dse.add_argument("--seed", type=int, default=0,
                      help="seed for functional evaluation")
     dse.set_defaults(handler=cmd_dse)

@@ -19,6 +19,7 @@ Typical use::
 or from the command line: ``repro dse --script net.prototxt --jobs 4``.
 """
 
+from repro.dse.bench import DseBenchReport, run_dse_bench
 from repro.dse.cache import CacheStats, DesignCache, default_cache_dir
 from repro.dse.engine import evaluate_point, run_sweep
 from repro.dse.result import (
@@ -32,6 +33,7 @@ from repro.dse.spec import SweepPoint, SweepSpec, parse_qformat
 __all__ = [
     "CacheStats",
     "DesignCache",
+    "DseBenchReport",
     "PointResult",
     "SweepPoint",
     "SweepSpec",
@@ -41,5 +43,6 @@ __all__ = [
     "frontier_knee",
     "pareto_frontier",
     "parse_qformat",
+    "run_dse_bench",
     "run_sweep",
 ]

@@ -1,0 +1,197 @@
+"""Sweep-throughput benchmark: ``repro dse --bench`` → ``BENCH_dse.json``.
+
+Measures how fast the design-space explorer walks one
+:class:`~repro.dse.spec.SweepSpec` under four regimes:
+
+baseline
+    The pre-memoization flow: every point runs the full
+    parse → NN-Gen → quantize → compile → plan chain with a private,
+    empty stage cache and no design-group sharing — what every sweep
+    paid before the staged pipeline landed.
+serial_cold
+    ``run_sweep(jobs=1)`` on a fresh :class:`~repro.pipeline.BuildPipeline`
+    (stage memoization + dedupe + design-group sharing, one process).
+parallel_cold
+    The same on a fresh pipeline with ``jobs`` worker processes.
+warm
+    ``run_sweep(jobs=1)`` again on the serial pass's already-populated
+    stage cache (the re-sweep cost inside a long-lived session).
+
+All four regimes must produce byte-identical point results
+(``bit_identical`` in the report) — the speedups are pure evaluation
+savings, never changed answers.  No persistent
+:class:`~repro.dse.cache.DesignCache` is involved: the benchmark
+isolates in-process stage memoization from on-disk result caching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.dse.engine import evaluate_point, run_sweep
+from repro.dse.result import SweepResult
+from repro.dse.spec import SweepSpec
+from repro.frontend.graph import NetworkGraph
+from repro.pipeline import BuildPipeline
+
+#: Schema version of BENCH_dse.json.
+BENCH_DSE_SCHEMA = 1
+
+
+@dataclass
+class DseBenchReport:
+    """Outcome of one sweep-throughput benchmark run."""
+
+    network: str
+    points: int
+    jobs: int
+    #: Per-regime ``{"elapsed_s": ..., "points_per_s": ...}``.
+    passes: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Cold memoized sweep (``jobs`` workers) vs the pre-memoization
+    #: serial baseline — the headline number.
+    speedup: float = 0.0
+    #: Warm re-sweep vs the same pre-memoization baseline (what a
+    #: re-sweep inside a long-lived session saves; the CI gate).
+    warm_speedup: float = 0.0
+    #: True when all regimes produced byte-equal point results.
+    bit_identical: bool = False
+    #: Where the cold serial sweep's fresh build time went.
+    stage_split_s: dict[str, float] = field(default_factory=dict)
+    deduped: int = 0
+    design_shared: int = 0
+    spec: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": BENCH_DSE_SCHEMA,
+            "network": self.network,
+            "points": self.points,
+            "jobs": self.jobs,
+            "passes": self.passes,
+            "speedup": self.speedup,
+            "warm_speedup": self.warm_speedup,
+            "bit_identical": self.bit_identical,
+            "stage_split_s": self.stage_split_s,
+            "deduped": self.deduped,
+            "design_shared": self.design_shared,
+            "spec": self.spec,
+        }
+
+    def write(self, path: str) -> None:
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def render(self) -> str:
+        lines = [
+            f"dse bench: '{self.network}', {self.points} points, "
+            f"jobs={self.jobs}",
+        ]
+        for name in ("baseline", "serial_cold", "parallel_cold", "warm"):
+            entry = self.passes.get(name)
+            if entry is None:
+                continue
+            lines.append(
+                f"  {name:14s} {entry['elapsed_s']:8.3f}s  "
+                f"{entry['points_per_s']:8.2f} points/s"
+            )
+        lines.append(
+            f"speedup vs baseline: {self.speedup:.2f}x cold, "
+            f"{self.warm_speedup:.2f}x warm"
+        )
+        split = self.stage_split_s
+        if split:
+            detail = " ".join(
+                f"{stage.removesuffix('_s')} {split.get(stage, 0.0):.3f}s"
+                for stage in ("nngen_s", "quantize_s", "compile_s", "plan_s"))
+            lines.append(f"cold-serial build stages: {detail}")
+        lines.append(
+            f"sharing: {self.deduped} duplicates deduped, "
+            f"{self.design_shared} points shared a realized design"
+        )
+        lines.append("bit-identical across regimes: "
+                     + ("yes" if self.bit_identical else "NO"))
+        return "\n".join(lines)
+
+
+def _baseline_sweep(graph: NetworkGraph, spec: SweepSpec) -> SweepResult:
+    """The pre-memoization serial flow: full chain per point, no sharing."""
+    started = time.perf_counter()
+    results = [
+        evaluate_point(graph, point, functional=spec.functional,
+                       seed=spec.seed, static_filter=spec.static_filter,
+                       pipeline=BuildPipeline())
+        for point in spec.points()
+    ]
+    return SweepResult(results=results,
+                       cache_misses=len(results),
+                       elapsed_s=time.perf_counter() - started,
+                       jobs=1)
+
+
+def _canonical(sweep: SweepResult) -> list[dict]:
+    return [result.to_json() for result in sweep.results]
+
+
+def run_dse_bench(graph: NetworkGraph, spec: SweepSpec,
+                  jobs: int = 4) -> DseBenchReport:
+    """Benchmark ``spec`` on ``graph`` across the four regimes."""
+    points = spec.points()
+
+    baseline = _baseline_sweep(graph, spec)
+
+    serial_pipe = BuildPipeline()
+    serial_cold = run_sweep(graph, spec, jobs=1, pipeline=serial_pipe)
+    warm = run_sweep(graph, spec, jobs=1, pipeline=serial_pipe)
+
+    parallel_cold = run_sweep(graph, spec, jobs=jobs,
+                              pipeline=BuildPipeline())
+
+    sweeps = {
+        "baseline": baseline,
+        "serial_cold": serial_cold,
+        "parallel_cold": parallel_cold,
+        "warm": warm,
+    }
+    reference = _canonical(baseline)
+    bit_identical = all(_canonical(sweep) == reference
+                        for sweep in sweeps.values())
+
+    def rate(sweep: SweepResult) -> float:
+        return len(points) / sweep.elapsed_s if sweep.elapsed_s else 0.0
+
+    passes = {
+        name: {"elapsed_s": sweep.elapsed_s, "points_per_s": rate(sweep)}
+        for name, sweep in sweeps.items()
+    }
+    return DseBenchReport(
+        network=graph.name,
+        points=len(points),
+        jobs=jobs,
+        passes=passes,
+        speedup=rate(parallel_cold) / rate(baseline) if rate(baseline)
+        else 0.0,
+        warm_speedup=rate(warm) / rate(baseline) if rate(baseline)
+        else 0.0,
+        bit_identical=bit_identical,
+        stage_split_s=serial_cold.stage_split(),
+        deduped=serial_cold.deduped,
+        design_shared=serial_cold.design_shared,
+        spec={
+            "device": spec.device,
+            "fractions": list(spec.fractions),
+            "data_formats": [list(bits) for bits in spec.data_formats],
+            "weight_formats": [list(bits) for bits in spec.weight_formats],
+            "max_lanes": list(spec.max_lanes),
+            "max_simd": list(spec.max_simd),
+            "fold_capacity_scales": list(spec.fold_capacity_scales),
+            "functional": spec.functional,
+            "static_filter": spec.static_filter,
+            "seed": spec.seed,
+        },
+    )

@@ -1,17 +1,38 @@
-"""The sweep engine: enumerate, cache-check, evaluate, aggregate.
+"""The sweep engine: enumerate, dedupe, cache-check, evaluate, aggregate.
 
-Each sweep point runs the full pipeline through the
-:func:`repro.api.build` facade in a worker process (``--jobs N``) or
-serially (``--jobs 1``).  Results come back in point order regardless
-of completion order, so parallel and serial sweeps are bit-identical.
-A :class:`~repro.dse.cache.DesignCache` short-circuits points already
-evaluated for the same network fingerprint.
+Each sweep point runs the staged build pipeline
+(:mod:`repro.pipeline`) through the :func:`repro.api.build` facade, so
+points of one sweep share every stage they have in common — weight
+init, quantization, datapath selection, even whole realized designs
+when different cap values clamp to the same effective datapath.  The
+engine exploits that sharing three ways before any evaluation runs:
+
+1. persistent-cache hits (:class:`~repro.dse.cache.DesignCache`) are
+   resolved up front, so a fully warm sweep never spawns a process;
+2. exact-duplicate points are deduped (evaluated once, replicated);
+3. remaining points are grouped by their *realized-design* content
+   address — every metric in a :class:`PointResult` is a function of
+   the realized design (plus the sweep-wide seed), so one evaluation
+   per group serves every member.
+
+Parallel sweeps (``--jobs N``) dispatch contiguous chunks of group
+representatives to a process pool primed once per sweep: under the
+``fork`` start method the workers inherit the parent's pipeline --
+graph, weights, quantized weights, datapath choices -- copy-on-write,
+and only the small :class:`~repro.dse.spec.SweepPoint` deltas travel
+per chunk; under ``spawn`` an initializer ships the sweep context once
+per worker instead of once per point.  Results come back in point
+order regardless of completion order, so parallel, serial, cold and
+warm sweeps are all bit-identical.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 
 import numpy as np
 
@@ -21,13 +42,16 @@ from repro.dse.cache import DesignCache
 from repro.dse.result import PointResult, SweepResult
 from repro.dse.spec import SweepPoint, SweepSpec
 from repro.errors import DeepBurningError
+from repro.fixedpoint.format import QFormat
 from repro.frontend.graph import NetworkGraph
-from repro.nn.reference import ReferenceNetwork
+from repro.nngen.generator import NNGen
+from repro.pipeline import BuildPipeline, default_pipeline
 
 
 def evaluate_point(graph: NetworkGraph, point: SweepPoint,
                    functional: bool = False, seed: int = 0,
-                   static_filter: bool = False) -> PointResult:
+                   static_filter: bool = False,
+                   pipeline: BuildPipeline | None = None) -> PointResult:
     """Run one point through the build→simulate facade.
 
     Any :class:`~repro.errors.DeepBurningError` — a budget that cannot
@@ -36,7 +60,12 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
     sweep always completes.  With ``static_filter=True`` the built
     design runs the static verifier first; a design with error-severity
     findings becomes a ``rejected`` result without ever simulating.
+
+    ``pipeline`` carries the stage cache shared across the sweep (the
+    process-wide default when omitted); the result's ``stage_s`` records
+    the per-stage build time, 0.0 for memoized stages.
     """
+    pipe = pipeline or default_pipeline()
     try:
         device = device_by_name(point.device)
         artifacts = api.build(
@@ -49,6 +78,7 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
             fold_capacity_scale=point.fold_capacity_scale,
             weights=api.RANDOM_WEIGHTS if functional else None,
             seed=seed,
+            pipeline=pipe,
         )
         if static_filter:
             from repro.analysis import verify_artifacts
@@ -60,14 +90,16 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
                     reason=(f"{len(report.errors)} static error(s); first: "
                             f"{first.rule} at {first.where}: "
                             f"{first.message}"),
+                    stage_s=_stage_split(artifacts),
                 )
         design = artifacts.design
-        sim = api.simulate(artifacts, functional=functional)
+        plan = pipe.plan_for(artifacts) if functional else None
+        sim = api.simulator(artifacts, plan=plan).run(
+            artifacts.random_input() if functional else None,
+            functional=functional)
         accuracy = None
         if functional:
-            inputs = artifacts.random_input()
-            reference = ReferenceNetwork(graph,
-                                         artifacts.weights).output(inputs)
+            reference = pipe.reference_output(artifacts)
             accuracy = _fidelity(np.asarray(sim.output, dtype=float),
                                  np.asarray(reference, dtype=float))
         used = design.resource_report()
@@ -87,10 +119,20 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
             power_w=sim.energy.average_power_w,
             macs=sim.macs,
             accuracy=accuracy,
+            stage_s=_stage_split(artifacts),
         )
     except DeepBurningError as error:
         return PointResult(point=point, status="infeasible",
                            reason=str(error))
+
+
+def _stage_split(artifacts: api.BuildArtifacts) -> dict[str, float]:
+    """The point's build-time split: total plus the per-stage shares."""
+    timings = artifacts.stage_seconds or {}
+    split = {stage: timings.get(stage, 0.0)
+             for stage in ("nngen_s", "quantize_s", "compile_s", "plan_s")}
+    split["build_s"] = sum(timings.values())
+    return split
 
 
 def _fidelity(quantized: np.ndarray, reference: np.ndarray) -> float:
@@ -102,33 +144,145 @@ def _fidelity(quantized: np.ndarray, reference: np.ndarray) -> float:
     return max(0.0, 1.0 - error / scale)
 
 
-def _evaluate_job(args: tuple) -> tuple[int, PointResult]:
-    """Process-pool entry point: evaluate one indexed sweep point."""
-    index, graph, point, functional, seed, static_filter = args
-    return index, evaluate_point(graph, point, functional=functional,
-                                 seed=seed, static_filter=static_filter)
+# ---------------------------------------------------------------------------
+# Shared-artifact worker protocol
+
+#: Sweep context shared by every worker of one pool: set in the parent
+#: before a fork-based pool is created (children inherit it
+#: copy-on-write, stage cache included) or installed per worker by the
+#: spawn initializer.
+_WORKER_STATE: dict | None = None
+
+
+def _prime_worker(payload: tuple | None = None) -> None:
+    """Pool initializer for start methods without memory inheritance.
+
+    Under ``spawn`` the pickled sweep context arrives here once per
+    worker — each worker then builds its own stage cache, still shared
+    across every chunk it evaluates.  Under ``fork`` the parent set
+    :data:`_WORKER_STATE` before the pool existed and ``payload`` is
+    ``None``.
+    """
+    global _WORKER_STATE
+    if payload is not None:
+        graph, functional, seed, static_filter = payload
+        _WORKER_STATE = {
+            "graph": graph,
+            "functional": functional,
+            "seed": seed,
+            "static_filter": static_filter,
+            "pipeline": BuildPipeline(),
+        }
+
+
+def _evaluate_chunk(
+        chunk: list[tuple[int, SweepPoint]]) -> list[tuple[int, PointResult]]:
+    """Process-pool entry point: evaluate one chunk of indexed points."""
+    state = _WORKER_STATE
+    if state is None:
+        raise RuntimeError("sweep worker was not primed")
+    return [
+        (index, evaluate_point(state["graph"], point,
+                               functional=state["functional"],
+                               seed=state["seed"],
+                               static_filter=state["static_filter"],
+                               pipeline=state["pipeline"]))
+        for index, point in chunk
+    ]
+
+
+def _chunked(items: list, parts: int) -> list[list]:
+    """At most ``parts`` contiguous, near-equal chunks (order kept)."""
+    size = -(-len(items) // parts)
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _design_group_key(pipe: BuildPipeline, graph: NetworkGraph, fp: str,
+                      point: SweepPoint, budget_cache: dict) -> str:
+    """The content address of the realized design ``point`` maps to.
+
+    Every canonical :class:`PointResult` field is a function of the
+    realized design plus the sweep-wide (functional, seed,
+    static_filter) settings, so points sharing this key share one
+    evaluation.  Derivation costs one memoized datapath search; points
+    that fail before design realisation group only with exact
+    duplicates (their error text may mention any raw knob).
+    """
+    try:
+        NNGen.validate_knobs(max_lanes=point.max_lanes,
+                             max_simd=point.max_simd,
+                             fold_capacity_scale=point.fold_capacity_scale)
+        budget_key = (point.device, point.fraction)
+        if budget_key not in budget_cache:
+            budget_cache[budget_key] = budget_fraction(
+                device_by_name(point.device), point.fraction)
+        budget = budget_cache[budget_key]
+        config, _ = pipe.datapath(graph, fp, budget, point.data_format,
+                                  point.weight_format)
+        config = NNGen.apply_caps(config, point.max_lanes, point.max_simd)
+        return "design:" + pipe.design_key(fp, budget, config,
+                                           point.fold_capacity_scale)
+    except DeepBurningError:
+        return "point:" + repr(point)
+
+
+def _prime_parent(pipe: BuildPipeline, graph: NetworkGraph, fp: str,
+                  reps: list[tuple[int, SweepPoint]],
+                  spec: SweepSpec) -> None:
+    """Populate the weight stages every worker needs before forking.
+
+    Fork-started children then inherit initialized and quantized
+    weights copy-on-write instead of rebuilding them once per process.
+    A failure is deliberately swallowed: the workers hit it again and
+    report it as structured infeasible results, exactly like a serial
+    sweep.
+    """
+    pipe.shapes(graph, fp)
+    if not spec.functional:
+        return
+    try:
+        weights, _ = pipe.weights(graph, fp, spec.seed)
+        for bits in {point.weight_bits for _, point in reps}:
+            pipe.quantized_weights(graph, fp, spec.seed, weights,
+                                   QFormat(*bits))
+    except DeepBurningError:
+        pass
 
 
 def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
-              cache: DesignCache | None = None) -> SweepResult:
+              cache: DesignCache | None = None,
+              pipeline: BuildPipeline | None = None,
+              use_pool: bool | None = None) -> SweepResult:
     """Evaluate every point of ``spec``, in parallel when ``jobs > 1``.
 
     Results keep the spec's point order, so a parallel sweep equals a
-    serial one row for row.  Cache hits skip evaluation entirely; fresh
+    serial one row for row.  Persistent-cache hits skip evaluation
+    before any worker spawns; exact duplicates and points collapsing
+    onto one realized design are evaluated once and their results
+    replicated (``deduped`` / ``design_shared`` in the outcome); fresh
     results are written back before the sweep returns.
+
+    ``use_pool=None`` (the default) clamps worker processes to the
+    machine's cores — surplus ``jobs`` degrade to in-process evaluation
+    instead of paying fork-and-pickle overhead for no parallelism.
+    ``True`` forces the pool protocol (tests), ``False`` forces serial;
+    either way the results are bit-identical.
     """
     if jobs < 1:
         raise DeepBurningError(f"jobs must be >= 1, got {jobs}")
     started = time.perf_counter()
+    pipe = pipeline or default_pipeline()
     points = spec.points()
     # Snapshot so a reused cache object reports per-sweep stats.  (The
     # cache defines __len__, so compare against None, never truthiness.)
     hits_before = cache.stats.hits if cache is not None else 0
     misses_before = cache.stats.misses if cache is not None else 0
-    fingerprint = graph.fingerprint() if cache is not None else ""
+    fingerprint = pipe.fingerprint(graph)
     results: dict[int, PointResult] = {}
     pending: list[tuple[int, SweepPoint]] = []
     keys: dict[int, str] = {}
+    first_of: dict[SweepPoint, int] = {}
+    duplicates: dict[int, int] = {}
     for index, point in enumerate(points):
         if cache is not None:
             key = DesignCache.key(fingerprint, point,
@@ -139,22 +293,76 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
             if hit is not None:
                 results[index] = hit
                 continue
+        first = first_of.get(point)
+        if first is not None:
+            duplicates[index] = first
+            continue
+        first_of[point] = index
         pending.append((index, point))
 
-    if jobs > 1 and len(pending) > 1:
-        job_args = [(index, graph, point, spec.functional, spec.seed,
-                     spec.static_filter)
-                    for index, point in pending]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_evaluate_job, args) for args in job_args]
-            for future in as_completed(futures):
-                index, result = future.result()
-                results[index] = result
+    # Collapse pending points onto their realized-design groups: one
+    # representative evaluates, the rest share its canonical result.
+    pending_points = dict(pending)
+    budget_cache: dict = {}
+    group_rep: dict[str, int] = {}
+    member_of: dict[int, int] = {}
+    rep_indices: list[int] = []
+    for index, point in pending:
+        gkey = _design_group_key(pipe, graph, fingerprint, point,
+                                 budget_cache)
+        rep = group_rep.get(gkey)
+        if rep is None:
+            group_rep[gkey] = index
+            rep_indices.append(index)
+        else:
+            member_of[index] = rep
+
+    reps = [(index, pending_points[index]) for index in rep_indices]
+    workers = min(jobs, len(reps))
+    if use_pool is None:
+        workers = min(workers, os.cpu_count() or 1)
+        pooled = workers > 1
     else:
-        for index, point in pending:
+        pooled = use_pool and workers > 1
+    if pooled:
+        _prime_parent(pipe, graph, fingerprint, reps, spec)
+        global _WORKER_STATE
+        pool_kwargs: dict = {}
+        if multiprocessing.get_start_method() == "fork":
+            _WORKER_STATE = {
+                "graph": graph, "functional": spec.functional,
+                "seed": spec.seed, "static_filter": spec.static_filter,
+                "pipeline": pipe,
+            }
+        else:
+            pool_kwargs = {
+                "initializer": _prime_worker,
+                "initargs": ((graph, spec.functional, spec.seed,
+                              spec.static_filter),),
+            }
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     **pool_kwargs) as pool:
+                for chunk in pool.map(_evaluate_chunk,
+                                      _chunked(reps, workers)):
+                    for index, result in chunk:
+                        results[index] = result
+        finally:
+            _WORKER_STATE = None
+    else:
+        for index, point in reps:
             results[index] = evaluate_point(
                 graph, point, functional=spec.functional, seed=spec.seed,
-                static_filter=spec.static_filter)
+                static_filter=spec.static_filter, pipeline=pipe)
+
+    # Fan shared evaluations back out.  Canonical fields are identical
+    # by construction; stage timings are zeroed because shared points
+    # cost nothing to build.
+    for index, rep in member_of.items():
+        results[index] = replace(results[rep],
+                                 point=pending_points[index], stage_s={})
+    for index, first in duplicates.items():
+        results[index] = replace(results[first], stage_s={})
 
     if cache is not None:
         for index, _ in pending:
@@ -168,4 +376,6 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
         if cache is not None else len(pending),
         elapsed_s=time.perf_counter() - started,
         jobs=jobs,
+        deduped=len(duplicates),
+        design_shared=len(member_of),
     )

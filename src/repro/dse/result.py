@@ -47,6 +47,13 @@ class PointResult:
     accuracy: float | None = None
     #: True when this result came out of the design cache.
     cached: bool = False
+    #: Where the evaluation's build time went: ``build_s`` total plus
+    #: the ``nngen_s``/``quantize_s``/``compile_s``/``plan_s`` split
+    #: (0.0 for pipeline-memoized stages, empty for cached or shared
+    #: results).  Diagnostic only — excluded from equality, JSON and the
+    #: design cache so cold/warm/serial/parallel sweeps stay
+    #: byte-identical.
+    stage_s: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def feasible(self) -> bool:
@@ -168,6 +175,13 @@ class SweepResult:
     cache_misses: int = 0
     elapsed_s: float = 0.0
     jobs: int = 1
+    #: Points skipped because an identical point appeared earlier in the
+    #: same sweep (the duplicate reuses the first evaluation's result).
+    deduped: int = 0
+    #: Points that collapsed onto an already-evaluated realized design
+    #: (same effective datapath under this budget) and shared its
+    #: canonical metrics instead of rebuilding.
+    design_shared: int = 0
 
     @property
     def feasible(self) -> list[PointResult]:
@@ -195,8 +209,32 @@ class SweepResult:
 
     def cache_summary(self) -> str:
         total = self.cache_hits + self.cache_misses
-        return (f"cache: {self.cache_hits} hits, {self.cache_misses} misses "
-                f"({self.cache_hit_rate:.0%} of {total} points)")
+        summary = (f"cache: {self.cache_hits} hits, {self.cache_misses} "
+                   f"misses ({self.cache_hit_rate:.0%} of {total} points)")
+        if self.deduped or self.design_shared:
+            summary += (f"; {self.deduped} duplicate points deduped, "
+                        f"{self.design_shared} shared a realized design")
+        return summary
+
+    def stage_split(self) -> dict[str, float]:
+        """Total seconds spent per build stage across evaluated points.
+
+        Memoized stages contribute 0.0 and cached/shared results carry
+        no timings, so the split shows exactly where fresh work went.
+        """
+        split = {"build_s": 0.0, "nngen_s": 0.0, "quantize_s": 0.0,
+                 "compile_s": 0.0, "plan_s": 0.0}
+        for result in self.results:
+            for stage, seconds in result.stage_s.items():
+                split[stage] = split.get(stage, 0.0) + seconds
+        return split
+
+    def stage_summary(self) -> str:
+        split = self.stage_split()
+        detail = " ".join(
+            f"{stage.removesuffix('_s')} {split[stage]:.3f}s"
+            for stage in ("nngen_s", "quantize_s", "compile_s", "plan_s"))
+        return f"build stages: {split['build_s']:.3f}s total ({detail})"
 
     def render(self, title: str = "design space") -> str:
         """The report table plus cache and frontier summaries."""
@@ -207,6 +245,9 @@ class SweepResult:
         has_accuracy = any(r.accuracy is not None for r in self.results)
         if has_accuracy:
             headers.insert(9, "fidelity")
+        has_stages = any(r.stage_s for r in self.results)
+        if has_stages:
+            headers.insert(9, "build")
         rows = []
         for result in self.results:
             if result.feasible:
@@ -221,6 +262,14 @@ class SweepResult:
                     format_energy(result.energy_j),
                     f"{result.power_w:.2f}W",
                 ]
+                if has_stages:
+                    if result.cached:
+                        row.append("-")
+                    elif not result.stage_s:
+                        row.append("shared")
+                    else:
+                        row.append(
+                            f"{result.stage_s.get('build_s', 0.0):.3f}s")
                 if has_accuracy:
                     row.append("-" if result.accuracy is None
                                else f"{result.accuracy:.3f}")
@@ -228,12 +277,16 @@ class SweepResult:
             else:
                 row = [result.point.label, result.status, "-", "-", "-", "-",
                        "-", "-", "-"]
+                if has_stages:
+                    row.append("-")
                 if has_accuracy:
                     row.append("-")
                 row.append("")
             rows.append(row)
         lines = [render_table(headers, rows, title=title)]
         lines.append(self.cache_summary())
+        if has_stages:
+            lines.append(self.stage_summary())
         knee = self.knee()
         if knee is not None:
             lines.append(

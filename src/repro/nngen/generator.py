@@ -60,7 +60,24 @@ class NNGen:
         folding planner may use, forcing deeper folding than the physical
         buffers require (a fold-depth knob for the explorer; the real
         buffers are unchanged, so the working sets still fit).
+
+        Composition of the staged entry points the memoizing build
+        pipeline (:mod:`repro.pipeline`) calls individually:
+        :meth:`validate_knobs` → :meth:`datapath` → :meth:`apply_caps`
+        → :meth:`realise_design`.
         """
+        self.validate_knobs(max_lanes=max_lanes, max_simd=max_simd,
+                            fold_capacity_scale=fold_capacity_scale)
+        config = self.datapath(graph, budget, data_format=data_format,
+                               weight_format=weight_format)
+        config = self.apply_caps(config, max_lanes, max_simd)
+        return self.realise_design(graph, budget, config,
+                                   fold_capacity_scale)
+
+    @staticmethod
+    def validate_knobs(max_lanes: int = 0, max_simd: int = 0,
+                       fold_capacity_scale: float = 1.0) -> None:
+        """Reject out-of-range explorer knobs before any stage runs."""
         if not 0.0 < fold_capacity_scale <= 1.0:
             raise ResourceError(
                 f"fold_capacity_scale {fold_capacity_scale} must be in (0, 1]"
@@ -70,24 +87,41 @@ class NNGen:
                 f"datapath caps must be non-negative, got "
                 f"max_lanes={max_lanes} max_simd={max_simd}"
             )
+
+    def datapath(self, graph: NetworkGraph, budget: ResourceBudget,
+                 data_format: QFormat = DEFAULT_DATA_FORMAT,
+                 weight_format: QFormat = DEFAULT_WEIGHT_FORMAT,
+                 ) -> DatapathConfig:
+        """Validate the graph and choose the budget-driven datapath.
+
+        Pure function of (graph, budget, formats) — the pipeline
+        memoizes it so a cap sweep pays the datapath search once.
+        """
         graph.validate()
         self._check_layer_support(graph)
-        shapes = infer_shapes(graph)
-
         feature_demand, weight_demand = self._demands(graph, data_format,
                                                       weight_format)
-        config = choose_datapath(
+        return choose_datapath(
             graph, budget, data_format, weight_format,
             feature_demand_bits=feature_demand,
             weight_demand_bits=weight_demand,
         )
-        config = self._apply_caps(config, max_lanes, max_simd)
-        needs = NetworkNeeds.of(graph)
 
-        # The datapath search estimates control cost from a nominal plan
-        # size; once the real folding plan exists, control may grow.  If
-        # the realised design overflows the budget, back the datapath off
-        # and re-fold until it fits.
+    def realise_design(self, graph: NetworkGraph, budget: ResourceBudget,
+                       config: DatapathConfig,
+                       fold_capacity_scale: float = 1.0,
+                       ) -> AcceleratorDesign:
+        """Realise a design for an (already capped) datapath choice.
+
+        The datapath search estimates control cost from a nominal plan
+        size; once the real folding plan exists, control may grow.  If
+        the realised design overflows the budget, back the datapath off
+        and re-fold until it fits.
+        """
+        shapes = infer_shapes(graph)
+        feature_demand, weight_demand = self._demands(
+            graph, config.data_format, config.weight_format)
+        needs = NetworkNeeds.of(graph)
         while True:
             design = self._realise(graph, budget, config, needs, shapes,
                                    feature_demand, weight_demand,
@@ -116,8 +150,8 @@ class NNGen:
                 )
 
     @staticmethod
-    def _apply_caps(config: DatapathConfig, max_lanes: int,
-                    max_simd: int) -> DatapathConfig:
+    def apply_caps(config: DatapathConfig, max_lanes: int,
+                   max_simd: int) -> DatapathConfig:
         lanes = min(config.lanes, max_lanes) if max_lanes else config.lanes
         simd = min(config.simd, max_simd) if max_simd else config.simd
         if lanes == config.lanes and simd == config.simd:

@@ -19,7 +19,6 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro import api
 from repro.errors import QueueFullError, ServingError
 from repro.runtime.model import CompiledModel
 from repro.runtime.server import InferenceServer
@@ -57,6 +56,18 @@ class BenchReport:
         served = self.runtime.get("requests_per_s", 0.0)
         return served / base if base else 0.0
 
+    def _sweep_by_size(self) -> list[tuple[int, dict]]:
+        """The sweep passes in numeric batch-size order.
+
+        ``batch_sweep`` keys are JSON strings, so anything selecting or
+        reporting a "best" pass must compare them as integers — string
+        order would put ``"10"`` before ``"2"``.
+        """
+        return sorted(
+            ((int(size), entry) for size, entry in self.batch_sweep.items()),
+            key=lambda item: item[0],
+        )
+
     @property
     def best_batched_speedup(self) -> float:
         """The best runtime-vs-sequential ratio across all passes."""
@@ -64,14 +75,29 @@ class BenchReport:
         if not base:
             return 0.0
         rates = [entry.get("requests_per_s", 0.0)
-                 for entry in self.batch_sweep.values()]
+                 for _, entry in self._sweep_by_size()]
         rates.append(self.runtime.get("requests_per_s", 0.0))
         return max(rates) / base
+
+    @property
+    def best_batched_size(self) -> int | None:
+        """Flush size of the fastest sweep pass, ties to the smallest.
+
+        Selected over integer sizes (never string keys) so the reported
+        best is deterministic regardless of sweep-axis order.
+        """
+        best: tuple[int, float] | None = None
+        for size, entry in self._sweep_by_size():
+            rate = entry.get("requests_per_s", 0.0)
+            if best is None or rate > best[1]:
+                best = (size, rate)
+        return best[0] if best else None
 
     def to_json(self) -> str:
         payload = asdict(self)
         payload["speedup"] = self.speedup
         payload["best_batched_speedup"] = self.best_batched_speedup
+        payload["best_batched_size"] = self.best_batched_size
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def write(self, path: str) -> str:
@@ -98,15 +124,15 @@ class BenchReport:
         ]
         if self.batch_sweep:
             lines.append("  batch sweep:")
-            for size, entry in sorted(self.batch_sweep.items(),
-                                      key=lambda item: int(item[0])):
+            for size, entry in self._sweep_by_size():
                 lines.append(
-                    f"    batch<= {size:>3s}: "
+                    f"    batch<= {size:3d}: "
                     f"{entry['requests_per_s']:8.1f} req/s  "
                     f"({entry['speedup_vs_sequential']:.2f}x vs sequential)"
                 )
             lines.append(
-                f"  best batched speedup: {self.best_batched_speedup:.2f}x")
+                f"  best batched speedup: {self.best_batched_speedup:.2f}x "
+                f"(sweep best at batch<= {self.best_batched_size})")
         if self.verifier:
             passes = self.verifier.get("passes", {})
             errors = sum(entry.get("errors", 0) for entry in passes.values())

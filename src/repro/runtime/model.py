@@ -11,12 +11,14 @@ N workers can serve the same model concurrently without sharing state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 import threading
 
 import numpy as np
 
 from repro import api
 from repro.sim.accel import AcceleratorSimulator, SimulationResult
+from repro.sim.plan import ExecutionPlan
 
 
 @dataclass(frozen=True)
@@ -48,14 +50,33 @@ class CompiledModel:
     def input_shape(self) -> tuple[int, ...]:
         return self.artifacts.input_shape
 
+    @cached_property
+    def execution_plan(self) -> ExecutionPlan | None:
+        """The model-wide execution plan, built once and shared.
+
+        Fetched through the build pipeline's stage cache, so models of
+        the same seeded build share it even across
+        :class:`CompiledModel` instances.  ``None`` for timing-only
+        models; materialized lazily — only a session that actually
+        warms or batch-runs pays for it.
+        """
+        if self.artifacts.weights is None:
+            return None
+        from repro.pipeline import default_pipeline
+        return default_pipeline().plan_for(self.artifacts)
+
     def new_session(self) -> AcceleratorSimulator:
         """A fresh simulator session (one per worker thread).
 
         Each session caches its own timing pass and quantized executor,
-        so a long-lived worker pays the schedule replay once, not once
-        per request.
+        but all sessions share the model-wide
+        :attr:`execution_plan` — weights are packed once per model, not
+        once per worker.
         """
-        return api.simulator(self.artifacts)
+        plan = None
+        if self.artifacts.weights is not None:
+            plan = lambda: self.execution_plan  # noqa: E731 — lazy share
+        return api.simulator(self.artifacts, plan=plan)
 
     def session(self) -> AcceleratorSimulator:
         """The calling thread's private session, created on first use."""

@@ -16,6 +16,7 @@ scale on a laptop — see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.errors import SimulationError
 from repro.sim.datapath import buffer_stream_beats, compute_beats
 from repro.sim.events import EventQueue
 from repro.sim.memory import DRAMModel
+from repro.sim.plan import ExecutionPlan
 from repro.sim.power import EnergyModel, EnergyReport
 from repro.sim.quantized import QuantizedExecutor
 
@@ -111,8 +113,11 @@ class SimulationResult:
 class AcceleratorSimulator:
     """Simulates one generated accelerator running its control program."""
 
-    def __init__(self, program: ControlProgram,
-                 weights: dict[str, dict[str, np.ndarray]] | None = None) -> None:
+    def __init__(
+        self, program: ControlProgram,
+        weights: dict[str, dict[str, np.ndarray]] | None = None,
+        plan: ExecutionPlan | Callable[[], ExecutionPlan] | None = None,
+    ) -> None:
         self.program = program
         self.design = program.design
         self.weights = weights
@@ -122,6 +127,12 @@ class AcceleratorSimulator:
         self._timing_cache: tuple[int, list[PhaseTrace], EnergyModel] | None \
             = None
         self._executor: QuantizedExecutor | None = None
+        #: Pre-built execution plan — or a lazy provider for one — to
+        #: inject into the functional executor (the serving runtime
+        #: shares one memoized plan across sessions so each session
+        #: skips weight packing; a provider keeps plan construction
+        #: deferred until a batched/warmed run actually needs it).
+        self._shared_plan = plan
 
     # ------------------------------------------------------------------
 
@@ -144,6 +155,10 @@ class AcceleratorSimulator:
         if self._executor is None:
             self._executor = QuantizedExecutor.from_program(self.program,
                                                             self.weights)
+            if callable(self._shared_plan):
+                self._executor._plan_source = self._shared_plan
+            elif self._shared_plan is not None:
+                self._executor._plan = self._shared_plan
         self._executor.reset_state()
         return self._executor
 

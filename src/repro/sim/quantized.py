@@ -11,6 +11,7 @@ accuracy loss Fig. 10 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -46,6 +47,11 @@ class QuantizedExecutor:
     weight_format: QFormat
     luts: dict[str, ApproxLUTContent] = field(default_factory=dict)
     state: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Pre-quantized integer weights (the output of
+    #: :meth:`quantize_layer_weights` for the same graph/weights/format);
+    #: the memoizing pipeline passes them in so repeated executors over
+    #: one network skip re-quantization.  ``None`` quantizes here.
+    quantized_weights: dict[str, dict[str, np.ndarray]] | None = None
 
     def __post_init__(self) -> None:
         self._shapes = infer_shapes(self.graph)
@@ -53,26 +59,50 @@ class QuantizedExecutor:
         for blob in self._shapes:
             if blob not in self.blob_formats:
                 raise SimulationError(f"no fixed-point format for blob '{blob}'")
-        self._quantized_weights: dict[str, dict[str, np.ndarray]] = {}
-        for spec in self.graph.weighted_layers():
-            if spec.name not in self.weights:
+        if self.quantized_weights is None:
+            self.quantized_weights = self.quantize_layer_weights(
+                self.graph, self.weights, self.weight_format)
+        self._quantized_weights = self.quantized_weights
+        self._plan: ExecutionPlan | None = None
+        # Lazy provider for a shared plan (set by the simulator when the
+        # serving runtime or the build pipeline already memoized one).
+        self._plan_source: Callable[[], ExecutionPlan] | None = None
+
+    @staticmethod
+    def quantize_layer_weights(
+        graph: NetworkGraph,
+        weights: dict[str, dict[str, np.ndarray]],
+        weight_format: QFormat,
+    ) -> dict[str, dict[str, np.ndarray]]:
+        """Quantize every weighted layer's parameters to integers.
+
+        Pure function of (graph, weights, weight_format) — the build
+        pipeline memoizes its result and hands it back via the
+        ``quantized_weights`` field.
+        """
+        quantized: dict[str, dict[str, np.ndarray]] = {}
+        for spec in graph.weighted_layers():
+            if spec.name not in weights:
                 raise SimulationError(f"no weights for layer '{spec.name}'")
-            entry = self.weights[spec.name]
+            entry = weights[spec.name]
             cooked = {
-                "weight": quantize_to_ints(entry["weight"], self.weight_format),
+                "weight": quantize_to_ints(entry["weight"], weight_format),
             }
             if "bias" in entry:
                 cooked["bias"] = quantize_to_ints(entry["bias"],
-                                                  self.weight_format)
+                                                  weight_format)
             if "recurrent_weight" in entry:
                 cooked["recurrent_weight"] = quantize_to_ints(
-                    entry["recurrent_weight"], self.weight_format)
-            self._quantized_weights[spec.name] = cooked
-        self._plan: ExecutionPlan | None = None
+                    entry["recurrent_weight"], weight_format)
+            quantized[spec.name] = cooked
+        return quantized
 
     @staticmethod
-    def from_program(program: ControlProgram,
-                     weights: dict[str, dict[str, np.ndarray]]) -> "QuantizedExecutor":
+    def from_program(
+        program: ControlProgram,
+        weights: dict[str, dict[str, np.ndarray]],
+        quantized_weights: dict[str, dict[str, np.ndarray]] | None = None,
+    ) -> "QuantizedExecutor":
         return QuantizedExecutor(
             graph=program.design.graph,
             weights=weights,
@@ -80,6 +110,7 @@ class QuantizedExecutor:
             weight_format=program.weight_format
             or program.design.datapath.weight_format,
             luts=dict(program.luts),
+            quantized_weights=quantized_weights,
         )
 
     def reset_state(self) -> None:
@@ -93,6 +124,8 @@ class QuantizedExecutor:
         formats, LUT contents) so :meth:`forward_batch` replays it per
         request instead of re-deriving it.
         """
+        if self._plan is None and self._plan_source is not None:
+            self._plan = self._plan_source()
         if self._plan is None:
             self._plan = ExecutionPlan.build(
                 self.graph,

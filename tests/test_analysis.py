@@ -35,12 +35,17 @@ from repro.errors import VerificationError
 from repro.fixedpoint.format import QFormat
 from repro.frontend.graph import NetworkGraph
 from repro.frontend.layers import LayerKind, LayerSpec
+from repro.pipeline import BuildPipeline
 from repro.zoo.models import benchmark_graph
 
 
 def build_small():
-    """A fresh, independently tamperable build of the smallest zoo net."""
-    return api.build(benchmark_graph("ann0"))
+    """A fresh, independently tamperable build of the smallest zoo net.
+
+    Built on a private pipeline: these tests mutate the realized design
+    in place, which must never reach the shared memoized stage cache.
+    """
+    return api.build(benchmark_graph("ann0"), pipeline=BuildPipeline())
 
 
 # ---------------------------------------------------------------------------

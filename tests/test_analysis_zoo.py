@@ -12,6 +12,7 @@ import dataclasses
 
 from repro import api
 from repro.analysis import verify_artifacts
+from repro.pipeline import BuildPipeline
 from repro.sim.program_check import verify_program
 from repro.zoo.models import BENCHMARKS, benchmark_graph
 
@@ -40,7 +41,10 @@ def test_static_and_dynamic_agree_on_every_zoo_net():
 def test_dynamic_failure_is_caught_statically():
     """The reverse direction: a program the replay rejects must not be
     called safe by the static pass."""
-    artifacts = api.build(benchmark_graph("ann0"))
+    # Private pipeline: this test corrupts the coordinator table in
+    # place, which must never reach the shared memoized stage cache.
+    artifacts = api.build(benchmark_graph("ann0"),
+                          pipeline=BuildPipeline())
     program = artifacts.program
     table = program.coordinator.main_table
     total = program.memory_map.total_elements
