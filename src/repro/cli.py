@@ -230,6 +230,97 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _model_list(text: str) -> list[str]:
+    models = [part.strip() for part in text.split(",") if part.strip()]
+    if not models:
+        raise DeepBurningError(
+            f"--models wants a comma-separated list, got '{text}'")
+    return models
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.gateway import run_serve
+
+    entry, kpis = run_serve(
+        _model_list(args.models),
+        tenants=args.tenants,
+        rate_per_s=args.rate,
+        requests=args.requests,
+        workers=args.workers,
+        max_batch_size=args.batch_size,
+        max_queue_depth=args.queue_depth,
+        batch_timeout_s=args.batch_timeout,
+        deadline_s=args.deadline,
+        device=args.device,
+        fraction=args.fraction,
+        functional=not args.timing_only,
+        seed=args.seed,
+    )
+    print(kpis.render())
+    stats = entry.get("registry", {})
+    print(f"registry: {stats.get('resident', 0)} resident models, "
+          f"{stats.get('hits', 0)} hits / {stats.get('misses', 0)} builds")
+    if entry["dropped_without_response"]:
+        print(f"FAIL: {entry['dropped_without_response']} requests got "
+              "no response")
+        return 1
+    return 0
+
+
+def cmd_bench_serving(args: argparse.Namespace) -> int:
+    from repro.gateway import run_serving_bench
+
+    tenant_counts = None
+    if args.tenant_counts:
+        try:
+            tenant_counts = [int(part) for part
+                             in args.tenant_counts.split(",")
+                             if part.strip()]
+        except ValueError:
+            raise DeepBurningError(
+                f"--tenant-counts wants comma-separated integers, "
+                f"got '{args.tenant_counts}'") from None
+    try:
+        rates = [float(part) for part in args.rates.split(",")
+                 if part.strip()] or [0.0]
+    except ValueError:
+        raise DeepBurningError(
+            f"--rates wants comma-separated numbers, "
+            f"got '{args.rates}'") from None
+    report = run_serving_bench(
+        _model_list(args.models),
+        tenants=args.tenants,
+        tenant_counts=tenant_counts,
+        rates=rates,
+        requests=args.requests,
+        workers=args.workers,
+        max_batch_size=args.batch_size,
+        max_queue_depth=args.queue_depth,
+        batch_timeout_s=args.batch_timeout,
+        deadline_s=args.deadline,
+        device=args.device,
+        fraction=args.fraction,
+        functional=not args.timing_only,
+        seed=args.seed,
+        out=args.out,
+    )
+    print(report.render())
+    if args.out:
+        print(f"wrote {args.out}")
+    code = 0
+    if args.require_accounted and report.dropped_without_response:
+        print(f"FAIL: {report.dropped_without_response} requests got "
+              "neither an output nor a structured shed/timeout/error "
+              "response")
+        code = 1
+    if args.require_speedup is not None \
+            and report.speedup < args.require_speedup:
+        print(f"FAIL: gateway speedup {report.speedup:.2f}x is below "
+              f"the required {args.require_speedup:.2f}x")
+        code = 1
+    return code
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
     if name not in EXPERIMENTS:
@@ -410,6 +501,72 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_runtime.json",
                        help="report path ('' to skip writing)")
     bench.set_defaults(handler=cmd_bench)
+
+    def add_serving_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--models", default="mnist",
+                         help="comma-separated zoo networks; tenants are "
+                              "assigned round-robin and share compiled "
+                              "models through the registry")
+        sub.add_argument("--requests", type=int, default=32,
+                         help="requests per tenant in the synthetic stream")
+        sub.add_argument("--workers", type=int, default=2,
+                         help="worker simulator sessions per model host")
+        sub.add_argument("--batch-size", type=int, default=8,
+                         help="micro-batch flush size per model host")
+        sub.add_argument("--queue-depth", type=int, default=256,
+                         help="bounded request-queue capacity per host")
+        sub.add_argument("--batch-timeout", type=float, default=0.002,
+                         help="micro-batch flush deadline in seconds")
+        sub.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds (enables "
+                              "deadline-aware shedding)")
+        sub.add_argument("--device", default="Z-7045",
+                         choices=sorted(DEVICES),
+                         help="target FPGA device")
+        sub.add_argument("--fraction", type=float, default=0.3,
+                         help="resource budget as a fraction of the device")
+        sub.add_argument("--timing-only", action="store_true",
+                         help="skip the bit-level functional execution")
+        sub.add_argument("--seed", type=int, default=0,
+                         help="seed for weights and the request streams")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run a synthetic multi-tenant serving session through the "
+             "gateway and print the KPI report")
+    add_serving_common(serve)
+    serve.add_argument("--tenants", type=int, default=3,
+                       help="concurrent synthetic tenants")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-tenant request rate in req/s "
+                            "(0 = closed-loop, as fast as served)")
+    serve.set_defaults(handler=cmd_serve)
+
+    bench_serving = commands.add_parser(
+        "bench-serving",
+        help="benchmark the multi-tenant gateway vs per-tenant "
+             "sequential serving loops")
+    add_serving_common(bench_serving)
+    bench_serving.add_argument("--tenants", type=int, default=4,
+                               help="concurrent tenants (headline count)")
+    bench_serving.add_argument("--tenant-counts", default="",
+                               help="comma-separated tenant counts to "
+                                    "sweep (overrides --tenants)")
+    bench_serving.add_argument("--rates", default="0",
+                               help="comma-separated per-tenant request "
+                                    "rates in req/s (0 = closed-loop)")
+    bench_serving.add_argument("--require-speedup", type=float,
+                               default=None,
+                               help="exit non-zero unless the headline "
+                                    "gateway pass beats the sequential "
+                                    "loops by this factor")
+    bench_serving.add_argument("--require-accounted", action="store_true",
+                               help="exit non-zero if any request got "
+                                    "neither an output nor a structured "
+                                    "shed/timeout/error response")
+    bench_serving.add_argument("--out", default="BENCH_serving.json",
+                               help="report path ('' to skip writing)")
+    bench_serving.set_defaults(handler=cmd_bench_serving)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one paper table/figure")

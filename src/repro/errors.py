@@ -79,3 +79,11 @@ class QueueFullError(ServingError):
     Backpressure signal: the caller should retry later or shed load.
     """
 
+
+class GatewayError(ServingError):
+    """The multi-tenant serving gateway was misused or reached a bad state."""
+
+
+class AuthError(GatewayError):
+    """An API key did not resolve to a registered tenant."""
+

@@ -1,0 +1,79 @@
+"""Async multi-tenant serving gateway over generated accelerators.
+
+The serving runtime (:mod:`repro.runtime`) scales one compiled model to
+many requests; this package scales one *process* to many models and
+many tenants — the fleet-serving layer of the reproduction:
+
+* :class:`~repro.gateway.registry.ModelRegistry` /
+  :class:`~repro.gateway.registry.ModelSpec` — content-addressed
+  compiled-model sharing (two tenants deploying the same network get
+  the *same* :class:`~repro.runtime.model.CompiledModel`), lazy builds,
+  warm-up, pin-aware LRU eviction;
+* :class:`~repro.gateway.gateway.Gateway` — the asyncio front door:
+  API-key auth, per-tenant token-bucket rate limits and quotas,
+  deadline-aware load shedding, per-model micro-batched session pools,
+  worker-thread completions bridged onto event-loop futures;
+* :mod:`~repro.gateway.streaming` — async request-stream ingestion
+  with bounded in-flight windows;
+* :mod:`~repro.gateway.kpis` — per-tenant p50/p95/p99 latency, queue
+  gauges, shed/timeout counts as one :class:`KpiReport`;
+* :func:`~repro.gateway.bench.run_serving_bench` — the
+  ``repro bench-serving`` sweep (tenants × rates) writing
+  ``BENCH_serving.json``.
+
+Typical use::
+
+    gateway = Gateway(workers=2, max_batch_size=8)
+    key = gateway.register_tenant("alice", rate_per_s=200).api_key
+    gateway.deploy("alice/mnist", ModelSpec(model="mnist"))
+    with gateway:
+        response = asyncio.run(gateway.infer(key, "alice/mnist", x))
+"""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    QuotaLedger,
+    TokenBucket,
+)
+from repro.gateway.auth import Tenant, TenantTable
+from repro.gateway.bench import (
+    ServingBenchReport,
+    run_serve,
+    run_serving_bench,
+)
+from repro.gateway.gateway import (
+    Deployment,
+    Gateway,
+    GatewayRequest,
+    GatewayResponse,
+    ModelHost,
+)
+from repro.gateway.kpis import KpiReport, collect_kpis
+from repro.gateway.registry import ModelRegistry, ModelSpec, RegistryEntry
+from repro.gateway.streaming import consume, paced_requests, serve_stream
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Deployment",
+    "Gateway",
+    "GatewayRequest",
+    "GatewayResponse",
+    "KpiReport",
+    "ModelHost",
+    "ModelRegistry",
+    "ModelSpec",
+    "QuotaLedger",
+    "RegistryEntry",
+    "ServingBenchReport",
+    "Tenant",
+    "TenantTable",
+    "TokenBucket",
+    "collect_kpis",
+    "consume",
+    "paced_requests",
+    "run_serve",
+    "run_serving_bench",
+    "serve_stream",
+]

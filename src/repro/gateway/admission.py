@@ -1,0 +1,192 @@
+"""Admission control: rate limits, quotas and deadline-aware shedding.
+
+Every request passes through :meth:`AdmissionController.admit` before it
+may touch a model queue.  The controller answers with a structured
+:class:`AdmissionDecision` — never an exception — so an overloaded
+gateway degrades into fast, explicit ``429``/``503`` responses instead
+of unbounded queues:
+
+* **deadline shed** — if the host's current service-time estimate
+  already exceeds the request's deadline, queueing it would only burn
+  capacity on an answer the caller will discard; shed it immediately
+  (``503``).
+* **rate limit** — each tenant drains a :class:`TokenBucket`
+  (``rate_per_s`` sustained, ``burst`` peak); an empty bucket yields
+  ``429`` with a ``retry_after_s`` hint.
+* **quota** — a tenant whose lifetime admission quota is spent gets
+  ``429 quota_exhausted``; the :class:`QuotaLedger` charges only
+  requests that were actually admitted.
+
+Queue capacity itself is enforced by the bounded micro-batcher; the
+gateway maps its :class:`~repro.errors.QueueFullError` to a ``503``
+shed response at submit time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import GatewayError
+from repro.gateway.auth import Tenant
+
+
+class TokenBucket:
+    """Classic token bucket with an injectable monotonic clock.
+
+    ``rate_per_s = 0`` disables limiting entirely.  ``try_acquire``
+    returns ``0.0`` when a token was taken, otherwise the seconds until
+    one becomes available (the ``Retry-After`` hint) — it never blocks.
+    """
+
+    def __init__(self, rate_per_s: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate_per_s < 0:
+            raise GatewayError(f"rate_per_s must be >= 0, got {rate_per_s}")
+        if burst < 1:
+            raise GatewayError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(float(self.burst),
+                           self._tokens + elapsed * self.rate_per_s)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """0.0 on success, else seconds until ``tokens`` are available."""
+        if self.rate_per_s == 0:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class QuotaLedger:
+    """Lifetime admitted-request accounting for one tenant."""
+
+    def __init__(self, quota: int | None) -> None:
+        self.quota = quota
+        self._used = 0
+        self._lock = threading.Lock()
+
+    def exhausted(self) -> bool:
+        if self.quota is None:
+            return False
+        with self._lock:
+            return self._used >= self.quota
+
+    def charge(self) -> bool:
+        """Consume one unit; ``False`` when the quota is already spent."""
+        if self.quota is None:
+            with self._lock:
+                self._used += 1
+            return True
+        with self._lock:
+            if self._used >= self.quota:
+                return False
+            self._used += 1
+            return True
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def remaining(self) -> int | None:
+        if self.quota is None:
+            return None
+        with self._lock:
+            return max(0, self.quota - self._used)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The structured outcome of one admission check."""
+
+    admitted: bool
+    status: str = "ok"          # ok | rate_limited | quota_exhausted | shed
+    code: int = 200
+    retry_after_s: float = 0.0
+    reason: str = ""
+
+
+class AdmissionController:
+    """Per-tenant buckets and ledgers behind one ``admit`` call."""
+
+    def __init__(self,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._ledgers: dict[str, QuotaLedger] = {}
+        self._lock = threading.Lock()
+
+    def register(self, tenant: Tenant) -> None:
+        with self._lock:
+            self._buckets[tenant.name] = TokenBucket(
+                tenant.rate_per_s, tenant.burst, clock=self._clock)
+            self._ledgers[tenant.name] = QuotaLedger(tenant.quota)
+
+    def ledger(self, tenant_name: str) -> QuotaLedger:
+        with self._lock:
+            ledger = self._ledgers.get(tenant_name)
+        if ledger is None:
+            raise GatewayError(
+                f"tenant '{tenant_name}' is not registered for admission")
+        return ledger
+
+    def bucket(self, tenant_name: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant_name)
+        if bucket is None:
+            raise GatewayError(
+                f"tenant '{tenant_name}' is not registered for admission")
+        return bucket
+
+    def admit(self, tenant: Tenant, *,
+              estimated_wait_s: float = 0.0,
+              deadline_s: float | None = None) -> AdmissionDecision:
+        """Check deadline, rate and quota, in that order.
+
+        The deadline check is side-effect free, so a request shed for an
+        unmeetable deadline costs the tenant neither a token nor quota.
+        """
+        if deadline_s is not None and estimated_wait_s > deadline_s:
+            return AdmissionDecision(
+                admitted=False, status="shed", code=503,
+                retry_after_s=estimated_wait_s,
+                reason=(f"estimated completion {estimated_wait_s * 1e3:.1f}"
+                        f"ms exceeds the {deadline_s * 1e3:.1f}ms deadline"),
+            )
+        retry_after = self.bucket(tenant.name).try_acquire()
+        if retry_after > 0:
+            return AdmissionDecision(
+                admitted=False, status="rate_limited", code=429,
+                retry_after_s=retry_after,
+                reason=(f"tenant '{tenant.name}' exceeded "
+                        f"{tenant.rate_per_s:g} requests/s"),
+            )
+        if not self.ledger(tenant.name).charge():
+            return AdmissionDecision(
+                admitted=False, status="quota_exhausted", code=429,
+                reason=(f"tenant '{tenant.name}' spent its quota of "
+                        f"{tenant.quota} requests"),
+            )
+        return AdmissionDecision(admitted=True)

@@ -1,0 +1,103 @@
+"""API-key authentication and per-tenant accounting records.
+
+A :class:`Tenant` is the unit of admission control: it owns an API key,
+a token-bucket rate limit and an optional lifetime request quota.  The
+:class:`TenantTable` resolves presented API keys to tenants in O(1) and
+is the only authentication authority in the gateway — a request whose
+key is unknown never reaches a model queue.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass
+
+from repro.errors import AuthError, GatewayError
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One paying (or at least rate-limited) consumer of the gateway.
+
+    ``rate_per_s`` / ``burst`` parameterize the tenant's token bucket
+    (``rate_per_s = 0`` means unlimited); ``quota`` caps the number of
+    requests the tenant may ever have admitted (``None`` = unmetered).
+    """
+
+    name: str
+    api_key: str
+    rate_per_s: float = 0.0
+    burst: int = 16
+    quota: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GatewayError("a tenant needs a non-empty name")
+        if self.rate_per_s < 0:
+            raise GatewayError(
+                f"tenant '{self.name}': rate_per_s must be >= 0")
+        if self.burst < 1:
+            raise GatewayError(f"tenant '{self.name}': burst must be >= 1")
+        if self.quota is not None and self.quota < 0:
+            raise GatewayError(f"tenant '{self.name}': quota must be >= 0")
+
+
+class TenantTable:
+    """Thread-safe API-key -> tenant directory."""
+
+    def __init__(self) -> None:
+        self._by_key: dict[str, Tenant] = {}
+        self._by_name: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        *,
+        api_key: str = "",
+        rate_per_s: float = 0.0,
+        burst: int = 16,
+        quota: int | None = None,
+    ) -> Tenant:
+        """Add a tenant; generates a fresh random key when none given."""
+        key = api_key or secrets.token_hex(16)
+        tenant = Tenant(name=name, api_key=key, rate_per_s=rate_per_s,
+                        burst=burst, quota=quota)
+        with self._lock:
+            if name in self._by_name:
+                raise GatewayError(f"tenant '{name}' is already registered")
+            if key in self._by_key:
+                raise GatewayError(
+                    f"API key for tenant '{name}' collides with an "
+                    "existing tenant")
+            self._by_name[name] = tenant
+            self._by_key[key] = tenant
+        return tenant
+
+    def authenticate(self, api_key: str) -> Tenant:
+        """The tenant owning ``api_key``; raises :class:`AuthError`."""
+        with self._lock:
+            tenant = self._by_key.get(api_key)
+        if tenant is None:
+            raise AuthError("unknown API key")
+        return tenant
+
+    def by_name(self, name: str) -> Tenant:
+        with self._lock:
+            tenant = self._by_name.get(name)
+        if tenant is None:
+            raise GatewayError(f"no tenant named '{name}'")
+        return tenant
+
+    def tenants(self) -> list[Tenant]:
+        with self._lock:
+            return sorted(self._by_name.values(), key=lambda t: t.name)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._by_name

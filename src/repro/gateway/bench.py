@@ -1,0 +1,404 @@
+"""The multi-tenant serving benchmark behind ``repro bench-serving``.
+
+Measures the async gateway against the pre-gateway world and writes
+``BENCH_serving.json`` (schema 1, documented in
+``docs/file_formats.md``):
+
+* **sequential baseline** — one dedicated single-model
+  :class:`~repro.runtime.server.InferenceServer` per tenant, requests
+  served one at a time (batch size 1, no flush wait), tenants run one
+  after another: the throughput ceiling before the gateway existed;
+* **gateway sweep** — concurrent tenants × per-tenant request rates
+  through one :class:`~repro.gateway.gateway.Gateway`; tenants deploy
+  round-robin over the model list, so distinct tenants sharing a
+  network exercise the registry's one-build-many-tenants sharing and
+  their requests micro-batch together.
+
+Every pass accounts for every offered request: the report records
+``dropped_without_response`` per pass (a request that got neither an
+output nor a structured shed/timeout/error response), which CI gates at
+zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, AsyncIterator, Sequence
+
+from repro.errors import GatewayError
+from repro.gateway.gateway import Gateway, GatewayRequest, GatewayResponse
+from repro.gateway.kpis import collect_kpis
+from repro.gateway.registry import ModelRegistry, ModelSpec
+from repro.gateway.streaming import consume, paced_requests
+from repro.runtime.model import CompiledModel
+from repro.runtime.server import InferenceServer
+
+
+@dataclass
+class ServingBenchReport:
+    """Everything one ``repro bench-serving`` run measured."""
+
+    schema: int = 1
+    models: list[str] = field(default_factory=list)
+    device: str = "Z-7045"
+    fraction: float = 0.3
+    seed: int = 0
+    functional: bool = True
+    requests_per_tenant: int = 0
+    workers: int = 2
+    max_batch_size: int = 8
+    max_queue_depth: int = 256
+    batch_timeout_s: float = 0.002
+    deadline_s: float | None = None
+    registry: dict[str, Any] = field(default_factory=dict)
+    sequential: dict[str, Any] = field(default_factory=dict)
+    sweep: list[dict[str, Any]] = field(default_factory=list)
+    headline: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return float(self.headline.get("speedup_vs_sequential", 0.0))
+
+    @property
+    def dropped_without_response(self) -> int:
+        return sum(int(entry.get("dropped_without_response", 0))
+                   for entry in self.sweep)
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["speedup"] = self.speedup
+        payload["dropped_without_response"] = self.dropped_without_response
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"serving gateway benchmark: {'+'.join(self.models)} on "
+            f"{self.device} @ {self.fraction:.0%}, "
+            f"{self.requests_per_tenant} requests/tenant",
+            f"  sequential baseline ({self.sequential.get('tenants', 0)} "
+            f"single-model loops): "
+            f"{self.sequential.get('requests_per_s', 0.0):8.1f} req/s "
+            f"({self.sequential.get('wall_s', 0.0):.3f}s wall)",
+        ]
+        for entry in self.sweep:
+            rate = entry["rate_per_s"]
+            rate_text = f"{rate:g}/s" if rate else "max"
+            lines.append(
+                f"  gateway {entry['tenants']} tenants @ {rate_text:>6s}: "
+                f"{entry['aggregate_requests_per_s']:8.1f} req/s  "
+                f"({entry['speedup_vs_sequential']:.2f}x vs sequential, "
+                f"{entry['ok']} ok / {entry['shed']} shed / "
+                f"{entry['dropped_without_response']} dropped)"
+            )
+        stats = self.registry
+        if stats:
+            lines.append(
+                f"  registry: {stats.get('resident', 0)} resident models, "
+                f"{stats.get('hits', 0)} hits / "
+                f"{stats.get('misses', 0)} builds "
+                f"(tenants sharing compiled models)")
+        if self.headline:
+            lines.append(
+                f"  headline: {self.headline['tenants']} tenants "
+                f"{self.headline['aggregate_requests_per_s']:.1f} req/s = "
+                f"{self.headline['speedup_vs_sequential']:.2f}x the "
+                "sequential loops")
+        return "\n".join(lines)
+
+
+def _tenant_models(specs: Sequence[ModelSpec],
+                   count: int) -> list[ModelSpec]:
+    """Round-robin model assignment: tenant ``i`` serves ``specs[i % M]``."""
+    return [specs[index % len(specs)] for index in range(count)]
+
+
+def _sequential_pass(models: Sequence[CompiledModel],
+                     streams: Sequence[list[Any]],
+                     functional: bool) -> dict[str, Any]:
+    """Per-tenant single-model servers, one request at a time."""
+    per_tenant: dict[str, Any] = {}
+    total_requests = 0
+    total_wall = 0.0
+    for index, (model, stream) in enumerate(zip(models, streams)):
+        server = InferenceServer(
+            model, workers=1, max_batch_size=1, batch_timeout_s=0.0,
+            functional=functional)
+        with server:
+            started = time.perf_counter()
+            for inputs in stream:
+                response = server.infer(inputs)
+                if not response.ok:
+                    raise GatewayError(
+                        f"sequential baseline request failed: "
+                        f"{response.status}: {response.error}")
+            wall = time.perf_counter() - started
+        total_requests += len(stream)
+        total_wall += wall
+        per_tenant[f"tenant-{index}"] = {
+            "model": model.name,
+            "requests": len(stream),
+            "wall_s": wall,
+            "requests_per_s": len(stream) / wall if wall else 0.0,
+        }
+    return {
+        "tenants": len(streams),
+        "requests": total_requests,
+        "wall_s": total_wall,
+        "requests_per_s": total_requests / total_wall if total_wall
+        else 0.0,
+        "per_tenant": per_tenant,
+    }
+
+
+async def _drive_tenants(gateway: Gateway,
+                         streams: Sequence[AsyncIterator[GatewayRequest]],
+                         max_inflight: int) -> list[GatewayResponse]:
+    tasks = [consume(gateway, stream, max_inflight=max_inflight)
+             for stream in streams]
+    nested = await asyncio.gather(*tasks)
+    return [response for responses in nested for response in responses]
+
+
+def _gateway_pass(
+    registry: ModelRegistry,
+    specs: Sequence[ModelSpec],
+    streams: Sequence[list[Any]],
+    *,
+    tenants: int,
+    rate_per_s: float,
+    workers: int,
+    max_batch_size: int,
+    max_queue_depth: int,
+    batch_timeout_s: float,
+    deadline_s: float | None,
+    functional: bool,
+) -> tuple[dict[str, Any], Any]:
+    """One gateway measurement: ``tenants`` concurrent streams.
+
+    Returns the JSON-ready pass summary plus the full
+    :class:`~repro.gateway.kpis.KpiReport` (``repro serve`` renders
+    the latter directly).
+    """
+    gateway = Gateway(
+        registry=registry,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_queue_depth=max_queue_depth,
+        batch_timeout_s=batch_timeout_s,
+        default_deadline_s=deadline_s,
+        functional=functional,
+    )
+    assignments = _tenant_models(specs, tenants)
+    endpoints: list[str] = []
+    keys: list[str] = []
+    for index, spec in enumerate(assignments):
+        tenant = gateway.register_tenant(f"tenant-{index}",
+                                         api_key=f"bench-key-{index}")
+        endpoint = f"tenant-{index}/{spec.display_name}"
+        gateway.deploy(endpoint, spec)
+        endpoints.append(endpoint)
+        keys.append(tenant.api_key)
+
+    offered = sum(len(streams[index]) for index in range(tenants))
+    max_inflight = max(2 * max_batch_size, 4)
+    with gateway:
+        started = time.perf_counter()
+        request_streams = [
+            paced_requests(keys[index], endpoints[index], streams[index],
+                           rate_per_s=rate_per_s)
+            for index in range(tenants)
+        ]
+        responses = asyncio.run(
+            _drive_tenants(gateway, request_streams, max_inflight))
+        wall = time.perf_counter() - started
+        kpis = collect_kpis(gateway, window_s=wall)
+    for endpoint in endpoints:
+        gateway.undeploy(endpoint)
+
+    by_status: dict[str, int] = {}
+    for response in responses:
+        by_status[response.status] = by_status.get(response.status, 0) + 1
+    ok = by_status.get("ok", 0)
+    entry = {
+        "tenants": tenants,
+        "rate_per_s": rate_per_s,
+        "offered": offered,
+        "responses": len(responses),
+        "dropped_without_response": offered - len(responses),
+        "ok": ok,
+        "shed": by_status.get("shed", 0),
+        "rate_limited": by_status.get("rate_limited", 0),
+        "timeout": by_status.get("timeout", 0),
+        "error": by_status.get("error", 0),
+        "wall_s": wall,
+        "aggregate_requests_per_s": ok / wall if wall else 0.0,
+        "offered_requests_per_s": offered / wall if wall else 0.0,
+        "kpis": kpis.to_dict(),
+    }
+    return entry, kpis
+
+
+def run_serving_bench(
+    models: Sequence[str] = ("mnist", "hopfield"),
+    *,
+    tenants: int = 4,
+    tenant_counts: Sequence[int] | None = None,
+    rates: Sequence[float] = (0.0,),
+    requests: int = 32,
+    workers: int = 2,
+    max_batch_size: int = 8,
+    max_queue_depth: int = 256,
+    batch_timeout_s: float = 0.002,
+    deadline_s: float | None = None,
+    device: str = "Z-7045",
+    fraction: float = 0.3,
+    functional: bool = True,
+    seed: int = 0,
+    out: str = "BENCH_serving.json",
+) -> ServingBenchReport:
+    """Sweep concurrent tenants × request rates through the gateway.
+
+    ``tenant_counts`` defaults to ``(tenants,)``; the headline speedup
+    compares the largest unpaced (``rate 0``) pass against the
+    sequential baseline measured at the largest tenant count.
+    ``out=""`` skips writing the report file.
+    """
+    if not models:
+        raise GatewayError("bench-serving needs at least one model")
+    if requests < 1:
+        raise GatewayError(f"requests must be >= 1, got {requests}")
+    counts = sorted(set(tenant_counts or (tenants,)))
+    if any(count < 1 for count in counts):
+        raise GatewayError(f"tenant counts must be >= 1, got {counts}")
+    max_tenants = max(counts)
+
+    specs = [ModelSpec(model=name, device=device, fraction=fraction,
+                       seed=seed) for name in models]
+    registry = ModelRegistry(capacity=max(len(specs), 2))
+
+    # Per-tenant request streams (and per-tenant baseline models —
+    # the pre-gateway world compiled one model per serving process).
+    assignments = _tenant_models(specs, max_tenants)
+    baseline_models = [
+        CompiledModel.build(spec.graph(), name=spec.display_name,
+                            **spec.build_kwargs())
+        for spec in assignments
+    ]
+    streams = [
+        baseline_models[index].random_requests(requests,
+                                               seed=seed + 101 + index)
+        for index in range(max_tenants)
+    ]
+
+    sequential = _sequential_pass(baseline_models, streams, functional)
+
+    sweep: list[dict[str, Any]] = []
+    base_rate = sequential["requests_per_s"]
+    for count in counts:
+        for rate in rates:
+            entry, _ = _gateway_pass(
+                registry, specs, streams,
+                tenants=count,
+                rate_per_s=rate,
+                workers=workers,
+                max_batch_size=max_batch_size,
+                max_queue_depth=max_queue_depth,
+                batch_timeout_s=batch_timeout_s,
+                deadline_s=deadline_s,
+                functional=functional,
+            )
+            entry["speedup_vs_sequential"] = (
+                entry["aggregate_requests_per_s"] / base_rate
+                if base_rate else 0.0)
+            sweep.append(entry)
+
+    headline_pool = [entry for entry in sweep
+                     if entry["rate_per_s"] == 0.0] or sweep
+    headline_entry = max(headline_pool, key=lambda e: int(e["tenants"]))
+    headline = {
+        "tenants": headline_entry["tenants"],
+        "rate_per_s": headline_entry["rate_per_s"],
+        "aggregate_requests_per_s":
+            headline_entry["aggregate_requests_per_s"],
+        "speedup_vs_sequential": headline_entry["speedup_vs_sequential"],
+        "dropped_without_response":
+            headline_entry["dropped_without_response"],
+    }
+
+    report = ServingBenchReport(
+        models=list(models),
+        device=device,
+        fraction=fraction,
+        seed=seed,
+        functional=functional,
+        requests_per_tenant=requests,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_queue_depth=max_queue_depth,
+        batch_timeout_s=batch_timeout_s,
+        deadline_s=deadline_s,
+        registry=registry.stats(),
+        sequential=sequential,
+        sweep=sweep,
+        headline=headline,
+    )
+    if out:
+        report.write(out)
+    return report
+
+
+def run_serve(
+    models: Sequence[str] = ("mnist",),
+    *,
+    tenants: int = 3,
+    rate_per_s: float = 0.0,
+    requests: int = 16,
+    workers: int = 2,
+    max_batch_size: int = 8,
+    max_queue_depth: int = 64,
+    batch_timeout_s: float = 0.002,
+    deadline_s: float | None = None,
+    device: str = "Z-7045",
+    fraction: float = 0.3,
+    functional: bool = True,
+    seed: int = 0,
+) -> tuple[dict[str, Any], Any]:
+    """One synthetic serving session (the ``repro serve`` command).
+
+    Registers ``tenants`` synthetic tenants round-robin over ``models``,
+    replays ``requests`` paced requests per tenant through the gateway
+    and returns the pass summary plus the
+    :class:`~repro.gateway.kpis.KpiReport` for rendering.
+    """
+    if not models:
+        raise GatewayError("serve needs at least one model")
+    specs = [ModelSpec(model=name, device=device, fraction=fraction,
+                       seed=seed) for name in models]
+    registry = ModelRegistry(capacity=max(len(specs), 2))
+    assignments = _tenant_models(specs, tenants)
+    streams = [
+        registry.get(spec).model.random_requests(requests,
+                                                 seed=seed + 101 + index)
+        for index, spec in enumerate(assignments)
+    ]
+    entry, kpis = _gateway_pass(
+        registry, specs, streams,
+        tenants=tenants,
+        rate_per_s=rate_per_s,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_queue_depth=max_queue_depth,
+        batch_timeout_s=batch_timeout_s,
+        deadline_s=deadline_s,
+        functional=functional,
+    )
+    entry["registry"] = registry.stats()
+    return entry, kpis

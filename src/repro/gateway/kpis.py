@@ -1,0 +1,140 @@
+"""Operational KPI reporting for the serving gateway.
+
+One :func:`collect_kpis` pass over the gateway's metrics registry (and
+each host's private server registry) produces a :class:`KpiReport`:
+per-tenant latency percentiles and outcome counts, per-model queue
+pressure and batching efficiency, and gateway-wide totals.  The report
+is JSON-ready (``to_dict``) for ``BENCH_serving.json`` and renders as a
+terminal table for ``repro serve``.
+
+Cheap by design: tenant percentiles come from one
+:meth:`~repro.runtime.metrics.Histogram.snapshot` each (single lock,
+single sort) and gauges are read in one registry pass — collecting KPIs
+mid-traffic does not stall the data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gateway.gateway import Gateway
+
+#: Terminal request outcomes accounted per tenant.
+OUTCOMES = ("ok", "rate_limited", "quota_exhausted", "shed", "timeout",
+            "error", "unknown_model")
+
+
+@dataclass
+class KpiReport:
+    """Everything one KPI collection pass measured."""
+
+    window_s: float = 0.0
+    tenants: dict[str, dict[str, Any]] = field(default_factory=dict)
+    models: dict[str, dict[str, Any]] = field(default_factory=dict)
+    totals: dict[str, Any] = field(default_factory=dict)
+    registry: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window_s": self.window_s,
+            "tenants": self.tenants,
+            "models": self.models,
+            "totals": self.totals,
+            "registry": self.registry,
+        }
+
+    def render(self) -> str:
+        lines = ["tenant            req      ok    shed   rate-l timeout"
+                 "    p50ms    p95ms    p99ms    req/s"]
+        for name, kpis in sorted(self.tenants.items()):
+            lines.append(
+                f"  {name:14s} {kpis['requests']:5d} {kpis['ok']:7d} "
+                f"{kpis['shed']:7d} {kpis['rate_limited']:8d} "
+                f"{kpis['timeout']:7d} "
+                f"{kpis['latency_p50_s'] * 1e3:8.2f} "
+                f"{kpis['latency_p95_s'] * 1e3:8.2f} "
+                f"{kpis['latency_p99_s'] * 1e3:8.2f} "
+                f"{kpis['requests_per_s']:8.1f}"
+            )
+        lines.append("model                        queue  hi-water  batches"
+                     "  mean-batch  completed")
+        for label, kpis in sorted(self.models.items()):
+            lines.append(
+                f"  {label:26s} {kpis['queue_depth']:5.0f} "
+                f"{kpis['queue_depth_high_water']:9.0f} "
+                f"{kpis['batches']:8d} {kpis['mean_batch_size']:11.2f} "
+                f"{kpis['requests_completed']:10d}"
+            )
+        totals = self.totals
+        lines.append(
+            f"totals: {totals.get('requests', 0)} requests, "
+            f"{totals.get('ok', 0)} ok, {totals.get('shed', 0)} shed, "
+            f"{totals.get('rate_limited', 0)} rate-limited, "
+            f"{totals.get('timeout', 0)} timed out, "
+            f"{totals.get('error', 0)} errors "
+            f"({totals.get('aggregate_requests_per_s', 0.0):.1f} req/s "
+            f"aggregate over {self.window_s:.3f}s)"
+        )
+        return "\n".join(lines)
+
+
+def collect_kpis(gateway: Gateway, window_s: float = 0.0) -> KpiReport:
+    """Snapshot the gateway's KPIs after (or during) a traffic window.
+
+    ``window_s`` is the measurement wall-clock used for throughput
+    rates; 0 leaves every ``requests_per_s`` at 0.
+    """
+    report = KpiReport(window_s=window_s)
+    metrics = gateway.metrics
+
+    totals = {"requests": 0, "ok": 0}
+    for outcome in OUTCOMES:
+        totals.setdefault(outcome, 0)
+    for tenant in gateway.tenants.tenants():
+        name = tenant.name
+        latency = metrics.histogram(f"tenant.{name}.latency_s").snapshot()
+        entry: dict[str, Any] = {
+            "requests": metrics.counter(f"tenant.{name}.requests").value,
+        }
+        for outcome in OUTCOMES:
+            entry[outcome] = metrics.counter(
+                f"tenant.{name}.{outcome}").value
+            totals[outcome] += entry[outcome]
+        totals["requests"] += entry["requests"]
+        entry["latency_p50_s"] = latency["p50"]
+        entry["latency_p95_s"] = latency["p95"]
+        entry["latency_p99_s"] = latency["p99"]
+        entry["latency_mean_s"] = latency["mean"]
+        entry["requests_per_s"] = (entry["ok"] / window_s
+                                   if window_s else 0.0)
+        ledger = gateway.admission.ledger(name)
+        entry["quota_used"] = ledger.used
+        entry["quota_remaining"] = ledger.remaining
+        report.tenants[name] = entry
+
+    for host in gateway.hosts():
+        server_metrics = host.metrics
+        batch = server_metrics.histogram("batch_size").snapshot()
+        gauge = host.queue_gauge.snapshot()
+        report.models[host.label] = {
+            "queue_depth": gauge["value"],
+            "queue_depth_high_water": gauge["high_water"],
+            "batches": int(batch["count"]),
+            "mean_batch_size": batch["mean"],
+            "max_batch_size_seen": batch["max"],
+            "requests_completed":
+                server_metrics.counter("requests_completed").value,
+            "requests_timeout":
+                server_metrics.counter("requests_timeout").value,
+            "requests_error":
+                server_metrics.counter("requests_error").value,
+            "service_estimate_s": host.service_estimate_s(),
+            "deployments": host.deployments,
+        }
+
+    totals["aggregate_requests_per_s"] = (totals["ok"] / window_s
+                                          if window_s else 0.0)
+    report.totals = totals
+    report.registry = gateway.registry.stats()
+    return report

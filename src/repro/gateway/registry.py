@@ -1,0 +1,242 @@
+"""Content-addressed model registry: one build serves every tenant.
+
+The gateway hosts many tenants deploying many networks, but a deployed
+accelerator is fully determined by its network graph and build knobs —
+exactly the content the stage-memoized pipeline already fingerprints.
+:class:`ModelRegistry` keys each :class:`~repro.runtime.model.
+CompiledModel` on that content address, so two tenants deploying the
+same network under the same knobs share **one** compiled model (and
+therefore one memoized :class:`~repro.sim.plan.ExecutionPlan` and one
+micro-batched session pool), by object identity.
+
+Entries build lazily on first lookup, can be warmed ahead of traffic,
+and are evicted least-recently-used once ``capacity`` is exceeded —
+except entries pinned by a live deployment, which never leave.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GatewayError
+from repro.fixedpoint.format import QFormat
+from repro.pipeline import stage_key
+from repro.runtime.model import CompiledModel
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Everything that determines one servable accelerator build.
+
+    ``model`` names a zoo benchmark; a non-empty ``script`` (descriptive
+    script text or a ``*.prototxt`` path) overrides it.  The remaining
+    fields mirror :func:`repro.api.build`'s knobs; two specs that
+    realize the same build share one registry entry even if they were
+    written down differently (the key hashes the *graph fingerprint*,
+    not the spelling).
+    """
+
+    model: str = ""
+    script: str = ""
+    device: str = "Z-7045"
+    fraction: float = 0.3
+    data_bits: tuple[int, int] | None = None
+    weight_bits: tuple[int, int] | None = None
+    max_lanes: int = 0
+    max_simd: int = 0
+    fold_capacity_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.model and not self.script:
+            raise GatewayError("a ModelSpec needs a zoo model or a script")
+
+    @property
+    def display_name(self) -> str:
+        return self.model or "script"
+
+    def graph(self) -> Any:
+        """The parsed :class:`~repro.frontend.graph.NetworkGraph`."""
+        if self.script:
+            from repro import api
+            return api._as_graph(self.script)
+        from repro.zoo import benchmark_graph
+        return benchmark_graph(self.model)
+
+    def build_kwargs(self) -> dict[str, Any]:
+        """Keyword arguments for :func:`repro.api.build`."""
+        kwargs: dict[str, Any] = {
+            "device": self.device,
+            "fraction": self.fraction,
+            "max_lanes": self.max_lanes,
+            "max_simd": self.max_simd,
+            "fold_capacity_scale": self.fold_capacity_scale,
+            "seed": self.seed,
+        }
+        if self.data_bits is not None:
+            kwargs["data_format"] = QFormat(*self.data_bits)
+        if self.weight_bits is not None:
+            kwargs["weight_format"] = QFormat(*self.weight_bits)
+        return kwargs
+
+
+@dataclass
+class RegistryEntry:
+    """One resident compiled model plus its sharing bookkeeping."""
+
+    key: str
+    spec: ModelSpec
+    model: CompiledModel
+    build_s: float = 0.0
+    hits: int = 0
+    pins: int = 0
+    warmed: bool = field(default=False, repr=False)
+
+
+class ModelRegistry:
+    """Lazily-building, pin-aware LRU registry of compiled models.
+
+    ``get`` computes the spec's content address, returns the resident
+    entry on a hit (object identity — callers share the model), or
+    builds it on a miss.  ``pin``-ed entries (live gateway deployments)
+    are exempt from LRU eviction, so the registry may transiently hold
+    more than ``capacity`` entries when everything resident is pinned.
+    """
+
+    def __init__(self, capacity: int = 8, pipeline: Any = None) -> None:
+        if capacity < 1:
+            raise GatewayError(
+                f"registry capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._pipeline = pipeline
+        self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _resolved_pipeline(self) -> Any:
+        if self._pipeline is None:
+            from repro.pipeline import default_pipeline
+            self._pipeline = default_pipeline()
+        return self._pipeline
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, spec: ModelSpec) -> str:
+        """Content address: graph fingerprint + every build knob."""
+        fingerprint = str(spec.graph().fingerprint())
+        return stage_key(
+            "registry",
+            fp=fingerprint,
+            device=spec.device,
+            fraction=spec.fraction,
+            data_bits=list(spec.data_bits) if spec.data_bits else None,
+            weight_bits=list(spec.weight_bits) if spec.weight_bits else None,
+            lanes=spec.max_lanes,
+            simd=spec.max_simd,
+            fold_capacity_scale=spec.fold_capacity_scale,
+            seed=spec.seed,
+        )
+
+    def get(self, spec: ModelSpec, pin: bool = False) -> RegistryEntry:
+        """The resident entry for ``spec``, building it on first use.
+
+        ``pin=True`` increments the entry's pin count, marking it
+        in-use by a deployment; call :meth:`release` with the entry key
+        when the deployment goes away.
+        """
+        key = self.key_for(spec)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.hits += 1
+                if pin:
+                    entry.pins += 1
+                return entry
+            started = time.perf_counter()
+            model = CompiledModel.build(
+                spec.graph(), name=spec.display_name,
+                pipeline=self._resolved_pipeline(), **spec.build_kwargs())
+            entry = RegistryEntry(
+                key=key, spec=spec, model=model,
+                build_s=time.perf_counter() - started,
+                pins=1 if pin else 0,
+            )
+            self._entries[key] = entry
+            self.misses += 1
+            self._evict_over_capacity()
+            return entry
+
+    def warm(self, spec: ModelSpec, functional: bool = True) -> RegistryEntry:
+        """Build (if needed) and pre-warm the calling thread's session."""
+        entry = self.get(spec)
+        entry.model.warm_session(functional=functional)
+        entry.warmed = True
+        return entry
+
+    def release(self, key: str) -> None:
+        """Drop one pin; unpinned entries become evictable again."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            if entry.pins <= 0:
+                raise GatewayError(
+                    f"registry entry '{entry.spec.display_name}' released "
+                    "more times than it was pinned")
+            entry.pins -= 1
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        # Oldest-first over unpinned entries; pinned ones are skipped
+        # (a registry fully pinned may exceed capacity until released).
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (key for key, entry in self._entries.items()
+                 if entry.pins == 0), None)
+            if victim is None:
+                return
+            del self._entries[victim]
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def entries(self) -> list[RegistryEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready sharing statistics for reports."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "resident": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "models": [
+                    {
+                        "name": entry.spec.display_name,
+                        "key": entry.key[:12],
+                        "hits": entry.hits,
+                        "pins": entry.pins,
+                        "build_s": entry.build_s,
+                    }
+                    for entry in self._entries.values()
+                ],
+            }

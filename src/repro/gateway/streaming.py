@@ -1,0 +1,97 @@
+"""Streaming request ingestion: drain async request streams into the
+gateway.
+
+The gateway's unit of work is one awaited :meth:`Gateway.submit`; real
+traffic arrives as *streams* — a websocket, an event consumer, a
+replayed log.  :func:`serve_stream` is the bridge: it consumes an async
+iterator of :class:`~repro.gateway.gateway.GatewayRequest`, keeps up to
+``max_inflight`` submissions in flight (the ingestion loop's own
+backpressure, distinct from the per-model bounded queues behind it) and
+yields responses in completion order, so a slow request never blocks
+the stream behind it.
+
+:func:`paced_requests` synthesizes an open-loop arrival process at a
+fixed rate (``rate_per_s = 0`` = as fast as the consumer drains it) —
+the generator both the bench and ``repro serve`` replay their synthetic
+tenants from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator, Iterable
+
+from repro.errors import GatewayError
+from repro.gateway.gateway import Gateway, GatewayRequest, GatewayResponse
+
+
+async def serve_stream(
+    gateway: Gateway,
+    stream: AsyncIterator[GatewayRequest],
+    *,
+    max_inflight: int = 64,
+) -> AsyncIterator[GatewayResponse]:
+    """Submit every request from ``stream``; yield completion-ordered
+    responses.
+
+    At most ``max_inflight`` requests are outstanding at once; when the
+    window is full the loop waits for a completion (and yields it)
+    before ingesting the next request.  Every ingested request yields
+    exactly one response — shed and failed requests included.
+    """
+    if max_inflight < 1:
+        raise GatewayError(
+            f"max_inflight must be >= 1, got {max_inflight}")
+    pending: set[asyncio.Task[GatewayResponse]] = set()
+    async for request in stream:
+        while len(pending) >= max_inflight:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                yield task.result()
+        pending.add(asyncio.create_task(gateway.submit(request)))
+    while pending:
+        done, pending = await asyncio.wait(
+            pending, return_when=asyncio.FIRST_COMPLETED)
+        for task in done:
+            yield task.result()
+
+
+async def consume(
+    gateway: Gateway,
+    stream: AsyncIterator[GatewayRequest],
+    *,
+    max_inflight: int = 64,
+) -> list[GatewayResponse]:
+    """Drain ``stream`` completely; all responses, completion-ordered."""
+    responses: list[GatewayResponse] = []
+    async for response in serve_stream(gateway, stream,
+                                       max_inflight=max_inflight):
+        responses.append(response)
+    return responses
+
+
+async def paced_requests(
+    api_key: str,
+    model: str,
+    inputs: Iterable[Any],
+    *,
+    rate_per_s: float = 0.0,
+    deadline_s: float | None = None,
+) -> AsyncIterator[GatewayRequest]:
+    """One request per input, spaced ``1/rate_per_s`` apart.
+
+    ``rate_per_s = 0`` disables pacing: the stream is closed-loop,
+    limited only by the consumer's ``max_inflight`` window.  With
+    pacing the stream is open-loop — requests keep arriving whether or
+    not the gateway keeps up, which is what makes queue-depth and shed
+    behaviour observable.
+    """
+    if rate_per_s < 0:
+        raise GatewayError(f"rate_per_s must be >= 0, got {rate_per_s}")
+    interval = 1.0 / rate_per_s if rate_per_s > 0 else 0.0
+    for item in inputs:
+        yield GatewayRequest(api_key=api_key, model=model, inputs=item,
+                             deadline_s=deadline_s)
+        if interval:
+            await asyncio.sleep(interval)

@@ -24,7 +24,7 @@ Typical use::
 
 from repro.runtime.batcher import MicroBatcher
 from repro.runtime.bench import BenchReport, run_bench
-from repro.runtime.metrics import Counter, Histogram, MetricsRegistry
+from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.runtime.model import CompiledModel
 from repro.runtime.server import (
     InferenceResponse,
@@ -37,6 +37,7 @@ __all__ = [
     "BenchReport",
     "CompiledModel",
     "Counter",
+    "Gauge",
     "Histogram",
     "InferenceResponse",
     "InferenceServer",

@@ -1,11 +1,19 @@
-"""Lightweight serving metrics: counters, histograms, text report.
+"""Lightweight serving metrics: counters, gauges, histograms, report.
 
-A :class:`MetricsRegistry` is a named bag of :class:`Counter`s and
-:class:`Histogram`s, thread-safe so the batcher thread and every worker
-can record into the same registry.  Histograms keep raw observations
-(bounded by a reservoir cap) and answer percentile queries directly —
+A :class:`MetricsRegistry` is a named bag of :class:`Counter`s,
+:class:`Gauge`s and :class:`Histogram`s, thread-safe so the batcher
+thread, every worker and the gateway's admission path can record into
+the same registry.  Histograms keep a deterministic stride-decimated
+sample of the observation stream and answer percentile queries from it —
 at serving-benchmark scale that is simpler and more precise than fixed
-buckets.
+buckets, and the stride decimation keeps tail percentiles honest on
+arbitrarily long runs.
+
+Exporting is cheap by construction: every metric's ``snapshot`` takes
+its lock exactly once (one sort per histogram covers all percentiles),
+and :meth:`MetricsRegistry.snapshot` takes one pass over the registry
+lock to collect a stable metric list instead of locking per lookup —
+the gateway exports queue-depth gauges on the request path.
 """
 
 from __future__ import annotations
@@ -33,18 +41,75 @@ class Counter:
         return self._value
 
 
-class Histogram:
-    """Raw-observation histogram with percentile queries.
+class Gauge:
+    """A point-in-time level with a high-water mark.
 
-    Keeps at most ``cap`` observations (a simple head reservoir: once
-    full, later observations still update count/sum/min/max but no
-    longer widen the percentile sample).
+    Unlike a :class:`Counter` a gauge moves both ways (queue depth,
+    in-flight requests, resident models); the high-water mark records
+    the largest value ever set so a report can show peak pressure even
+    after the level drains back to zero.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._high_water = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._value = value
+            if value > self._high_water:
+                self._high_water = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.adjust(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.adjust(-amount)
+
+    def adjust(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+            if self._value > self._high_water:
+                self._high_water = self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def high_water(self) -> float:
+        return self._high_water
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {"value": self._value, "high_water": self._high_water}
+
+
+class Histogram:
+    """Percentile queries over a stride-decimated observation sample.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation.
+    The percentile sample keeps at most ``cap`` observations: while the
+    stream is short every observation is kept; once the sample would
+    exceed the cap it is decimated in place (every other kept sample
+    dropped) and the keep stride doubles, so the retained points are
+    always observations ``0, s, 2s, ...`` for the current stride ``s`` —
+    a deterministic systematic sample of the whole stream.  A head
+    reservoir would freeze the sample on the first ``cap`` observations
+    and bias long-run tail percentiles toward warm-up behaviour; the
+    stride sample stays representative no matter how long the run.
     """
 
     def __init__(self, name: str, cap: int = 100_000) -> None:
+        if cap < 2:
+            raise ValueError(f"histogram cap must be >= 2, got {cap}")
         self.name = name
         self.cap = cap
         self._samples: list[float] = []
+        self._stride = 1
         self._count = 0
         self._sum = 0.0
         self._min = float("inf")
@@ -54,12 +119,21 @@ class Histogram:
     def observe(self, value: float) -> None:
         value = float(value)
         with self._lock:
+            index = self._count
             self._count += 1
             self._sum += value
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-            if len(self._samples) < self.cap:
-                self._samples.append(value)
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if index % self._stride:
+                return
+            self._samples.append(value)
+            if len(self._samples) >= self.cap:
+                # Keep observations 0, 2s, 4s, ... of the original
+                # stream; future appends continue the same lattice.
+                del self._samples[1::2]
+                self._stride *= 2
 
     @property
     def count(self) -> int:
@@ -81,12 +155,13 @@ class Histogram:
     def max(self) -> float:
         return self._max if self._count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100), linearly interpolated."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile {q} must be in [0, 100]")
-        with self._lock:
-            samples = sorted(self._samples)
+    @property
+    def sample_stride(self) -> int:
+        """Current decimation stride (1 until the cap is first hit)."""
+        return self._stride
+
+    @staticmethod
+    def _interpolate(samples: list[float], q: float) -> float:
         if not samples:
             return 0.0
         position = (len(samples) - 1) * q / 100.0
@@ -95,23 +170,44 @@ class Histogram:
         weight = position - low
         return samples[low] * (1.0 - weight) + samples[high] * weight
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), linearly interpolated."""
+        return self.percentiles([q])[0]
+
+    def percentiles(self, qs: list[float]) -> list[float]:
+        """Many percentiles from one lock acquisition and one sort."""
+        for q in qs:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError(f"percentile {q} must be in [0, 100]")
+        with self._lock:
+            samples = sorted(self._samples)
+        return [self._interpolate(samples, q) for q in qs]
+
     def snapshot(self) -> dict[str, float]:
+        """All summary statistics from a single lock pass."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self._count
+            total = self._sum
+            low = self._min
+            high = self._max
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": low if count else 0.0,
+            "max": high if count else 0.0,
+            "p50": self._interpolate(samples, 50),
+            "p95": self._interpolate(samples, 95),
+            "p99": self._interpolate(samples, 99),
         }
 
 
 @dataclass
 class MetricsRegistry:
-    """Create-or-get registry of named counters and histograms."""
+    """Create-or-get registry of named counters, gauges and histograms."""
 
     counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -121,34 +217,60 @@ class MetricsRegistry:
                 self.counters[name] = Counter(name)
             return self.counters[name]
 
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self.gauges:
+                self.gauges[name] = Gauge(name)
+            return self.gauges[name]
+
     def histogram(self, name: str) -> Histogram:
         with self._lock:
             if name not in self.histograms:
                 self.histograms[name] = Histogram(name)
             return self.histograms[name]
 
+    def _stable_view(self) -> tuple[list[tuple[str, Counter]],
+                                    list[tuple[str, Gauge]],
+                                    list[tuple[str, Histogram]]]:
+        """One registry-lock pass: a sorted, mutation-safe metric list."""
+        with self._lock:
+            return (sorted(self.counters.items()),
+                    sorted(self.gauges.items()),
+                    sorted(self.histograms.items()))
+
     def snapshot(self) -> dict:
         """All metrics as one JSON-ready dict."""
-        return {
-            "counters": {name: counter.value
-                         for name, counter in sorted(self.counters.items())},
+        counters, gauges, histograms = self._stable_view()
+        payload: dict = {
+            "counters": {name: counter.value for name, counter in counters},
             "histograms": {name: histogram.snapshot()
-                           for name, histogram
-                           in sorted(self.histograms.items())},
+                           for name, histogram in histograms},
         }
+        if gauges:
+            payload["gauges"] = {name: gauge.snapshot()
+                                 for name, gauge in gauges}
+        return payload
 
     def render(self) -> str:
-        """Human-readable report of every counter and histogram."""
+        """Human-readable report of every metric."""
+        counters, gauges, histograms = self._stable_view()
         lines = ["counters"]
-        for name, counter in sorted(self.counters.items()):
+        for name, counter in counters:
             lines.append(f"  {name:28s} {counter.value}")
+        if gauges:
+            lines.append("gauges                          value high-water")
+            for name, gauge in gauges:
+                snap = gauge.snapshot()
+                lines.append(f"  {name:28s} {snap['value']:7.4g} "
+                             f"{snap['high_water']:10.4g}")
         lines.append("histograms            count       mean        p50"
                      "        p95        max")
-        for name, histogram in sorted(self.histograms.items()):
+        for name, histogram in histograms:
+            snap = histogram.snapshot()
             lines.append(
-                f"  {name:18s} {histogram.count:8d} {histogram.mean:10.4g}"
-                f" {histogram.percentile(50):10.4g}"
-                f" {histogram.percentile(95):10.4g}"
-                f" {histogram.max:10.4g}"
+                f"  {name:18s} {snap['count']:8d} {snap['mean']:10.4g}"
+                f" {snap['p50']:10.4g}"
+                f" {snap['p95']:10.4g}"
+                f" {snap['max']:10.4g}"
             )
         return "\n".join(lines)

@@ -24,6 +24,7 @@ import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -69,10 +70,20 @@ class _Request:
     timeout_s: float | None
     done: threading.Event = field(default_factory=threading.Event)
     response: InferenceResponse | None = None
+    #: Invoked (from a worker thread) exactly once after completion;
+    #: the async gateway bridges to event-loop futures through this.
+    on_complete: Callable[[InferenceResponse], None] | None = None
 
     def complete(self, response: InferenceResponse) -> None:
         self.response = response
         self.done.set()
+        if self.on_complete is not None:
+            try:
+                self.on_complete(response)
+            except Exception:
+                # A broken observer must not take down the worker; the
+                # blocking result() path is already satisfied above.
+                pass
 
     def expired(self, now: float) -> bool:
         return self.timeout_s is not None \
@@ -200,11 +211,17 @@ class InferenceServer:
     # ------------------------------------------------------------------
 
     def submit(self, inputs: np.ndarray,
-               timeout_s: float | None = None) -> PendingRequest:
+               timeout_s: float | None = None,
+               on_complete: Callable[[InferenceResponse], None] | None = None,
+               ) -> PendingRequest:
         """Enqueue one request; raises ``QueueFullError`` at capacity.
 
         Requests may be submitted before :meth:`start`; they wait in the
         queue and are batched as soon as the server starts.
+        ``on_complete`` is invoked once, from the completing worker
+        thread, with the terminal :class:`InferenceResponse` — callers
+        that cannot block on :meth:`PendingRequest.result` (the async
+        gateway) observe completion through it.
         """
         with self._id_lock:
             self._next_id += 1
@@ -215,6 +232,7 @@ class InferenceServer:
             submitted_at=time.perf_counter(),
             timeout_s=self.request_timeout_s if timeout_s is None
             else timeout_s,
+            on_complete=on_complete,
         )
         depth = self._batcher.put(request)
         self.metrics.counter("requests_submitted").inc()
@@ -225,6 +243,10 @@ class InferenceServer:
               timeout_s: float | None = None) -> InferenceResponse:
         """Submit one request and block for its response."""
         return self.submit(inputs, timeout_s=timeout_s).result()
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the micro-batcher queue."""
+        return self._batcher.depth()
 
     # ------------------------------------------------------------------
 
@@ -241,6 +263,18 @@ class InferenceServer:
             self._inflight = [f for f in self._inflight if not f.done()]
 
     def _run_batch(self, batch: list[_Request]) -> None:
+        try:
+            self._run_batch_inner(batch)
+        except Exception:
+            # Session construction (or anything else outside the
+            # per-request guards) failed; every request still pending
+            # must get a terminal response or its caller hangs forever.
+            error = traceback.format_exc(limit=3)
+            for request in batch:
+                if not request.done.is_set():
+                    self._complete_error(request, len(batch), error)
+
+    def _run_batch_inner(self, batch: list[_Request]) -> None:
         session = self.model.session()
         now = time.perf_counter()
         live = []

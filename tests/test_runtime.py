@@ -8,6 +8,8 @@ the session model (per-thread simulator state, bit-identical reuse).
 
 import json
 import threading
+import time
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -17,6 +19,7 @@ from repro.errors import QueueFullError, ServingError
 from repro.runtime import (
     CompiledModel,
     Counter,
+    Gauge,
     Histogram,
     InferenceResponse,
     InferenceServer,
@@ -133,8 +136,67 @@ class TestMetrics:
         snapshot = registry.snapshot()
         assert snapshot["counters"]["served"] == 3
         assert snapshot["histograms"]["latency_s"]["count"] == 1
+        # Gauge-free registries keep the pre-gauge snapshot schema.
+        assert "gauges" not in snapshot
         text = registry.render()
         assert "served" in text and "latency_s" in text
+
+    def test_gauge_tracks_level_and_high_water(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(3)
+        gauge.inc()
+        gauge.inc(2)
+        assert gauge.value == 6.0
+        assert gauge.high_water == 6.0
+        gauge.dec(5)
+        assert gauge.value == 1.0
+        assert gauge.high_water == 6.0
+        gauge.set(0)
+        assert gauge.snapshot() == {"value": 0.0, "high_water": 6.0}
+
+    def test_gauge_in_registry(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g") is registry.gauge("g")
+        registry.gauge("g").set(4)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["g"] == {"value": 4.0, "high_water": 4.0}
+        assert "high-water" in registry.render()
+
+    def test_histogram_stride_sample_stays_representative(self):
+        """The percentile sample must cover the whole stream, not just
+        its head: a head reservoir over the 0..9999 ramp would answer
+        p50 with ~cap/2 instead of ~5000."""
+        histogram = Histogram("ramp", cap=128)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.count == 10_000
+        assert histogram.sum == sum(range(10_000))
+        assert histogram.min == 0.0
+        assert histogram.max == 9_999.0
+        stride = histogram.sample_stride
+        assert stride > 1 and stride & (stride - 1) == 0  # power of two
+        # Kept samples are exactly observations 0, s, 2s, ... — the
+        # deterministic lattice, so results are reproducible.
+        assert histogram._samples == \
+            [float(v) for v in range(0, 10_000, stride)]
+        tolerance = 2.0 * stride
+        assert abs(histogram.percentile(50) - 4999.5) <= tolerance
+        assert abs(histogram.percentile(99) - 9900.0) <= tolerance
+        snapshot = histogram.snapshot()
+        assert abs(snapshot["p95"] - 9500.0) <= tolerance
+
+    def test_histogram_exact_until_cap(self):
+        histogram = Histogram("short", cap=128)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.sample_stride == 1
+        assert histogram.percentile(50) == 49.5
+
+    def test_histogram_cap_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", cap=1)
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
 
 
 class TestCompiledModel:
@@ -271,6 +333,106 @@ class TestInferenceServer:
         assert response.ok
         timeout = RequestTimeout(request_id=2)
         assert timeout.status == "timeout"
+
+
+def _fake_result():
+    return SimpleNamespace(
+        outputs={"__output__": np.zeros(4)},
+        cycles=1, time_s=0.0,
+        energy=SimpleNamespace(total_j=0.0),
+    )
+
+
+class _StubModel:
+    """Duck-typed CompiledModel substitute for failure injection."""
+
+    def __init__(self, delay_s: float = 0.0,
+                 session_error: Exception | None = None) -> None:
+        self.delay_s = delay_s
+        self.session_error = session_error
+
+    def warm_session(self, functional: bool = True) -> None:
+        pass
+
+    def session(self):
+        if self.session_error is not None:
+            raise self.session_error
+        return self
+
+    def run(self, inputs, functional: bool = True):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return _fake_result()
+
+    def run_batch(self, batch, functional: bool = True):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return [_fake_result() for _ in batch]
+
+
+class TestInferenceServerFailurePaths:
+    def test_queued_timeout_names_the_queue(self, model):
+        """A request that expires before any worker picks it up is a
+        'in queue' timeout."""
+        with InferenceServer(model, workers=1) as server:
+            response = server.infer(model.random_requests(1)[0],
+                                    timeout_s=0.0)
+        assert response.status == "timeout"
+        assert "in queue" in response.error
+
+    def test_inflight_timeout_names_the_flight(self):
+        """A request whose deadline passes while the session is running
+        it completes as an 'in flight' timeout, not a success."""
+        server = InferenceServer(_StubModel(delay_s=0.05), workers=1,
+                                 max_batch_size=1, batch_timeout_s=0.0)
+        with server:
+            response = server.infer(np.zeros(4), timeout_s=0.02)
+        assert response.status == "timeout"
+        assert "in flight" in response.error
+        assert server.metrics.counter("requests_timeout").value == 1
+        assert server.metrics.counter("requests_completed").value == 0
+
+    def test_session_failure_completes_whole_batch(self):
+        """Session construction raising inside _run_batch must still
+        terminate every request in the batch — callers would otherwise
+        block on result() forever."""
+        server = InferenceServer(
+            _StubModel(session_error=RuntimeError("no session for you")),
+            workers=1, max_batch_size=4, batch_timeout_s=0.0)
+        pending = [server.submit(np.zeros(4)) for _ in range(4)]
+        with server:
+            responses = [p.result(timeout=5.0) for p in pending]
+        assert [r.status for r in responses] == ["error"] * 4
+        assert all("no session for you" in r.error for r in responses)
+        assert server.metrics.counter("requests_error").value == 4
+
+    def test_stop_drains_inflight_requests(self, model):
+        """stop() completes queued work rather than abandoning it."""
+        server = InferenceServer(model, workers=2, max_batch_size=4,
+                                 batch_timeout_s=0.0)
+        stream = model.random_requests(6, seed=9)
+        pending = [server.submit(x) for x in stream]
+        server.start()
+        server.stop()
+        assert all(p.done() for p in pending)
+        assert all(p.result().ok for p in pending)
+
+    def test_on_complete_observer(self, model):
+        """The completion callback fires exactly once per request, and
+        a raising observer does not poison the worker."""
+        seen: list[InferenceResponse] = []
+
+        def broken(response: InferenceResponse) -> None:
+            seen.append(response)
+            raise RuntimeError("observer bug")
+
+        with InferenceServer(model, workers=1, max_batch_size=1,
+                             batch_timeout_s=0.0) as server:
+            inputs = model.random_requests(2, seed=11)
+            first = server.submit(inputs[0], on_complete=broken).result()
+            second = server.infer(inputs[1])
+        assert len(seen) == 1 and seen[0] is first
+        assert first.ok and second.ok
 
 
 class TestBenchVerifier:
