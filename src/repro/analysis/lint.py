@@ -15,7 +15,9 @@ third parties extend the pass by registering new rules:
         ...
 
 Built-in rules: ``lint.duplicate-layer``, ``lint.dangling-blob``,
-``lint.shape-mismatch`` (ERROR); ``lint.dead-layer``,
+``lint.shape-mismatch``, ``lint.eltwise-arity``,
+``lint.residual-mismatch``, ``lint.depthwise-multiplier``,
+``lint.concat-mismatch`` (ERROR); ``lint.dead-layer``,
 ``lint.degenerate-conv``, ``lint.degenerate-pool``,
 ``lint.dropout-ratio``, ``lint.lrn-size``, ``lint.unused-input``
 (WARNING); ``lint.format-missing`` (ERROR, needs a compiled program).
@@ -31,7 +33,11 @@ from repro.compiler.program import ControlProgram
 from repro.errors import DeepBurningError
 from repro.frontend.graph import NetworkGraph
 from repro.frontend.layers import LayerKind
-from repro.frontend.shapes import TensorShape, infer_shapes
+from repro.frontend.shapes import (
+    TensorShape,
+    infer_shapes,
+    infer_shapes_partial,
+)
 from repro.nngen.design import AcceleratorDesign
 
 
@@ -154,10 +160,77 @@ def shape_mismatch(ctx: LintContext) -> Iterator[Finding]:
             f"shape inference fails: {error}")
 
 
+@rule("lint.eltwise-arity")
+def eltwise_arity(ctx: LintContext) -> Iterator[Finding]:
+    for spec in ctx.graph.layers:
+        if spec.kind is LayerKind.ELTWISE and len(spec.bottoms) < 2:
+            yield _finding(
+                "lint.eltwise-arity", Severity.ERROR, spec.name,
+                f"elementwise layer sums {len(spec.bottoms)} input(s); a "
+                "residual join needs at least two",
+                bottoms=list(spec.bottoms))
+
+
+@rule("lint.residual-mismatch")
+def residual_mismatch(ctx: LintContext) -> Iterator[Finding]:
+    # Partial inference still resolves the *branch* shapes when the
+    # join itself is what breaks full inference.
+    shapes = ctx.shapes or infer_shapes_partial(ctx.graph)
+    for spec in ctx.graph.layers:
+        if spec.kind is not LayerKind.ELTWISE:
+            continue
+        known = [(b, shapes[b]) for b in spec.bottoms if b in shapes]
+        dims = {shape.dims for _, shape in known}
+        if len(dims) > 1:
+            yield _finding(
+                "lint.residual-mismatch", Severity.ERROR, spec.name,
+                "elementwise inputs differ in shape: "
+                + ", ".join(f"{b}={shape}" for b, shape in known),
+                shapes={b: list(shape.dims) for b, shape in known})
+
+
+@rule("lint.depthwise-multiplier")
+def depthwise_multiplier(ctx: LintContext) -> Iterator[Finding]:
+    shapes = ctx.shapes or infer_shapes_partial(ctx.graph)
+    for spec in ctx.graph.layers:
+        if spec.kind is not LayerKind.DEPTHWISE_CONVOLUTION \
+                or not spec.bottoms:
+            continue
+        in_shape = shapes.get(spec.bottoms[0])
+        if in_shape is None or not in_shape.is_spatial:
+            continue
+        if spec.num_output % in_shape.channels != 0:
+            yield _finding(
+                "lint.depthwise-multiplier", Severity.ERROR, spec.name,
+                f"num_output {spec.num_output} is not an integer multiple "
+                f"of the {in_shape.channels} input channels; the channel "
+                "multiplier must be whole",
+                num_output=spec.num_output, channels=in_shape.channels)
+
+
+@rule("lint.concat-mismatch")
+def concat_mismatch(ctx: LintContext) -> Iterator[Finding]:
+    shapes = ctx.shapes or infer_shapes_partial(ctx.graph)
+    for spec in ctx.graph.layers:
+        if spec.kind is not LayerKind.CONCAT:
+            continue
+        known = [(b, shapes[b]) for b in spec.bottoms if b in shapes]
+        spatial = [(b, s) for b, s in known if s.is_spatial]
+        if len(spatial) < 2 or len(spatial) != len(known):
+            continue
+        planes = {(s.height, s.width) for _, s in spatial}
+        if len(planes) > 1:
+            yield _finding(
+                "lint.concat-mismatch", Severity.ERROR, spec.name,
+                "channel concat inputs differ spatially: "
+                + ", ".join(f"{b}={s}" for b, s in spatial),
+                shapes={b: list(s.dims) for b, s in spatial})
+
+
 @rule("lint.degenerate-conv")
 def degenerate_conv(ctx: LintContext) -> Iterator[Finding]:
     for spec in ctx.graph.layers:
-        if spec.kind is LayerKind.CONVOLUTION \
+        if spec.kind.is_convolution \
                 and spec.stride > spec.kernel_size:
             yield _finding(
                 "lint.degenerate-conv", Severity.WARNING, spec.name,

@@ -41,6 +41,7 @@ from repro.frontend.layers import LayerKind
 #: kind is streamed through the datapath without staging the full map.
 _BUFFERED_KINDS = frozenset({
     LayerKind.CONVOLUTION,
+    LayerKind.DEPTHWISE_CONVOLUTION,
     LayerKind.POOLING,
     LayerKind.INNER_PRODUCT,
     LayerKind.RECURRENT,
@@ -178,7 +179,7 @@ class _MemoryPass:
                         continue
                     home_hi = self.feature_spans[home][1]
                     if span[1] > home_hi:
-                        if spec.kind is LayerKind.CONVOLUTION:
+                        if spec.kind.is_convolution:
                             # Band addressing rounds up to whole tile
                             # rows; the tail is fetched then discarded.
                             self._emit(

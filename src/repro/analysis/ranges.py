@@ -291,8 +291,8 @@ class _RangePass:
             in_fmt = self._fmt(spec.bottoms[0])
             assume_bias = spec.bias
             if weight is not None:
-                rows = out_size if spec.kind is not LayerKind.CONVOLUTION \
-                    else spec.num_output
+                rows = spec.num_output if spec.kind.is_convolution \
+                    else out_size
                 rows = rows or weight.shape[0]
                 terms = 0
             else:
@@ -318,8 +318,8 @@ class _RangePass:
         in_fmt = self._fmt(in_blob)
         inputs = self._interval(in_blob)
 
-        if kind in (LayerKind.CONVOLUTION, LayerKind.INNER_PRODUCT,
-                    LayerKind.ASSOCIATIVE):
+        if kind.is_convolution or kind in (LayerKind.INNER_PRODUCT,
+                                           LayerKind.ASSOCIATIVE):
             bound = self._dense_bound(spec, "weight", inputs)
             self._check_accumulator(spec, bound, "weight")
             out = self._mac_output(spec, bound, in_fmt, out_fmt)
@@ -367,6 +367,32 @@ class _RangePass:
         elif kind is LayerKind.CLASSIFIER:
             size = self.shapes[in_blob].size if in_blob in self.shapes else 1
             out = Interval(0, max(0, size - 1))
+        elif kind is LayerKind.ELTWISE:
+            # Mirrors the executor exactly: each input is requantized to
+            # the output format, then summed with saturation after every
+            # addition, so endpoint arithmetic with per-step clipping is
+            # the precise interval image.
+            total: Interval | None = None
+            clipped = False
+            for blob in spec.bottoms:
+                piece, clips = requantize_interval(
+                    self._interval(blob), self._fmt(blob), out_fmt)
+                clipped = clipped or clips
+                if total is None:
+                    total = piece
+                else:
+                    summed = Interval(total.lo + piece.lo,
+                                      total.hi + piece.hi)
+                    clipped = clipped or summed.lo < out_fmt.min_int \
+                        or summed.hi > out_fmt.max_int
+                    total = summed.clip(out_fmt)
+            out = total if total is not None else Interval.full(out_fmt)
+            if clipped:
+                self._emit(
+                    "range.output-saturation", Severity.WARNING, spec.name,
+                    f"elementwise sum can saturate at {out_fmt} "
+                    "(worst-case branch intervals exceed the output format)",
+                    out_format=str(out_fmt))
         elif kind is LayerKind.CONCAT:
             merged: Interval | None = None
             for blob in spec.bottoms:

@@ -40,7 +40,8 @@ import numpy as np
 from repro.compiler.program import ControlProgram
 from repro.devices.device import Device, ResourceBudget
 from repro.fixedpoint.format import QFormat
-from repro.frontend.graph import NetworkGraph, graph_from_text
+from repro.frontend import load as load_graph
+from repro.frontend.graph import NetworkGraph
 from repro.frontend.shapes import TensorShape
 from repro.nngen.design import AcceleratorDesign
 from repro.sim.accel import AcceleratorSimulator, SimulationResult
@@ -108,14 +109,10 @@ class BuildArtifacts:
 
 
 def _as_graph(script_or_graph: str | NetworkGraph) -> NetworkGraph:
-    """Accept a parsed graph, a descriptive-script text, or a file path."""
-    if isinstance(script_or_graph, NetworkGraph):
-        return script_or_graph
-    text = script_or_graph
-    if "\n" not in text and "{" not in text:
-        with open(text, "r", encoding="utf-8") as handle:
-            text = handle.read()
-    return graph_from_text(text)
+    """Accept a parsed graph, source text in any registered frontend
+    format (descriptive script, ONNX-style JSON document), or a path to
+    such a file — all routed through :func:`repro.frontend.load`."""
+    return load_graph(script_or_graph)
 
 
 def build(

@@ -2,12 +2,20 @@
 
 ::
 
-    python -m repro generate --script net.prototxt --device Z-7045 \
+    python -m repro generate --graph net.prototxt --device Z-7045 \
         --fraction 0.3 --out rtl/
-    python -m repro simulate --script net.prototxt --device Z-7020 \
+    python -m repro simulate --model mobilenet_tiny --device Z-7020 \
         --fraction 0.2
+    python -m repro verify --graph net.json --format onnx
     python -m repro bench --model mnist --requests 64
     python -m repro experiment fig8
+
+Every graph-consuming command takes the same pair of source flags,
+resolved by one shared helper: ``--model <zoo name>`` picks a benchmark
+from :mod:`repro.zoo.models`; ``--graph <file>`` loads any registered
+frontend format (descriptive script, ONNX-style JSON), with
+``--format`` overriding auto-detection.  ``--script`` survives as a
+deprecated alias for ``--graph``.
 
 ``generate`` runs :func:`repro.api.build` and writes the Verilog
 project; ``simulate`` additionally runs a forward propagation with
@@ -20,27 +28,62 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 import numpy as np
 
 from repro import api
 from repro.devices.device import DEVICES
 from repro.errors import DeepBurningError
-from repro.frontend.graph import graph_from_text
+from repro.frontend import AUTO, load, registered_formats
 
 EXPERIMENTS = (
     "table1", "table2", "fig8", "fig9", "fig10", "table3", "claims",
 )
 
 
-def _load_graph(path: str):
-    with open(path, "r", encoding="utf-8") as handle:
-        return graph_from_text(handle.read())
+def add_graph_source(sub: argparse.ArgumentParser,
+                     default_model: str = "") -> None:
+    """Register the unified graph-source flags on a subcommand."""
+    sub.add_argument("--model", default=default_model,
+                     help="zoo benchmark network (see repro.zoo.models)")
+    sub.add_argument("--graph", default="",
+                     help="path to a network description in any "
+                          "registered frontend format")
+    sub.add_argument("--format", default=AUTO,
+                     choices=(AUTO, *registered_formats()),
+                     help="frontend format of --graph "
+                          "(default: auto-detect)")
+    sub.add_argument("--script", default="",
+                     help="deprecated alias for --graph")
 
 
-def _prepare(args: argparse.Namespace) -> api.BuildArtifacts:
+def resolve_graph(args: argparse.Namespace, command: str):
+    """One resolver for every command: --model wins a zoo net, --graph
+    (or the deprecated --script) loads a file via the frontend."""
+    path = getattr(args, "graph", "")
+    script = getattr(args, "script", "")
+    if script:
+        warnings.warn(
+            f"'repro {command} --script' is deprecated; use --graph",
+            DeprecationWarning, stacklevel=2)
+        path = path or script
+    model = getattr(args, "model", "")
+    if path and model:
+        raise DeepBurningError(
+            f"{command} takes --model or --graph, not both")
+    if path:
+        return load(path, format=getattr(args, "format", AUTO))
+    if model:
+        from repro.zoo.models import benchmark_graph
+        return benchmark_graph(model)
+    raise DeepBurningError(f"{command} needs --model or --graph")
+
+
+def _prepare(args: argparse.Namespace,
+             command: str) -> api.BuildArtifacts:
     return api.build(
-        _load_graph(args.script),
+        resolve_graph(args, command),
         device=args.device,
         fraction=args.fraction,
         seed=args.seed,
@@ -48,7 +91,7 @@ def _prepare(args: argparse.Namespace) -> api.BuildArtifacts:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    artifacts = _prepare(args)
+    artifacts = _prepare(args, "generate")
     print(artifacts.design.summary())
     print(artifacts.program.summary())
     if args.out:
@@ -68,7 +111,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    artifacts = _prepare(args)
+    artifacts = _prepare(args, "simulate")
     design = artifacts.design
     print(design.summary())
     result = api.simulate(artifacts, functional=not args.timing_only)
@@ -85,13 +128,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis import verify_artifacts
 
-    if args.script:
-        graph = _load_graph(args.script)
-    elif args.model:
-        from repro.zoo.models import benchmark_graph
-        graph = benchmark_graph(args.model)
-    else:
-        raise DeepBurningError("verify needs --script or --model")
+    graph = resolve_graph(args, "verify")
     artifacts = api.build(
         graph,
         device=args.device,
@@ -129,13 +166,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
         return tuple(parse_qformat(item) for item in text.split(",")
                      if item.strip())
 
-    if args.script:
-        graph = _load_graph(args.script)
-    elif args.model:
-        from repro.zoo.models import benchmark_graph
-        graph = benchmark_graph(args.model)
-    else:
-        raise DeepBurningError("dse needs --script or --model")
+    graph = resolve_graph(args, "dse")
     spec = SweepSpec(
         device=args.device,
         fractions=float_list(args.fractions),
@@ -192,6 +223,12 @@ def _dse_bench(graph, spec, args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.runtime import run_bench
 
+    graph = ""
+    if args.graph or args.script:
+        # bench defaults --model to mnist, so a file source wins rather
+        # than tripping the both-given guard in the shared resolver.
+        source = argparse.Namespace(**{**vars(args), "model": ""})
+        graph = resolve_graph(source, "bench")
     batch_sizes = None
     if args.batch_sizes:
         try:
@@ -204,7 +241,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ) from None
     report = run_bench(
         args.model,
-        script=args.script,
+        script=graph,
         requests=args.requests,
         workers=args.workers,
         max_batch_size=args.batch_size,
@@ -358,8 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--script", required=True,
-                         help="path to the *.prototxt descriptive script")
+        add_graph_source(sub)
         sub.add_argument("--device", default="Z-7045",
                          choices=sorted(DEVICES),
                          help="target FPGA device")
@@ -388,11 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="statically verify a compiled design: ranges, memory "
              "safety, control program, IR lint")
-    verify.add_argument("--script", default="",
-                        help="path to the *.prototxt descriptive script")
-    verify.add_argument("--model", default="",
-                        help="zoo benchmark network to verify instead of "
-                             "--script")
+    add_graph_source(verify)
     verify.add_argument("--device", default="Z-7045",
                         choices=sorted(DEVICES),
                         help="target FPGA device")
@@ -414,11 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     dse = commands.add_parser(
         "dse", help="explore the design space: sweep, cache, Pareto frontier")
-    dse.add_argument("--script", default="",
-                     help="path to the *.prototxt descriptive script")
-    dse.add_argument("--model", default="",
-                     help="zoo benchmark network to sweep instead of "
-                          "--script (e.g. mnist)")
+    add_graph_source(dse)
     dse.add_argument("--device", default="Z-7045", choices=sorted(DEVICES),
                      help="target FPGA device")
     dse.add_argument("--fractions",
@@ -467,10 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="benchmark the batched serving runtime vs the sequential loop")
-    bench.add_argument("--model", default="mnist",
-                       help="zoo benchmark network to serve")
-    bench.add_argument("--script", default="",
-                       help="serve a *.prototxt script instead of --model")
+    add_graph_source(bench, default_model="mnist")
     bench.add_argument("--requests", type=int, default=64,
                        help="number of requests in the synthetic stream")
     bench.add_argument("--workers", type=int, default=4,

@@ -79,7 +79,7 @@ class AddressFlowGenerator:
         spec = self.graph.layer(phase.layer)
         event = phase_event(phase, self._layer_order[spec.name])
         plan = PhaseAddressPlan(phase=phase, event=event)
-        if spec.kind is LayerKind.CONVOLUTION:
+        if spec.kind.is_convolution:
             self._conv_flows(spec, phase, plan)
         elif spec.kind in (LayerKind.INNER_PRODUCT, LayerKind.RECURRENT,
                            LayerKind.ASSOCIATIVE):
@@ -235,7 +235,19 @@ class AddressFlowGenerator:
     def _streaming_flows(self, spec: LayerSpec, phase: FoldPhase,
                          plan: PhaseAddressPlan) -> None:
         event = plan.event
-        if spec.bottoms:
+        if spec.kind is LayerKind.ELTWISE:
+            # Every residual branch streams through in full; the fold's
+            # input_words is the sum over all bottoms.
+            for blob in spec.bottoms:
+                words = self.shapes[blob].size
+                plan.main_feature_reads.append(AccessPattern(
+                    start_address=self.memory_map.feature_base(blob),
+                    x_length=words, event=event,
+                ))
+                plan.data_reads.append(AccessPattern(
+                    start_address=0, x_length=words, event=event,
+                ))
+        elif spec.bottoms:
             in_base = self.memory_map.feature_base(spec.bottoms[0])
             if phase.input_words:
                 plan.main_feature_reads.append(AccessPattern(

@@ -20,6 +20,8 @@ from repro.nngen.design import AcceleratorDesign, FoldPhase
 #: blocks the connection box links for that fold (paper §3.2 mapping).
 KIND_ROUTES: dict[LayerKind, tuple[str, ...]] = {
     LayerKind.CONVOLUTION: ("neurons", "accumulators", "activation"),
+    LayerKind.DEPTHWISE_CONVOLUTION: ("neurons", "accumulators", "activation"),
+    LayerKind.ELTWISE: ("accumulators", "connection_box"),
     LayerKind.INNER_PRODUCT: ("neurons", "accumulators", "activation"),
     LayerKind.RECURRENT: ("neurons", "connection_box", "activation"),
     LayerKind.ASSOCIATIVE: ("connection_box", "accumulators"),

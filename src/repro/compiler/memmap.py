@@ -26,8 +26,8 @@ def _consumer_geometry(graph: NetworkGraph, blob: str) -> tuple[int, int]:
     blob linearly and are insensitive to tiling.
     """
     for spec in graph.layers:
-        if blob in spec.bottoms and spec.kind in (LayerKind.CONVOLUTION,
-                                                  LayerKind.POOLING):
+        if blob in spec.bottoms and (spec.kind.is_convolution
+                                     or spec.kind is LayerKind.POOLING):
             return spec.kernel_size, spec.stride
     return 1, 1
 

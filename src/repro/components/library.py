@@ -44,6 +44,8 @@ LAYER_BLOCK_RULES: dict[LayerKind, tuple[type, ...]] = {
     LayerKind.RECURRENT: (SynergyNeuronArray, ConnectionBox),
     LayerKind.ASSOCIATIVE: (ConnectionBox, AccumulatorArray),
     LayerKind.CONVOLUTION: (SynergyNeuronArray, AccumulatorArray),
+    LayerKind.DEPTHWISE_CONVOLUTION: (SynergyNeuronArray, AccumulatorArray),
+    LayerKind.ELTWISE: (AccumulatorArray, ConnectionBox),
     LayerKind.POOLING: (PoolingUnit,),
     LayerKind.LRN: (LRNUnit,),
     LayerKind.DROPOUT: (DropOutUnit,),

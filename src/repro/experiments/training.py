@@ -23,7 +23,8 @@ from repro.apps.datasets import synthetic_cifar, synthetic_digits, \
 from repro.apps.fft import twiddle_targets
 from repro.apps.jpeg import block_dataset
 from repro.apps.kmeans import distance_dataset
-from repro.frontend.graph import NetworkGraph, graph_from_text
+from repro.frontend import load
+from repro.frontend.graph import NetworkGraph
 from repro.nn.train import (
     Conv2D,
     Dense,
@@ -127,7 +128,7 @@ def trained_mnist_small(samples: int = 360, epochs: int = 14) -> tuple:
         learning_rate=0.02, epochs=epochs, batch_size=8,
         loss="cross_entropy", seed=3))
     trainer.train(train_x, train_y)
-    graph = graph_from_text(MNIST_SMALL_TEXT)
+    graph = load(MNIST_SMALL_TEXT)
     return graph, net.named_weights(), test_x, test_y
 
 
@@ -169,7 +170,7 @@ def trained_cifar_small(samples: int = 300, epochs: int = 12) -> tuple:
         learning_rate=0.03, epochs=epochs, batch_size=8,
         loss="cross_entropy", seed=4))
     trainer.train(train_x, train_y)
-    graph = graph_from_text(CIFAR_SMALL_TEXT)
+    graph = load(CIFAR_SMALL_TEXT)
     return graph, net.named_weights(), test_x, test_y
 
 
@@ -208,5 +209,5 @@ def trained_nin_small(samples: int = 300, epochs: int = 12) -> tuple:
         learning_rate=0.03, epochs=epochs, batch_size=8,
         loss="cross_entropy", seed=5))
     trainer.train(train_x, train_y)
-    graph = graph_from_text(NIN_SMALL_TEXT)
+    graph = load(NIN_SMALL_TEXT)
     return graph, net.named_weights(), test_x, test_y

@@ -1,11 +1,14 @@
 """Model description frontend.
 
-DeepBurning accepts a Caffe-compatible descriptive script (``*.prototxt``,
-Fig. 4 of the paper) extended with ``connect { }`` blocks for inter-layer
-wiring, including recurrent connections.  This package parses that format
-into a typed layer list (:mod:`repro.frontend.layers`), assembles a
-network graph IR (:mod:`repro.frontend.graph`) and infers every blob
-shape (:mod:`repro.frontend.shapes`).
+Graph ingest goes through :func:`load`, which dispatches on format to a
+registered :class:`~repro.frontend.registry.Frontend` backend.  Two
+backends ship in-tree: the Caffe-compatible descriptive script
+(``*.prototxt``, Fig. 4 of the paper, extended with ``connect { }``
+blocks for recurrent wiring) and an ONNX-style JSON graph format
+(:mod:`repro.frontend.onnx`).  Both lower into the same typed layer list
+(:mod:`repro.frontend.layers`) and network graph IR
+(:mod:`repro.frontend.graph`), with blob shape inference in
+:mod:`repro.frontend.shapes`.
 """
 
 from repro.frontend.prototxt import parse_prototxt, parse_prototxt_file, Message
@@ -14,9 +17,25 @@ from repro.frontend.layers import (
     LayerKind,
     LayerSpec,
     layer_from_message,
+    supported_kind_names,
 )
-from repro.frontend.graph import NetworkGraph, build_graph
-from repro.frontend.shapes import TensorShape, infer_shapes
+from repro.frontend.graph import (
+    NetworkGraph,
+    build_graph,
+    build_graph_from_layers,
+)
+from repro.frontend.shapes import TensorShape, conv_groups, infer_shapes
+from repro.frontend.registry import (
+    AUTO,
+    Frontend,
+    GraphSource,
+    detect_format,
+    get_frontend,
+    load,
+    register_frontend,
+    registered_formats,
+)
+from repro.frontend import onnx as onnx  # registers the onnx backend
 
 __all__ = [
     "parse_prototxt",
@@ -26,8 +45,20 @@ __all__ = [
     "LayerSpec",
     "ConnectionSpec",
     "layer_from_message",
+    "supported_kind_names",
     "NetworkGraph",
     "build_graph",
+    "build_graph_from_layers",
     "TensorShape",
+    "conv_groups",
     "infer_shapes",
+    "AUTO",
+    "Frontend",
+    "GraphSource",
+    "detect_format",
+    "get_frontend",
+    "load",
+    "register_frontend",
+    "registered_formats",
+    "onnx",
 ]

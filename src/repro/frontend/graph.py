@@ -199,7 +199,7 @@ class NetworkGraph:
 
         from repro.frontend.shapes import infer_shapes
 
-        def layer_record(spec: LayerSpec) -> dict:
+        def layer_record(spec: LayerSpec) -> dict[str, object]:
             return {
                 "name": spec.name,
                 "kind": spec.kind.value,
@@ -302,11 +302,14 @@ def _input_layers_from_document(doc: Message) -> list[LayerSpec]:
     return layers
 
 
-def build_graph(doc: Message, name: str = "") -> NetworkGraph:
-    """Assemble and validate a :class:`NetworkGraph` from a parsed script."""
-    net_name = doc.get("name", name)
-    layers = _input_layers_from_document(doc) + layers_from_document(doc)
-    graph = NetworkGraph(name=str(net_name) if net_name else "net", layers=layers)
+def build_graph_from_layers(layers: list[LayerSpec], name: str = "") -> NetworkGraph:
+    """Assemble and validate a graph from typed layer specs.
+
+    Recurrent ``connect`` entries on the specs become explicit
+    :class:`RecurrentEdge` back-edges.  This is the common tail of every
+    frontend backend (prototxt, onnx, programmatic construction).
+    """
+    graph = NetworkGraph(name=name or "net", layers=list(layers))
     for spec in layers:
         for conn in spec.connections:
             if conn.direction is ConnectDirection.RECURRENT:
@@ -318,6 +321,25 @@ def build_graph(doc: Message, name: str = "") -> NetworkGraph:
     return graph
 
 
+def build_graph(doc: Message, name: str = "") -> NetworkGraph:
+    """Assemble and validate a :class:`NetworkGraph` from a parsed script."""
+    net_name = doc.get("name", name)
+    layers = _input_layers_from_document(doc) + layers_from_document(doc)
+    return build_graph_from_layers(layers, name=str(net_name) if net_name else "net")
+
+
 def graph_from_text(text: str, name: str = "") -> NetworkGraph:
-    """Parse prototxt source and build the validated graph in one step."""
+    """Deprecated: use :func:`repro.frontend.load` instead.
+
+    Kept for one release as a prototxt-only shim over the frontend
+    registry.
+    """
+    import warnings
+
+    warnings.warn(
+        "graph_from_text() is deprecated; use "
+        "repro.frontend.load(source, format='prototxt')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return build_graph(parse_prototxt(text), name=name)

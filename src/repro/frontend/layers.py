@@ -23,6 +23,7 @@ class LayerKind(enum.Enum):
 
     DATA = "DATA"
     CONVOLUTION = "CONVOLUTION"
+    DEPTHWISE_CONVOLUTION = "DEPTHWISE_CONVOLUTION"
     POOLING = "POOLING"
     INNER_PRODUCT = "INNER_PRODUCT"
     RECURRENT = "RECURRENT"
@@ -35,6 +36,7 @@ class LayerKind(enum.Enum):
     SOFTMAX = "SOFTMAX"
     CLASSIFIER = "CLASSIFIER"
     CONCAT = "CONCAT"
+    ELTWISE = "ELTWISE"
     INCEPTION = "INCEPTION"
 
     @property
@@ -45,10 +47,16 @@ class LayerKind(enum.Enum):
     def has_weights(self) -> bool:
         return self in (
             LayerKind.CONVOLUTION,
+            LayerKind.DEPTHWISE_CONVOLUTION,
             LayerKind.INNER_PRODUCT,
             LayerKind.RECURRENT,
             LayerKind.ASSOCIATIVE,
         )
+
+    @property
+    def is_convolution(self) -> bool:
+        """True for kinds realized on the windowed MAC convolution path."""
+        return self in (LayerKind.CONVOLUTION, LayerKind.DEPTHWISE_CONVOLUTION)
 
 
 #: Aliases accepted in scripts (Caffe spellings included).
@@ -57,6 +65,9 @@ _KIND_ALIASES: Mapping[str, LayerKind] = {
     "INPUT": LayerKind.DATA,
     "CONVOLUTION": LayerKind.CONVOLUTION,
     "CONV": LayerKind.CONVOLUTION,
+    "DEPTHWISE_CONVOLUTION": LayerKind.DEPTHWISE_CONVOLUTION,
+    "CONVOLUTION_DEPTHWISE": LayerKind.DEPTHWISE_CONVOLUTION,
+    "DWCONV": LayerKind.DEPTHWISE_CONVOLUTION,
     "POOLING": LayerKind.POOLING,
     "POOL": LayerKind.POOLING,
     "INNER_PRODUCT": LayerKind.INNER_PRODUCT,
@@ -77,6 +88,9 @@ _KIND_ALIASES: Mapping[str, LayerKind] = {
     "CLASSIFIER": LayerKind.CLASSIFIER,
     "ARGMAX": LayerKind.CLASSIFIER,
     "CONCAT": LayerKind.CONCAT,
+    "ELTWISE": LayerKind.ELTWISE,
+    "ADD": LayerKind.ELTWISE,
+    "SUM": LayerKind.ELTWISE,
     "INCEPTION": LayerKind.INCEPTION,
 }
 
@@ -145,14 +159,27 @@ class LayerSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ParseError("layer has no name")
-        if self.kind in (LayerKind.CONVOLUTION, LayerKind.INNER_PRODUCT):
+        if self.kind in (
+            LayerKind.CONVOLUTION,
+            LayerKind.DEPTHWISE_CONVOLUTION,
+            LayerKind.INNER_PRODUCT,
+        ):
             if self.num_output <= 0:
                 raise ParseError(f"layer '{self.name}' needs num_output > 0")
-        if self.kind in (LayerKind.CONVOLUTION, LayerKind.POOLING):
+        if self.kind in (
+            LayerKind.CONVOLUTION,
+            LayerKind.DEPTHWISE_CONVOLUTION,
+            LayerKind.POOLING,
+        ):
             if self.kernel_size <= 0:
                 raise ParseError(f"layer '{self.name}' needs kernel_size > 0")
             if self.stride <= 0:
                 raise ParseError(f"layer '{self.name}' needs stride > 0")
+        if self.kind is LayerKind.DEPTHWISE_CONVOLUTION and self.group != 1:
+            raise ParseError(
+                f"layer '{self.name}': depthwise convolution derives its group "
+                "count from the input channels; leave 'group' unset"
+            )
         if self.kind is LayerKind.DROPOUT and not 0.0 <= self.dropout_ratio < 1.0:
             raise ParseError(
                 f"layer '{self.name}' dropout_ratio must be in [0, 1)"
@@ -165,11 +192,17 @@ class LayerSpec:
         )
 
 
-def parse_kind(text: str) -> LayerKind:
+def supported_kind_names() -> tuple[str, ...]:
+    """Every accepted ``type:`` spelling, sorted, for error messages."""
+    return tuple(sorted(_KIND_ALIASES))
+
+
+def parse_kind(text: str, *, layer: str = "") -> LayerKind:
     """Map a script ``type:`` token (any Caffe spelling) to a kind.
 
     Accepts old-style enums (``CONVOLUTION``), new-style CamelCase
-    strings (``"InnerProduct"``) and lower-case aliases.
+    strings (``"InnerProduct"``) and lower-case aliases.  ``layer``
+    names the offending layer in the error message.
     """
     text = str(text)
     kind = _KIND_ALIASES.get(text.upper())
@@ -182,7 +215,11 @@ def parse_kind(text: str) -> LayerKind:
         ).upper()
         kind = _KIND_ALIASES.get(snake)
     if kind is None:
-        raise UnsupportedLayerError(f"unknown layer type '{text}'")
+        where = f" in layer '{layer}'" if layer else ""
+        raise UnsupportedLayerError(
+            f"unknown layer type '{text}'{where}; supported types: "
+            + ", ".join(supported_kind_names())
+        )
     return kind
 
 
@@ -234,7 +271,7 @@ def layer_from_message(msg: Message) -> LayerSpec:
     type_field = msg.get("type")
     if type_field is None:
         raise ParseError(f"layer '{name}' is missing 'type'")
-    kind = parse_kind(str(type_field))
+    kind = parse_kind(str(type_field), layer=name)
 
     bottoms = tuple(str(b) for b in msg.get_all("bottom"))
     tops = tuple(str(t) for t in msg.get_all("top"))
@@ -251,6 +288,7 @@ def layer_from_message(msg: Message) -> LayerSpec:
         "dropout_param",
         "input_param",
         "recurrent_param",
+        "eltwise_param",
     ):
         nested = msg.get_message(key)
         if nested is not None:
@@ -262,6 +300,14 @@ def layer_from_message(msg: Message) -> LayerSpec:
         if key not in ("name", "type", "bottom", "top", "connect")
         and not isinstance(value, Message)
     )
+
+    if kind is LayerKind.ELTWISE:
+        operation = str(param.get("operation", "SUM")).upper()
+        if operation not in ("SUM", "ADD"):
+            raise ParseError(
+                f"layer '{name}': eltwise operation '{operation}' is not "
+                "supported (only SUM)"
+            )
 
     pool_text = str(param.get("pool", "MAX")).upper()
     try:

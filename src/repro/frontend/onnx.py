@@ -1,0 +1,387 @@
+"""ONNX-style JSON graph importer and exporter.
+
+The interchange document mirrors the shape of an ONNX ``ModelProto``
+serialized as JSON (no protobuf dependency): a top-level ``graph`` with
+``input`` value infos, a ``node`` list carrying ``op_type`` /
+``input`` / ``output`` / ``attributes``, and declared ``output`` blobs::
+
+    {
+      "ir_version": 1,
+      "producer_name": "repro",
+      "graph": {
+        "name": "resnet_tiny",
+        "input": [{"name": "data", "shape": [3, 16, 16]}],
+        "node": [
+          {"name": "conv1", "op_type": "Conv",
+           "input": ["data"], "output": ["conv1"],
+           "attributes": {"num_output": 8, "kernel_size": 3, "pad": 1}},
+          {"name": "res1", "op_type": "Add",
+           "input": ["conv1", "data_proj"], "output": ["res1"]}
+        ],
+        "output": ["res1"]
+      }
+    }
+
+Import lowers each node onto the existing
+:class:`~repro.frontend.layers.LayerSpec` IR; export is the exact
+inverse, so ``import(export(graph))`` preserves
+:meth:`~repro.frontend.graph.NetworkGraph.fingerprint`.  Depthwise
+convolutions use the explicit ``DepthwiseConv`` op (the group count is
+derived from the input channels), residual adds map onto ``Add``/``Sum``
+and branch joins onto ``Concat``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Mapping, Sequence
+
+from repro.errors import ParseError
+from repro.frontend.graph import NetworkGraph, build_graph_from_layers
+from repro.frontend.layers import (
+    ConnectDirection,
+    ConnectType,
+    ConnectionSpec,
+    LayerKind,
+    LayerSpec,
+    PoolMethod,
+    parse_kind,
+)
+from repro.frontend.registry import register_frontend
+
+#: op_type -> (kind, pool method override) for import.
+_OP_TO_KIND: dict[str, tuple[LayerKind, PoolMethod | None]] = {
+    "Conv": (LayerKind.CONVOLUTION, None),
+    "DepthwiseConv": (LayerKind.DEPTHWISE_CONVOLUTION, None),
+    "MaxPool": (LayerKind.POOLING, PoolMethod.MAX),
+    "AveragePool": (LayerKind.POOLING, PoolMethod.AVE),
+    "Gemm": (LayerKind.INNER_PRODUCT, None),
+    "MatMul": (LayerKind.INNER_PRODUCT, None),
+    "RNN": (LayerKind.RECURRENT, None),
+    "Associative": (LayerKind.ASSOCIATIVE, None),
+    "Relu": (LayerKind.RELU, None),
+    "Sigmoid": (LayerKind.SIGMOID, None),
+    "Tanh": (LayerKind.TANH, None),
+    "LRN": (LayerKind.LRN, None),
+    "Dropout": (LayerKind.DROPOUT, None),
+    "Softmax": (LayerKind.SOFTMAX, None),
+    "ArgMax": (LayerKind.CLASSIFIER, None),
+    "Concat": (LayerKind.CONCAT, None),
+    "Add": (LayerKind.ELTWISE, None),
+    "Sum": (LayerKind.ELTWISE, None),
+    "Inception": (LayerKind.INCEPTION, None),
+}
+
+#: kind -> canonical op_type for export (pooling handled separately).
+_KIND_TO_OP: dict[LayerKind, str] = {
+    LayerKind.CONVOLUTION: "Conv",
+    LayerKind.DEPTHWISE_CONVOLUTION: "DepthwiseConv",
+    LayerKind.INNER_PRODUCT: "Gemm",
+    LayerKind.RECURRENT: "RNN",
+    LayerKind.ASSOCIATIVE: "Associative",
+    LayerKind.RELU: "Relu",
+    LayerKind.SIGMOID: "Sigmoid",
+    LayerKind.TANH: "Tanh",
+    LayerKind.LRN: "LRN",
+    LayerKind.DROPOUT: "Dropout",
+    LayerKind.SOFTMAX: "Softmax",
+    LayerKind.CLASSIFIER: "ArgMax",
+    LayerKind.CONCAT: "Concat",
+    LayerKind.ELTWISE: "Add",
+    LayerKind.INCEPTION: "Inception",
+}
+
+#: LayerSpec fields serialized through the generic attribute path.
+_ATTR_FIELDS = (
+    "num_output",
+    "kernel_size",
+    "stride",
+    "pad",
+    "group",
+    "bias",
+    "local_size",
+    "alpha",
+    "beta",
+    "dropout_ratio",
+    "top_k",
+)
+
+
+def _ctx(node: str, what: str) -> ParseError:
+    return ParseError(f"onnx node '{node}': {what}")
+
+
+def _as_int(value: object, node: str, key: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _ctx(node, f"attribute '{key}' must be numeric, got {value!r}")
+    return int(value)
+
+
+def _as_float(value: object, node: str, key: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _ctx(node, f"attribute '{key}' must be numeric, got {value!r}")
+    return float(value)
+
+
+def _str_list(value: object, node: str, key: str) -> tuple[str, ...]:
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise _ctx(node, f"'{key}' must be a list of blob names")
+    return tuple(str(item) for item in value)
+
+
+def _first_of(attrs: Mapping[str, object], node: str, key: str) -> int:
+    """First element of an ONNX list attribute (kernel_shape/strides/pads)."""
+    value = attrs[key]
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        if not value:
+            raise _ctx(node, f"attribute '{key}' is empty")
+        return _as_int(value[0], node, key)
+    return _as_int(value, node, key)
+
+
+def _connection_from_attr(entry: object, node: str) -> ConnectionSpec:
+    if not isinstance(entry, Mapping):
+        raise _ctx(node, "'connect' entries must be objects")
+    conn_name = str(entry.get("name", ""))
+    if not conn_name:
+        raise _ctx(node, "connect entry needs a name")
+    try:
+        direction = ConnectDirection(str(entry.get("direction", "forward")))
+        conn_type = ConnectType(str(entry.get("type", "full")))
+    except ValueError as exc:
+        raise _ctx(node, f"bad connect entry: {exc}") from exc
+    return ConnectionSpec(
+        name=conn_name,
+        direction=direction,
+        type=conn_type,
+        target=str(entry.get("target", "")),
+    )
+
+
+def _node_to_layer(node: Mapping[str, object], index: int) -> LayerSpec:
+    name = str(node.get("name", ""))
+    op_type = str(node.get("op_type", ""))
+    if not name:
+        name = f"node{index}"
+    if not op_type:
+        raise _ctx(name, "missing op_type")
+    pool_method: PoolMethod | None = None
+    if op_type in _OP_TO_KIND:
+        kind, pool_method = _OP_TO_KIND[op_type]
+    else:
+        # Fall back to the frontend-wide spelling table so prototxt
+        # spellings (CONVOLUTION, InnerProduct, ...) work here too.
+        kind = parse_kind(op_type, layer=name)
+
+    bottoms = _str_list(node.get("input", []), name, "input")
+    tops = _str_list(node.get("output", []), name, "output")
+    if not tops:
+        tops = (name,)
+
+    raw_attrs = node.get("attributes", {})
+    if not isinstance(raw_attrs, Mapping):
+        raise _ctx(name, "'attributes' must be an object")
+    attrs = dict(raw_attrs)
+
+    kwargs: dict[str, object] = {}
+    # ONNX-native list spellings first; scalar IR names override below.
+    if "kernel_shape" in attrs:
+        kwargs["kernel_size"] = _first_of(attrs, name, "kernel_shape")
+    if "strides" in attrs:
+        kwargs["stride"] = _first_of(attrs, name, "strides")
+    if "pads" in attrs:
+        kwargs["pad"] = _first_of(attrs, name, "pads")
+    for key in _ATTR_FIELDS:
+        if key not in attrs:
+            continue
+        value = attrs[key]
+        if key == "bias":
+            kwargs[key] = bool(value)
+        elif key in ("alpha", "beta", "dropout_ratio"):
+            kwargs[key] = _as_float(value, name, key)
+        else:
+            kwargs[key] = _as_int(value, name, key)
+    if pool_method is None and "pool" in attrs:
+        try:
+            pool_method = PoolMethod(str(attrs["pool"]).upper())
+        except ValueError as exc:
+            raise _ctx(name, f"unknown pool method {attrs['pool']!r}") from exc
+
+    connections = tuple(
+        _connection_from_attr(entry, name)
+        for entry in _str_entries(attrs.get("connect", []), name)
+    )
+
+    input_shape: tuple[int, ...] = ()
+    if "shape" in attrs:
+        shape_value = attrs["shape"]
+        if not isinstance(shape_value, Sequence) or isinstance(shape_value, (str, bytes)):
+            raise _ctx(name, "'shape' must be a list of dimensions")
+        input_shape = tuple(_as_int(d, name, "shape") for d in shape_value)
+
+    return LayerSpec(
+        name=name,
+        kind=kind,
+        bottoms=bottoms,
+        tops=tops,
+        pool_method=pool_method or PoolMethod.MAX,
+        input_shape=input_shape,
+        connections=connections,
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def _str_entries(value: object, node: str) -> list[object]:
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        return list(value)
+    raise _ctx(node, "'connect' must be a list")
+
+
+def _input_to_layer(entry: object, index: int) -> LayerSpec:
+    if not isinstance(entry, Mapping):
+        raise ParseError(f"graph input #{index} must be an object")
+    name = str(entry.get("name", ""))
+    if not name:
+        raise ParseError(f"graph input #{index} needs a name")
+    shape_value = entry.get("shape")
+    if not isinstance(shape_value, Sequence) or isinstance(shape_value, (str, bytes)):
+        raise ParseError(f"graph input '{name}' needs a shape list")
+    dims = tuple(_as_int(d, name, "shape") for d in shape_value)
+    if len(dims) == 4:
+        dims = dims[1:]  # drop the batch dimension, like legacy deploys
+    top = str(entry.get("top", name))
+    return LayerSpec(name=name, kind=LayerKind.DATA, tops=(top,), input_shape=dims)
+
+
+def graph_from_document(doc: Mapping[str, object], name: str = "") -> NetworkGraph:
+    """Lower a parsed ONNX-style document onto the :class:`NetworkGraph` IR."""
+    graph_obj = doc.get("graph", doc)
+    if not isinstance(graph_obj, Mapping):
+        raise ParseError("onnx document: 'graph' must be an object")
+    net_name = str(graph_obj.get("name", "") or name or "net")
+
+    inputs_obj = graph_obj.get("input", [])
+    if not isinstance(inputs_obj, Sequence) or isinstance(inputs_obj, (str, bytes)):
+        raise ParseError("onnx document: 'graph.input' must be a list")
+    nodes_obj = graph_obj.get("node", [])
+    if not isinstance(nodes_obj, Sequence) or isinstance(nodes_obj, (str, bytes)):
+        raise ParseError("onnx document: 'graph.node' must be a list")
+
+    layers = [_input_to_layer(entry, i) for i, entry in enumerate(inputs_obj)]
+    for i, node in enumerate(nodes_obj):
+        if not isinstance(node, Mapping):
+            raise ParseError(f"onnx document: node #{i} must be an object")
+        layers.append(_node_to_layer(node, i))
+    if not layers:
+        raise ParseError("onnx document defines no inputs or nodes")
+    return build_graph_from_layers(layers, name=net_name)
+
+
+def loads(text: str, name: str = "") -> NetworkGraph:
+    """Parse ONNX-style JSON text into a validated graph."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid onnx json: {exc}") from exc
+    if not isinstance(doc, Mapping):
+        raise ParseError("onnx json must be an object at top level")
+    return graph_from_document(doc, name=name)
+
+
+# --- export ------------------------------------------------------------
+
+
+_FIELD_DEFAULTS: dict[str, object] = {
+    f.name: f.default for f in dataclasses.fields(LayerSpec)
+}
+
+
+def _layer_to_node(spec: LayerSpec) -> dict[str, object]:
+    if spec.kind is LayerKind.POOLING:
+        op = "MaxPool" if spec.pool_method is PoolMethod.MAX else "AveragePool"
+    else:
+        op = _KIND_TO_OP[spec.kind]
+    attrs: dict[str, object] = {}
+    for key in _ATTR_FIELDS:
+        value = getattr(spec, key)
+        if value != _FIELD_DEFAULTS[key]:
+            attrs[key] = value
+    if spec.input_shape:
+        attrs["shape"] = list(spec.input_shape)
+    if spec.connections:
+        attrs["connect"] = [
+            {
+                "name": conn.name,
+                "direction": conn.direction.value,
+                "type": conn.type.value,
+                "target": conn.target,
+            }
+            for conn in spec.connections
+        ]
+    node: dict[str, object] = {
+        "name": spec.name,
+        "op_type": op,
+        "input": list(spec.bottoms),
+        "output": list(spec.tops),
+    }
+    if attrs:
+        node["attributes"] = attrs
+    return node
+
+
+def graph_to_document(graph: NetworkGraph) -> dict[str, object]:
+    """Export a :class:`NetworkGraph` as an ONNX-style document.
+
+    The inverse of :func:`graph_from_document`: importing the result
+    yields a graph with an identical ``fingerprint()``.
+    """
+    inputs: list[dict[str, object]] = []
+    nodes: list[dict[str, object]] = []
+    consumed = {b for spec in graph.layers for b in spec.bottoms}
+    for spec in graph.layers:
+        if spec.kind is LayerKind.DATA:
+            entry: dict[str, object] = {
+                "name": spec.name,
+                "shape": list(spec.input_shape),
+            }
+            if spec.tops != (spec.name,):
+                entry["top"] = spec.tops[0] if spec.tops else spec.name
+            inputs.append(entry)
+        else:
+            nodes.append(_layer_to_node(spec))
+    outputs = sorted(
+        {top for spec in graph.layers for top in spec.tops if top not in consumed}
+    )
+    return {
+        "ir_version": 1,
+        "producer_name": "repro",
+        "graph": {
+            "name": graph.name,
+            "input": inputs,
+            "node": nodes,
+            "output": outputs,
+        },
+    }
+
+
+def dumps(graph: NetworkGraph, indent: int | None = 2) -> str:
+    """Serialize a graph to ONNX-style JSON text."""
+    return json.dumps(graph_to_document(graph), indent=indent, sort_keys=False)
+
+
+class OnnxFrontend:
+    """ONNX-style JSON graph format backend."""
+
+    name = "onnx"
+    extensions = (".json",)
+
+    def sniff(self, text: str) -> bool:
+        stripped = text.lstrip()
+        return stripped.startswith("{")
+
+    def load_text(self, text: str, name: str = "") -> NetworkGraph:
+        return loads(text, name=name)
+
+
+register_frontend(OnnxFrontend())

@@ -1,0 +1,159 @@
+"""Frontend protocol and format registry.
+
+:func:`load` is the one public graph-ingest entry point: it accepts a
+path, inline script text, an already-parsed document mapping or a
+finished :class:`~repro.frontend.graph.NetworkGraph`, detects the format
+(or honours an explicit ``format=``), and dispatches to the registered
+:class:`Frontend` backend.  The Caffe-prototxt parser and the ONNX-style
+JSON importer are both just registered backends; new formats plug in via
+:func:`register_frontend` without touching any call site.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Mapping, Protocol, Union, runtime_checkable
+
+from repro.errors import ParseError
+from repro.frontend.graph import NetworkGraph, build_graph
+from repro.frontend.prototxt import parse_prototxt
+
+#: Everything :func:`load` accepts.
+GraphSource = Union[str, "os.PathLike[str]", Mapping[str, object], NetworkGraph]
+
+#: Sentinel format name meaning "detect from extension/content".
+AUTO = "auto"
+
+
+@runtime_checkable
+class Frontend(Protocol):
+    """One ingest backend for a graph description format."""
+
+    #: Registry key, e.g. ``"prototxt"`` — also the ``--format`` value.
+    name: str
+    #: File extensions (with dot) claimed by this format, for detection.
+    extensions: tuple[str, ...]
+
+    def sniff(self, text: str) -> bool:
+        """Cheap content test: does ``text`` look like this format?"""
+        ...
+
+    def load_text(self, text: str, name: str = "") -> NetworkGraph:
+        """Parse source text into a validated :class:`NetworkGraph`."""
+        ...
+
+
+_REGISTRY: dict[str, Frontend] = {}
+_BACKEND_MODULES = ("repro.frontend.onnx",)
+
+
+def register_frontend(frontend: Frontend) -> Frontend:
+    """Register (or replace) a backend under ``frontend.name``."""
+    _REGISTRY[frontend.name] = frontend
+    return frontend
+
+
+def _ensure_backends() -> None:
+    # Backends self-register on import; pull in the ones that live in
+    # their own modules so ``load`` works regardless of import order.
+    for module in _BACKEND_MODULES:
+        importlib.import_module(module)
+
+
+def registered_formats() -> tuple[str, ...]:
+    """Names of every registered format, sorted."""
+    _ensure_backends()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_frontend(format_name: str) -> Frontend:
+    """Look up a backend by name; error lists the available formats."""
+    _ensure_backends()
+    frontend = _REGISTRY.get(format_name)
+    if frontend is None:
+        raise ParseError(
+            f"unknown graph format '{format_name}'; registered formats: "
+            + ", ".join(registered_formats())
+        )
+    return frontend
+
+
+class _PrototxtFrontend:
+    """Caffe-compatible descriptive script (paper Fig. 4)."""
+
+    name = "prototxt"
+    extensions = (".prototxt", ".txt")
+
+    def sniff(self, text: str) -> bool:
+        stripped = text.lstrip()
+        # JSON documents open with a brace; prototxt never does.
+        return bool(stripped) and stripped[0] not in "{["
+
+    def load_text(self, text: str, name: str = "") -> NetworkGraph:
+        return build_graph(parse_prototxt(text), name=name)
+
+
+register_frontend(_PrototxtFrontend())
+
+
+def _looks_like_path(source: str) -> bool:
+    """Heuristic split between a filesystem path and inline script text."""
+    return "\n" not in source and "{" not in source
+
+
+def detect_format(source: Union[str, "os.PathLike[str]"]) -> str:
+    """Detect the format of a path or inline script text.
+
+    Paths are matched on extension first; otherwise (and for inline
+    text) each registered backend's :meth:`Frontend.sniff` is asked.
+    """
+    _ensure_backends()
+    text: str
+    if isinstance(source, os.PathLike) or _looks_like_path(str(source)):
+        path = os.fspath(source)
+        suffix = os.path.splitext(path)[1].lower()
+        for frontend in _REGISTRY.values():
+            if suffix in frontend.extensions:
+                return frontend.name
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = str(source)
+    for frontend in sorted(_REGISTRY.values(), key=lambda f: f.name):
+        if frontend.sniff(text):
+            return frontend.name
+    raise ParseError(
+        "could not detect the graph format; pass format= explicitly "
+        f"(registered formats: {', '.join(registered_formats())})"
+    )
+
+
+def load(source: GraphSource, format: str = AUTO, name: str = "") -> NetworkGraph:
+    """Load a network graph from any supported source.
+
+    ``source`` may be a ``NetworkGraph`` (returned unchanged), a mapping
+    (an already-parsed ONNX-style document), a filesystem path or inline
+    script text.  ``format`` selects a registered backend by name, or
+    ``"auto"`` to detect it.
+    """
+    if isinstance(source, NetworkGraph):
+        return source
+    if isinstance(source, Mapping):
+        from repro.frontend.onnx import graph_from_document
+
+        return graph_from_document(source, name=name)
+    text: str
+    if isinstance(source, os.PathLike) or _looks_like_path(str(source)):
+        path = os.fspath(source)
+        if format == AUTO:
+            format = detect_format(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if not name:
+            name = os.path.splitext(os.path.basename(path))[0]
+    else:
+        text = str(source)
+        if format == AUTO:
+            format = detect_format(text)
+    return get_frontend(format).load_text(text, name=name)

@@ -80,6 +80,30 @@ def _pool_output_hw(in_h: int, in_w: int, kernel: int, stride: int, pad: int) ->
     return out_h, out_w
 
 
+def conv_groups(spec: LayerSpec, in_channels: int) -> int:
+    """Effective group count of a convolution-path layer.
+
+    A depthwise convolution derives its group count from the input: one
+    group per input channel, with ``num_output`` an integer multiple of
+    the channel count (the channel multiplier).  Ordinary convolutions
+    use the explicit ``group`` field.
+    """
+    if spec.kind is LayerKind.DEPTHWISE_CONVOLUTION:
+        if spec.num_output % in_channels != 0:
+            raise ShapeError(
+                f"depthwise convolution '{spec.name}': num_output "
+                f"{spec.num_output} is not an integer multiple of the "
+                f"{in_channels} input channels"
+            )
+        return in_channels
+    if spec.group <= 0 or in_channels % spec.group != 0:
+        raise ShapeError(
+            f"convolution '{spec.name}': group {spec.group} does not divide "
+            f"the {in_channels} input channels"
+        )
+    return spec.group
+
+
 def _infer_layer(spec: LayerSpec, inputs: list[TensorShape]) -> TensorShape:
     kind = spec.kind
     if kind is LayerKind.DATA:
@@ -90,11 +114,12 @@ def _infer_layer(spec: LayerSpec, inputs: list[TensorShape]) -> TensorShape:
         raise ShapeError(f"layer '{spec.name}' has no input shape")
     first = inputs[0]
 
-    if kind is LayerKind.CONVOLUTION:
+    if kind.is_convolution:
         if not first.is_spatial:
             raise ShapeError(
                 f"convolution '{spec.name}' needs a CxHxW input, got {first}"
             )
+        conv_groups(spec, first.channels)  # validates group/multiplier
         out_h, out_w = conv_output_hw(
             first.height, first.width, spec.kernel_size, spec.stride, spec.pad
         )
@@ -134,6 +159,20 @@ def _infer_layer(spec: LayerSpec, inputs: list[TensorShape]) -> TensorShape:
             )
         return TensorShape((sum(s.size for s in inputs),))
 
+    if kind is LayerKind.ELTWISE:
+        if len(inputs) < 2:
+            raise ShapeError(
+                f"eltwise '{spec.name}' needs at least two inputs, "
+                f"got {len(inputs)}"
+            )
+        distinct = {s.dims for s in inputs}
+        if len(distinct) != 1:
+            raise ShapeError(
+                f"eltwise '{spec.name}' inputs differ in shape: "
+                f"{[str(s) for s in inputs]}"
+            )
+        return inputs[0]
+
     if kind is LayerKind.INCEPTION:
         # An inception block keeps spatial size and concatenates branch
         # channels; num_output gives the total output channel count.
@@ -162,6 +201,32 @@ def infer_shapes(graph: NetworkGraph) -> dict[str, TensorShape]:
     return shapes
 
 
+def infer_shapes_partial(graph: NetworkGraph) -> dict[str, TensorShape]:
+    """Best-effort shape inference that skips layers that fail.
+
+    Unlike :func:`infer_shapes` this never raises: a layer whose rule
+    errors (or whose inputs are unknown) simply contributes no blob
+    shapes, and propagation continues downstream where possible.  Lint
+    rules use this to pinpoint the *specific* structural defect in a
+    graph whose full inference already failed.
+    """
+    shapes: dict[str, TensorShape] = {}
+    try:
+        order = graph.topological_order()
+    except Exception:
+        order = graph.layers
+    for spec in order:
+        if any(bottom not in shapes for bottom in spec.bottoms):
+            continue
+        try:
+            out_shape = _infer_layer(spec, [shapes[b] for b in spec.bottoms])
+        except ShapeError:
+            continue
+        for top in spec.tops:
+            shapes[top] = out_shape
+    return shapes
+
+
 def layer_output_shapes(graph: NetworkGraph) -> dict[str, TensorShape]:
     """Shape of each layer's (first) output blob, keyed by layer name."""
     blob_shapes = infer_shapes(graph)
@@ -183,10 +248,11 @@ def layer_input_shape(graph: NetworkGraph, layer_name: str) -> TensorShape:
 
 def weight_shape(spec: LayerSpec, input_shape: TensorShape) -> tuple[int, ...]:
     """Shape of the weight tensor a weighted layer needs."""
-    if spec.kind is LayerKind.CONVOLUTION:
+    if spec.kind.is_convolution:
+        groups = conv_groups(spec, input_shape.channels)
         return (
             spec.num_output,
-            input_shape.channels // spec.group,
+            input_shape.channels // groups,
             spec.kernel_size,
             spec.kernel_size,
         )
@@ -199,8 +265,9 @@ def weight_shape(spec: LayerSpec, input_shape: TensorShape) -> tuple[int, ...]:
 def macs_for_layer(spec: LayerSpec, input_shape: TensorShape,
                    output_shape: TensorShape) -> int:
     """Multiply-accumulate count of one forward pass through the layer."""
-    if spec.kind is LayerKind.CONVOLUTION:
-        per_pixel = spec.kernel_size ** 2 * (input_shape.channels // spec.group)
+    if spec.kind.is_convolution:
+        groups = conv_groups(spec, input_shape.channels)
+        per_pixel = spec.kernel_size ** 2 * (input_shape.channels // groups)
         return per_pixel * output_shape.size
     if spec.kind in (LayerKind.INNER_PRODUCT, LayerKind.RECURRENT,
                      LayerKind.ASSOCIATIVE):
@@ -214,7 +281,7 @@ def macs_for_layer(spec: LayerSpec, input_shape: TensorShape,
         return input_shape.size * spec.local_size
     if spec.kind.is_activation or spec.kind in (
         LayerKind.DROPOUT, LayerKind.SOFTMAX, LayerKind.CLASSIFIER,
-        LayerKind.CONCAT, LayerKind.DATA,
+        LayerKind.CONCAT, LayerKind.ELTWISE, LayerKind.DATA,
     ):
         return input_shape.size if spec.bottoms else 0
     if spec.kind is LayerKind.INCEPTION:

@@ -14,7 +14,12 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.frontend.graph import NetworkGraph
 from repro.frontend.layers import LayerKind, LayerSpec, PoolMethod
-from repro.frontend.shapes import TensorShape, infer_shapes, weight_shape
+from repro.frontend.shapes import (
+    TensorShape,
+    conv_groups,
+    infer_shapes,
+    weight_shape,
+)
 from repro.nn import functional as F
 
 LayerWeights = dict[str, np.ndarray]
@@ -124,10 +129,11 @@ class ReferenceNetwork:
         first = inputs[0] if inputs else None
         params = self.weights.get(spec.name, {})
 
-        if kind is LayerKind.CONVOLUTION:
+        if kind.is_convolution:
             return F.conv2d(
                 first, params["weight"], params.get("bias"),
-                stride=spec.stride, pad=spec.pad, groups=spec.group,
+                stride=spec.stride, pad=spec.pad,
+                groups=conv_groups(spec, first.shape[0]),
             )
         if kind is LayerKind.POOLING:
             if spec.pool_method is PoolMethod.MAX:
@@ -169,4 +175,9 @@ class ReferenceNetwork:
             if all(a.ndim == 3 for a in inputs):
                 return np.concatenate(inputs, axis=0)
             return np.concatenate([np.ravel(a) for a in inputs])
+        if kind is LayerKind.ELTWISE:
+            total = inputs[0]
+            for other in inputs[1:]:
+                total = total + other
+            return total
         raise ShapeError(f"reference execution has no rule for {kind}")

@@ -69,7 +69,9 @@ class NetworkNeeds:
         top_ks = [spec.top_k for spec in graph.layers
                   if spec.kind is LayerKind.CLASSIFIER]
         return NetworkNeeds(
-            has_conv=LayerKind.CONVOLUTION in kinds or LayerKind.INCEPTION in kinds,
+            has_conv=(LayerKind.CONVOLUTION in kinds
+                      or LayerKind.DEPTHWISE_CONVOLUTION in kinds
+                      or LayerKind.INCEPTION in kinds),
             has_pool=LayerKind.POOLING in kinds or LayerKind.INCEPTION in kinds,
             has_lrn=LayerKind.LRN in kinds,
             has_dropout=LayerKind.DROPOUT in kinds,
@@ -201,16 +203,17 @@ def parallelism_caps(graph: NetworkGraph) -> tuple[int, int]:
     idle, so NN-Gen never pays for it (this is why the tiny ANN rows of
     paper Table 3 use only a couple of DSPs).
     """
-    from repro.frontend.shapes import infer_shapes
+    from repro.frontend.shapes import conv_groups, infer_shapes
     shapes = infer_shapes(graph)
     max_outputs = 1
     max_depth = 1
     for spec in graph.layers:
-        if spec.kind is LayerKind.CONVOLUTION:
+        if spec.kind.is_convolution:
             out = shapes[spec.tops[0]]
             max_outputs = max(max_outputs, out.size)
+            in_channels = shapes[spec.bottoms[0]].channels
             depth = spec.kernel_size ** 2 * (
-                shapes[spec.bottoms[0]].channels // spec.group)
+                in_channels // conv_groups(spec, in_channels))
             max_depth = max(max_depth, depth)
         elif spec.kind.has_weights:
             max_outputs = max(max_outputs, spec.num_output)

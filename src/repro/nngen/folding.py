@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.errors import ResourceError
 from repro.frontend.graph import NetworkGraph
 from repro.frontend.layers import LayerKind, LayerSpec
-from repro.frontend.shapes import TensorShape, infer_shapes
+from repro.frontend.shapes import TensorShape, conv_groups, infer_shapes
 from repro.nngen.design import DatapathConfig, FoldPhase, FoldingPlan
 
 
@@ -33,7 +33,7 @@ def _conv_folds(
     weight_capacity: int,
     phases: list[FoldPhase],
 ) -> None:
-    cin = in_shape.channels // spec.group
+    cin = in_shape.channels // conv_groups(spec, in_shape.channels)
     k, stride = spec.kernel_size, spec.stride
     dout, out_h, out_w = out_shape.dims
     macs_per_output = k * k * cin
@@ -250,7 +250,7 @@ def build_folding_plan(
             continue
         in_shape = shapes[spec.bottoms[0]]
         out_shape = shapes[spec.tops[0]] if spec.tops else in_shape
-        if spec.kind is LayerKind.CONVOLUTION:
+        if spec.kind.is_convolution:
             _conv_folds(spec, in_shape, out_shape, config,
                         feature_capacity_words, weight_capacity_words, phases)
         elif spec.kind in (LayerKind.INNER_PRODUCT, LayerKind.RECURRENT,
@@ -267,6 +267,13 @@ def build_folding_plan(
             # Modelled as a dense reduction over input channels per output.
             _elementwise_fold(spec, in_shape.size, out_shape.size,
                               in_shape.channels, phases)
+        elif spec.kind is LayerKind.ELTWISE:
+            # A residual add streams every branch through the
+            # accumulators: the input working set is the sum of all
+            # bottoms, one add per branch per output element.
+            total_in = sum(shapes[b].size for b in spec.bottoms)
+            _elementwise_fold(spec, total_in, out_shape.size,
+                              len(spec.bottoms), phases)
         else:
             _elementwise_fold(spec, in_shape.size, out_shape.size, 1, phases)
     return FoldingPlan(phases=phases)

@@ -11,7 +11,7 @@ from repro.fixedpoint.format import (
     DEFAULT_WEIGHT_FORMAT,
     QFormat,
 )
-from repro.frontend.graph import NetworkGraph, graph_from_text
+from repro.frontend.graph import NetworkGraph
 from repro.frontend.layers import LayerKind
 from repro.frontend.shapes import infer_shapes, weight_shape
 from repro.nngen.allocate import (
@@ -207,8 +207,22 @@ class NNGen:
 
     def generate_from_text(self, script: str, budget: ResourceBudget,
                            **formats) -> AcceleratorDesign:
-        """Parse a descriptive script and generate in one step."""
-        return self.generate(graph_from_text(script), budget, **formats)
+        """Deprecated: load the graph via :func:`repro.frontend.load`.
+
+        Kept for one release; prefer
+        ``NNGen().generate(repro.frontend.load(script), budget)``.
+        """
+        import warnings
+
+        from repro.frontend import load
+
+        warnings.warn(
+            "NNGen.generate_from_text() is deprecated; use "
+            "NNGen.generate(repro.frontend.load(script), budget)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.generate(load(script), budget, **formats)
 
     # ------------------------------------------------------------------
 
@@ -257,7 +271,9 @@ class NNGen:
             (phase.layer, phase.kind) for phase in folding
         }
         weighted = sum(
-            3 if kind in (LayerKind.CONVOLUTION, LayerKind.INNER_PRODUCT,
+            3 if kind in (LayerKind.CONVOLUTION,
+                          LayerKind.DEPTHWISE_CONVOLUTION,
+                          LayerKind.INNER_PRODUCT,
                           LayerKind.RECURRENT, LayerKind.ASSOCIATIVE)
             else 2
             for _, kind in distinct

@@ -22,9 +22,9 @@ def compute_beats(design: AcceleratorDesign, phase: FoldPhase) -> int:
     kind = phase.kind
     neurons = design.components.get("neurons")
 
-    if kind in (LayerKind.CONVOLUTION, LayerKind.INNER_PRODUCT,
-                LayerKind.RECURRENT, LayerKind.ASSOCIATIVE,
-                LayerKind.INCEPTION):
+    if kind in (LayerKind.CONVOLUTION, LayerKind.DEPTHWISE_CONVOLUTION,
+                LayerKind.INNER_PRODUCT, LayerKind.RECURRENT,
+                LayerKind.ASSOCIATIVE, LayerKind.INCEPTION):
         if neurons is None:
             raise SimulationError("design has no synergy-neuron array")
         beats = neurons.beats_for(phase.macs_per_output, phase.out_count)
@@ -72,6 +72,11 @@ def compute_beats(design: AcceleratorDesign, phase: FoldPhase) -> int:
 
     if kind is LayerKind.CONCAT:
         return phase.out_count + PIPELINE_FILL_PER_BLOCK
+
+    if kind is LayerKind.ELTWISE:
+        # One accumulator pass per input branch, one beat per element.
+        branches = max(1, phase.macs_per_output)
+        return phase.out_count * branches + PIPELINE_FILL_PER_BLOCK
 
     raise SimulationError(f"no datapath timing rule for {kind}")
 

@@ -36,7 +36,7 @@ from repro.fixedpoint.ops import (
     requantize,
 )
 from repro.frontend.layers import LayerKind, LayerSpec, PoolMethod
-from repro.frontend.shapes import TensorShape
+from repro.frontend.shapes import TensorShape, conv_groups
 from repro.nn import functional as F
 
 
@@ -148,7 +148,7 @@ class ExecutionPlan:
             step = LayerStep(spec=spec, in_fmts=in_fmts, out_fmt=out_fmt)
             params = quantized_weights.get(spec.name, {})
             kind = spec.kind
-            if kind is LayerKind.CONVOLUTION:
+            if kind.is_convolution:
                 ExecutionPlan._plan_conv(step, shapes[spec.bottoms[0]].dims,
                                          params, weight_format)
             elif kind in (LayerKind.INNER_PRODUCT, LayerKind.ASSOCIATIVE,
@@ -194,7 +194,7 @@ class ExecutionPlan:
         spec = step.spec
         weight = params["weight"]
         dout = weight.shape[0]
-        groups = max(1, spec.group)
+        groups = conv_groups(spec, in_dims[0])
         cin_per_group = in_dims[0] // groups
         dout_per_group = dout // groups
         step.acc_fmt = accumulator_format(step.in_fmts[0], weight_format)
@@ -245,7 +245,7 @@ class ExecutionPlan:
         first_fmt = step.in_fmts[0] if step.in_fmts else step.out_fmt
         out_fmt = step.out_fmt
 
-        if kind is LayerKind.CONVOLUTION:
+        if kind.is_convolution:
             return self._conv(step, first)
         if kind is LayerKind.INNER_PRODUCT or kind is LayerKind.ASSOCIATIVE:
             return self._dense(step, first)
@@ -275,12 +275,23 @@ class ExecutionPlan:
             count = aligned[0].shape[0]
             return np.concatenate(
                 [a.reshape(count, -1) for a in aligned], axis=1)
+        if kind is LayerKind.ELTWISE:
+            # Bit-exact mirror of the per-sample rule in
+            # repro.sim.quantized: requantize every branch to the output
+            # format, then saturating integer sum.
+            aligned = [requantize(raw, fmt, out_fmt).astype(np.int64)
+                       for raw, fmt in zip(raw_inputs, step.in_fmts)]
+            total = aligned[0]
+            for other in aligned[1:]:
+                total = np.clip(total + other, out_fmt.min_int,
+                                out_fmt.max_int)
+            return total
         raise SimulationError(f"batched execution has no rule for {kind}")
 
     def _conv(self, step: LayerStep, raw: np.ndarray) -> np.ndarray:
         spec = step.spec
         count, channels = raw.shape[0], raw.shape[1]
-        groups = max(1, spec.group)
+        groups = conv_groups(spec, channels)
         cin_per_group = channels // groups
         padded = F.pad2d(raw, spec.pad)
         # (N, groups, Cin/g * Hp * Wp): one flat image slab per group.

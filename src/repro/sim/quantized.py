@@ -28,7 +28,7 @@ from repro.fixedpoint.ops import (
 )
 from repro.frontend.graph import NetworkGraph
 from repro.frontend.layers import LayerKind, LayerSpec, PoolMethod
-from repro.frontend.shapes import infer_shapes
+from repro.frontend.shapes import conv_groups, infer_shapes
 from repro.nn import functional as F
 from repro.sim.plan import ExecutionPlan
 
@@ -269,7 +269,7 @@ class QuantizedExecutor:
         first_fmt = in_fmts[0] if in_fmts else out_fmt
         params = self._quantized_weights.get(spec.name, {})
 
-        if kind is LayerKind.CONVOLUTION:
+        if kind.is_convolution:
             return self._conv(spec, first, first_fmt, out_fmt, params)
         if kind is LayerKind.INNER_PRODUCT or kind is LayerKind.ASSOCIATIVE:
             return self._mac_layer(first, first_fmt, out_fmt,
@@ -315,6 +315,17 @@ class QuantizedExecutor:
             if all(a.ndim == 3 for a in aligned):
                 return np.concatenate(aligned, axis=0)
             return np.concatenate([np.ravel(a) for a in aligned])
+        if kind is LayerKind.ELTWISE:
+            # Residual add: requantize each branch to the output format,
+            # then saturating integer sum — same arithmetic as the
+            # recurrent feedback path through the accumulator array.
+            aligned = [requantize(raw, fmt, out_fmt).astype(np.int64)
+                       for raw, fmt in zip(raw_inputs, in_fmts)]
+            total = aligned[0]
+            for other in aligned[1:]:
+                total = np.clip(total + other, out_fmt.min_int,
+                                out_fmt.max_int)
+            return total
         raise SimulationError(f"quantized execution has no rule for {kind}")
 
     def _conv(self, spec, raw, in_fmt, out_fmt, params):
@@ -322,7 +333,7 @@ class QuantizedExecutor:
         dout = weight.shape[0]
         acc_fmt = accumulator_format(in_fmt, self.weight_format)
         bias = params.get("bias")
-        groups = max(1, spec.group)
+        groups = conv_groups(spec, raw.shape[0])
         cin_per_group = raw.shape[0] // groups
         dout_per_group = dout // groups
         group_outputs = []

@@ -1,9 +1,22 @@
-"""Benchmark network builders (paper §4.1, Tables 1 and 2)."""
+"""Benchmark network builders (paper §4.1, Tables 1 and 2).
+
+The classic benchmarks are written in the descriptive-script format the
+paper uses; the modern-topology additions (depthwise, residual, fire)
+are authored as ONNX-style documents so the zoo exercises both
+registered frontends end to end.  Everything routes through
+:func:`repro.frontend.load`.
+"""
 
 from __future__ import annotations
 
 from repro.errors import GraphError
-from repro.frontend.graph import NetworkGraph, graph_from_text
+from repro.frontend import load
+from repro.frontend.graph import NetworkGraph
+from repro.frontend.onnx import graph_from_document
+
+
+def _parse(text: str) -> NetworkGraph:
+    return load(text, format="prototxt")
 
 
 def _layer(name: str, kind: str, bottom: str | None, top: str,
@@ -45,7 +58,7 @@ def ann(name: str, layer_sizes: list[int],
         if index < len(layer_sizes) - 1:
             text += _layer(f"act{index}", activation, layer_name, layer_name)
         previous = layer_name
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def ann_fft() -> NetworkGraph:
@@ -71,7 +84,7 @@ def hopfield_net(neurons: int = 25) -> NetworkGraph:
         '  connect { name: "feedback" direction: recurrent type: full }\n',
     )
     text += _layer("act", "SIGMOID", "hop", "hop")
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def cmac_net(table_size: int = 4096, outputs: int = 2) -> NetworkGraph:
@@ -88,7 +101,7 @@ def cmac_net(table_size: int = 4096, outputs: int = 2) -> NetworkGraph:
         'type: file_specified }\n',
     )
     text += _layer("act", "SIGMOID", "assoc", "assoc")
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def mnist() -> NetworkGraph:
@@ -107,7 +120,7 @@ def mnist() -> NetworkGraph:
     text += _layer("relu1", "RELU", "ip1", "ip1")
     text += _layer("ip2", "INNER_PRODUCT", "ip1", "ip2", "num_output: 10")
     text += _layer("prob", "SOFTMAX", "ip2", "prob")
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def alexnet() -> NetworkGraph:
@@ -144,7 +157,7 @@ def alexnet() -> NetworkGraph:
     text += _layer("drop7", "DROPOUT", "fc7", "fc7", "dropout_ratio: 0.5")
     text += _layer("fc8", "INNER_PRODUCT", "fc7", "fc8", "num_output: 1000")
     text += _layer("prob", "SOFTMAX", "fc8", "prob")
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def nin() -> NetworkGraph:
@@ -183,7 +196,7 @@ def nin() -> NetworkGraph:
     text += _layer("pool4", "POOLING", top, "pool4",
                    "pool: AVE kernel_size: 6 stride: 1")
     text += _layer("prob", "SOFTMAX", "pool4", "prob")
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def cifar() -> NetworkGraph:
@@ -207,7 +220,7 @@ def cifar() -> NetworkGraph:
     text += _layer("ip1", "INNER_PRODUCT", "pool3", "ip1", "num_output: 64")
     text += _layer("ip2", "INNER_PRODUCT", "ip1", "ip2", "num_output: 10")
     text += _layer("prob", "SOFTMAX", "ip2", "prob")
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def inception_block(block: str, bottom: str, b1x1: int, b3x3_reduce: int,
@@ -274,7 +287,7 @@ def googlenet_stem(input_size: int = 32) -> NetworkGraph:
                    "pool: AVE kernel_size: 2 stride: 2")
     text += _layer("fc", "INNER_PRODUCT", "pool5", "fc", "num_output: 10")
     text += _layer("prob", "SOFTMAX", "fc", "prob")
-    return graph_from_text(text)
+    return _parse(text)
 
 
 def googlenet_sample() -> NetworkGraph:
@@ -292,7 +305,136 @@ def googlenet_sample() -> NetworkGraph:
                    "dropout_ratio: 0.4")
     text += _layer("fc", "INNER_PRODUCT", "incep1", "fc", "num_output: 100")
     text += _layer("prob", "SOFTMAX", "fc", "prob")
-    return graph_from_text(text)
+    return _parse(text)
+
+
+# --- modern-topology additions (authored as ONNX-style documents) ------
+
+
+def _node(name: str, op: str, bottoms: list[str], tops: list[str] | None = None,
+          **attrs: object) -> dict[str, object]:
+    node: dict[str, object] = {
+        "name": name,
+        "op_type": op,
+        "input": bottoms,
+        "output": tops or [name],
+    }
+    if attrs:
+        node["attributes"] = attrs
+    return node
+
+
+def _onnx_net(name: str, input_shape: tuple[int, ...],
+              nodes: list[dict[str, object]]) -> NetworkGraph:
+    return graph_from_document({
+        "ir_version": 1,
+        "producer_name": "repro.zoo",
+        "graph": {
+            "name": name,
+            "input": [{"name": "data", "shape": list(input_shape)}],
+            "node": nodes,
+        },
+    })
+
+
+def mobilenet_tiny() -> NetworkGraph:
+    """A MobileNet-class stack: depthwise-separable convolution blocks.
+
+    Each block is a 3x3 depthwise convolution (one filter per input
+    channel) followed by a 1x1 pointwise convolution — the paper-era
+    dense convolutions replaced by the factorized form MobileNet
+    popularized.
+    """
+    nodes = [
+        _node("conv1", "Conv", ["data"],
+              num_output=8, kernel_size=3, stride=2, pad=1),
+        _node("relu1", "Relu", ["conv1"], ["conv1"]),
+        # ds block 1: 8ch spatial filtering, then 16ch mixing
+        _node("dw2", "DepthwiseConv", ["conv1"],
+              num_output=8, kernel_size=3, stride=1, pad=1),
+        _node("relu_dw2", "Relu", ["dw2"], ["dw2"]),
+        _node("pw2", "Conv", ["dw2"], num_output=16, kernel_size=1),
+        _node("relu_pw2", "Relu", ["pw2"], ["pw2"]),
+        # ds block 2: stride-2 depthwise shrinks the map, 32ch mixing
+        _node("dw3", "DepthwiseConv", ["pw2"],
+              num_output=16, kernel_size=3, stride=2, pad=1),
+        _node("relu_dw3", "Relu", ["dw3"], ["dw3"]),
+        _node("pw3", "Conv", ["dw3"], num_output=32, kernel_size=1),
+        _node("relu_pw3", "Relu", ["pw3"], ["pw3"]),
+        _node("pool", "AveragePool", ["pw3"], kernel_size=8, stride=1),
+        _node("fc", "Gemm", ["pool"], num_output=10),
+        _node("prob", "Softmax", ["fc"]),
+    ]
+    return _onnx_net("mobilenet_tiny", (3, 32, 32), nodes)
+
+
+def resnet_tiny() -> NetworkGraph:
+    """A ResNet-class stack: two identity-skip residual blocks.
+
+    The elementwise-add join is the ELTWISE IR kind; both branches keep
+    the 8x16x16 shape so the skip needs no projection.
+    """
+
+    def block(index: int, bottom: str) -> list[dict[str, object]]:
+        a, b, out = f"res{index}a", f"res{index}b", f"res{index}"
+        return [
+            _node(a, "Conv", [bottom],
+                  num_output=8, kernel_size=3, stride=1, pad=1),
+            _node(f"{a}_relu", "Relu", [a], [a]),
+            _node(b, "Conv", [a],
+                  num_output=8, kernel_size=3, stride=1, pad=1),
+            _node(out, "Add", [bottom, b]),
+            _node(f"{out}_relu", "Relu", [out], [out]),
+        ]
+
+    nodes = [
+        _node("conv1", "Conv", ["data"],
+              num_output=8, kernel_size=3, stride=1, pad=1),
+        _node("relu1", "Relu", ["conv1"], ["conv1"]),
+        *block(1, "conv1"),
+        *block(2, "res1"),
+        _node("pool", "AveragePool", ["res2"], kernel_size=2, stride=2),
+        _node("fc", "Gemm", ["pool"], num_output=10),
+        _node("prob", "Softmax", ["fc"]),
+    ]
+    return _onnx_net("resnet_tiny", (3, 16, 16), nodes)
+
+
+def squeezenet_tiny() -> NetworkGraph:
+    """A SqueezeNet-class stack: fire modules (squeeze + expand concat).
+
+    Each fire module squeezes channels with a 1x1 convolution, expands
+    through parallel 1x1 and 3x3 branches, and concatenates the branch
+    channels — the concat-heavy topology class.
+    """
+
+    def fire(index: int, bottom: str, squeeze: int,
+             expand: int) -> list[dict[str, object]]:
+        s, e1, e3 = f"fire{index}_s", f"fire{index}_e1", f"fire{index}_e3"
+        out = f"fire{index}"
+        return [
+            _node(s, "Conv", [bottom], num_output=squeeze, kernel_size=1),
+            _node(f"{s}_relu", "Relu", [s], [s]),
+            _node(e1, "Conv", [s], num_output=expand, kernel_size=1),
+            _node(f"{e1}_relu", "Relu", [e1], [e1]),
+            _node(e3, "Conv", [s],
+                  num_output=expand, kernel_size=3, stride=1, pad=1),
+            _node(f"{e3}_relu", "Relu", [e3], [e3]),
+            _node(out, "Concat", [e1, e3]),
+        ]
+
+    nodes = [
+        _node("conv1", "Conv", ["data"],
+              num_output=16, kernel_size=3, stride=2, pad=1),
+        _node("relu1", "Relu", ["conv1"], ["conv1"]),
+        *fire(1, "conv1", squeeze=4, expand=8),
+        _node("pool1", "MaxPool", ["fire1"], kernel_size=2, stride=2),
+        *fire(2, "pool1", squeeze=4, expand=8),
+        _node("pool2", "AveragePool", ["fire2"], kernel_size=8, stride=1),
+        _node("fc", "Gemm", ["pool2"], num_output=10),
+        _node("prob", "Softmax", ["fc"]),
+    ]
+    return _onnx_net("squeezenet_tiny", (3, 32, 32), nodes)
 
 
 #: The Table 2 benchmark inventory: name -> (builder, application).
@@ -306,6 +448,9 @@ BENCHMARKS = {
     "cmac": (cmac_net, "Robot arm control"),
     "hopfield": (hopfield_net, "TSP solver"),
     "mnist": (mnist, "Number recognition"),
+    "mobilenet_tiny": (mobilenet_tiny, "Image classification (depthwise)"),
+    "resnet_tiny": (resnet_tiny, "Image classification (residual)"),
+    "squeezenet_tiny": (squeezenet_tiny, "Image classification (fire/concat)"),
 }
 
 

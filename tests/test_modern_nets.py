@@ -1,0 +1,210 @@
+"""Depthwise / residual / concat topologies end to end.
+
+The three modern zoo entries must build, verify with zero errors, and
+simulate bit-exactly (batched ExecutionPlan vs per-sample forward_raw);
+broken variants of the same topologies must be caught by the static
+verifier with the dedicated lint rules, not just a generic crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.analysis import LintContext, analyze_lint, verify_artifacts
+from repro.errors import ShapeError
+from repro.frontend import load
+from repro.frontend.layers import LayerKind
+from repro.frontend.shapes import conv_groups, infer_shapes, weight_shape
+from repro.nn.reference import ReferenceNetwork, init_weights
+from repro.sim.quantized import QuantizedExecutor
+from repro.zoo.models import (
+    benchmark_graph,
+    mobilenet_tiny,
+    resnet_tiny,
+    squeezenet_tiny,
+)
+
+MODERN = ("mobilenet_tiny", "resnet_tiny", "squeezenet_tiny")
+
+
+def _executor(artifacts) -> QuantizedExecutor:
+    return QuantizedExecutor(
+        graph=artifacts.graph,
+        weights=artifacts.weights,
+        blob_formats=artifacts.program.blob_formats,
+        weight_format=(artifacts.program.weight_format
+                       or artifacts.design.datapath.weight_format),
+        luts=artifacts.program.luts,
+    )
+
+
+class TestTopologies:
+    def test_mobilenet_uses_depthwise(self):
+        kinds = {spec.kind for spec in mobilenet_tiny().layers}
+        assert LayerKind.DEPTHWISE_CONVOLUTION in kinds
+
+    def test_resnet_uses_eltwise(self):
+        kinds = {spec.kind for spec in resnet_tiny().layers}
+        assert LayerKind.ELTWISE in kinds
+
+    def test_squeezenet_uses_concat(self):
+        kinds = {spec.kind for spec in squeezenet_tiny().layers}
+        assert LayerKind.CONCAT in kinds
+
+    def test_depthwise_weight_shape_is_one_channel_deep(self):
+        graph = mobilenet_tiny()
+        shapes = infer_shapes(graph)
+        dw = graph.layer("dw2")
+        assert weight_shape(dw, shapes[dw.bottoms[0]]) == (8, 1, 3, 3)
+        assert conv_groups(dw, shapes[dw.bottoms[0]].channels) == 8
+
+    def test_residual_keeps_branch_shape(self):
+        graph = resnet_tiny()
+        shapes = infer_shapes(graph)
+        assert shapes["res1"].dims == shapes["conv1"].dims
+
+    def test_fire_concat_sums_channels(self):
+        shapes = infer_shapes(squeezenet_tiny())
+        assert shapes["fire1"].channels == 16
+
+
+@pytest.mark.parametrize("name", MODERN)
+class TestEndToEnd:
+    def test_verifies_clean(self, name):
+        artifacts = api.build(benchmark_graph(name), fraction=0.2)
+        report = verify_artifacts(artifacts)
+        assert report.ok, report.render()
+
+    def test_batched_plan_bit_exact(self, name):
+        graph = benchmark_graph(name)
+        artifacts = api.build(graph, fraction=0.2)
+        executor = _executor(artifacts)
+        batch = [artifacts.random_input(seed=31 + i) for i in range(3)]
+        singles = []
+        for sample in batch:
+            executor.reset_state()
+            singles.append(executor.forward_raw(sample))
+        executor.reset_state()
+        stacked = executor.forward_batch_raw(batch)
+        for index, raw in enumerate(singles):
+            for blob, values in raw.items():
+                np.testing.assert_array_equal(
+                    values, stacked[blob][index],
+                    err_msg=f"{name}:{blob} sample {index}")
+
+
+class TestEltwiseSemantics:
+    def test_reference_sums_branches(self):
+        graph = resnet_tiny()
+        weights = init_weights(graph, np.random.default_rng(3))
+        rng = np.random.default_rng(5)
+        blobs = ReferenceNetwork(graph, weights).forward(
+            rng.uniform(-1, 1, (3, 16, 16)))
+        spec = graph.layer("res1")
+        total = blobs[spec.bottoms[0]] + blobs[spec.bottoms[1]]
+        np.testing.assert_allclose(blobs["res1"], np.maximum(total, 0.0),
+                                   rtol=1e-6, atol=1e-6)
+
+    def test_quantized_sum_saturates(self):
+        text = """
+name: "sat"
+layers { name: "data" type: DATA top: "data" param { dim: 2 2 2 } }
+layers { name: "a" type: RELU bottom: "data" top: "a" }
+layers { name: "b" type: RELU bottom: "data" top: "b" }
+layers { name: "add" type: ELTWISE bottom: "a" bottom: "b" top: "add" }
+"""
+        text = text.replace("dim: 2 2 2", "dim: 2 dim: 2 dim: 2")
+        artifacts = api.build(load(text), fraction=0.2)
+        executor = _executor(artifacts)
+        fmt = artifacts.program.blob_formats["add"]
+        big = np.full((2, 2, 2), fmt.max_value)
+        raw = executor.forward_raw(big)
+        assert raw["add"].max() == fmt.max_int  # clipped, not wrapped
+
+
+class TestBrokenDesigns:
+    def _lint(self, graph):
+        return {f.rule for f in analyze_lint(LintContext(graph=graph))}
+
+    def test_mismatched_residual_shapes(self):
+        doc = {
+            "graph": {
+                "name": "bad_res",
+                "input": [{"name": "data", "shape": [4, 8, 8]}],
+                "node": [
+                    {"name": "a", "op_type": "Conv", "input": ["data"],
+                     "output": ["a"],
+                     "attributes": {"num_output": 4, "kernel_size": 3,
+                                    "pad": 1}},
+                    {"name": "b", "op_type": "Conv", "input": ["data"],
+                     "output": ["b"],
+                     "attributes": {"num_output": 8, "kernel_size": 3,
+                                    "pad": 1}},
+                    {"name": "add", "op_type": "Add", "input": ["a", "b"],
+                     "output": ["add"]},
+                ],
+            },
+        }
+        graph = load(doc)
+        with pytest.raises(ShapeError, match="differ in shape"):
+            infer_shapes(graph)
+        rules = self._lint(graph)
+        assert "lint.residual-mismatch" in rules
+        assert "lint.shape-mismatch" in rules
+
+    def test_eltwise_single_input(self):
+        doc = {
+            "graph": {
+                "name": "bad_arity",
+                "input": [{"name": "data", "shape": [4, 8, 8]}],
+                "node": [
+                    {"name": "add", "op_type": "Add", "input": ["data"],
+                     "output": ["add"]},
+                ],
+            },
+        }
+        graph = load(doc)
+        with pytest.raises(ShapeError, match="at least two"):
+            infer_shapes(graph)
+        assert "lint.eltwise-arity" in self._lint(graph)
+
+    def test_depthwise_channel_multiplier(self):
+        doc = {
+            "graph": {
+                "name": "bad_dw",
+                "input": [{"name": "data", "shape": [3, 8, 8]}],
+                "node": [
+                    {"name": "dw", "op_type": "DepthwiseConv",
+                     "input": ["data"], "output": ["dw"],
+                     "attributes": {"num_output": 8, "kernel_size": 3,
+                                    "pad": 1}},
+                ],
+            },
+        }
+        graph = load(doc)
+        with pytest.raises(ShapeError, match="integer multiple"):
+            infer_shapes(graph)
+        assert "lint.depthwise-multiplier" in self._lint(graph)
+
+    def test_concat_spatial_mismatch(self):
+        doc = {
+            "graph": {
+                "name": "bad_cat",
+                "input": [{"name": "data", "shape": [4, 8, 8]}],
+                "node": [
+                    {"name": "a", "op_type": "Conv", "input": ["data"],
+                     "output": ["a"],
+                     "attributes": {"num_output": 4, "kernel_size": 3,
+                                    "pad": 1}},
+                    {"name": "b", "op_type": "MaxPool", "input": ["data"],
+                     "output": ["b"],
+                     "attributes": {"kernel_size": 2, "stride": 2}},
+                    {"name": "cat", "op_type": "Concat",
+                     "input": ["a", "b"], "output": ["cat"]},
+                ],
+            },
+        }
+        graph = load(doc)
+        with pytest.raises(ShapeError, match="differ spatially"):
+            infer_shapes(graph)
+        assert "lint.concat-mismatch" in self._lint(graph)

@@ -1,0 +1,93 @@
+"""ONNX-style export/import round-trip property: fingerprint identity.
+
+``import(export(graph))`` must reproduce the exact IR — same layer
+kinds, attributes, connections and blob wiring — for every network in
+the zoo.  The fingerprint is the content address the build pipeline
+memoizes on, so identity here means a graph loaded from either format
+hits the same stage caches.
+"""
+
+import json
+
+import pytest
+
+from repro.frontend import load
+from repro.frontend.layers import LayerKind, PoolMethod
+from repro.frontend.onnx import (
+    dumps,
+    graph_from_document,
+    graph_to_document,
+    loads,
+)
+from repro.zoo.models import BENCHMARKS, benchmark_graph
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_roundtrip_fingerprint_identity(name):
+    graph = benchmark_graph(name)
+    restored = loads(dumps(graph))
+    assert restored.fingerprint() == graph.fingerprint()
+    assert restored.name == graph.name
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_roundtrip_preserves_layer_specs(name):
+    graph = benchmark_graph(name)
+    restored = graph_from_document(graph_to_document(graph))
+    assert len(restored.layers) == len(graph.layers)
+    for before, after in zip(graph.layers, restored.layers):
+        assert before == after
+
+
+def test_document_is_json_serializable():
+    doc = graph_to_document(benchmark_graph("mobilenet_tiny"))
+    parsed = json.loads(json.dumps(doc))
+    assert parsed["graph"]["name"] == "mobilenet_tiny"
+    ops = [node["op_type"] for node in parsed["graph"]["node"]]
+    assert "DepthwiseConv" in ops
+
+
+def test_export_writes_only_non_default_attributes():
+    doc = graph_to_document(benchmark_graph("resnet_tiny"))
+    adds = [node for node in doc["graph"]["node"]
+            if node["op_type"] == "Add"]
+    assert adds and all("attributes" not in node for node in adds)
+
+
+def test_pool_methods_map_to_distinct_ops():
+    doc = graph_to_document(benchmark_graph("squeezenet_tiny"))
+    ops = {node["op_type"] for node in doc["graph"]["node"]}
+    assert {"MaxPool", "AveragePool"} <= ops
+    restored = graph_from_document(doc)
+    methods = {spec.name: spec.pool_method for spec in restored.layers
+               if spec.kind is LayerKind.POOLING}
+    assert methods["pool1"] is PoolMethod.MAX
+    assert methods["pool2"] is PoolMethod.AVE
+
+
+def test_recurrent_connections_survive_roundtrip():
+    graph = benchmark_graph("hopfield")
+    restored = loads(dumps(graph))
+    assert restored.recurrent_edges == graph.recurrent_edges
+    hop = restored.layer("hop")
+    assert hop.connections and hop.connections[0].name == "feedback"
+
+
+def test_onnx_list_attribute_spellings():
+    doc = {
+        "graph": {
+            "name": "spellings",
+            "input": [{"name": "data", "shape": [1, 3, 8, 8]}],
+            "node": [
+                {"name": "conv", "op_type": "Conv", "input": ["data"],
+                 "output": ["conv"],
+                 "attributes": {"num_output": 4, "kernel_shape": [3, 3],
+                                "strides": [1, 1], "pads": [1, 1, 1, 1]}},
+            ],
+        },
+    }
+    graph = load(doc)
+    conv = graph.layer("conv")
+    assert (conv.kernel_size, conv.stride, conv.pad) == (3, 1, 1)
+    data = graph.layer("data")
+    assert data.input_shape == (3, 8, 8)  # batch dim dropped
