@@ -48,6 +48,7 @@ from repro.sim.accel import AcceleratorSimulator, SimulationResult
 from repro.sim.plan import ExecutionPlan
 
 if TYPE_CHECKING:
+    from repro.estimate.model import EstimateReport
     from repro.pipeline import BuildPipeline
 
 #: Sentinel for ``build(weights=...)``: draw Gaussian weights from the
@@ -214,6 +215,22 @@ def simulate(
         inputs = artifacts.random_input()
     return simulator(artifacts).run(inputs, functional=functional,
                                     all_blobs=all_blobs)
+
+
+def estimate(artifacts: BuildArtifacts) -> "EstimateReport":
+    """Analytic latency/energy report, no event simulation.
+
+    Evaluates the closed-form pipeline model
+    (:mod:`repro.estimate`) over the artifacts' realized design —
+    fold schedule, AGU access-pattern arithmetic, DRAM traffic — and
+    returns an :class:`~repro.estimate.model.EstimateReport` shaped
+    like :class:`~repro.sim.accel.SimulationResult` (cycles, per-phase
+    breakdown, energy), minus functional output.  Orders of magnitude
+    cheaper than :func:`simulate`; the design-space explorer's
+    ``analytic``/``hybrid`` estimator modes are built on it.
+    """
+    from repro.estimate import estimate_design
+    return estimate_design(artifacts.design)
 
 
 def simulate_batch(

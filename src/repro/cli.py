@@ -186,7 +186,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
     cache = None
     if not args.no_cache:
         cache = DesignCache(args.cache_dir or default_cache_dir())
-    sweep = run_sweep(graph, spec, jobs=args.jobs, cache=cache)
+    sweep = run_sweep(graph, spec, jobs=args.jobs, cache=cache,
+                      estimator=args.estimator)
     print(sweep.render(
         title=f"design space of '{graph.name}' on {args.device} "
               f"({len(sweep.results)} points, jobs={args.jobs})"
@@ -198,7 +199,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
 def _dse_bench(graph, spec, args: argparse.Namespace) -> int:
     from repro.dse.bench import run_dse_bench
 
-    report = run_dse_bench(graph, spec, jobs=args.jobs)
+    report = run_dse_bench(graph, spec, jobs=args.jobs,
+                           wide_min_points=args.wide_points)
     print(report.render())
     if args.bench_out:
         report.write(args.bench_out)
@@ -217,7 +219,50 @@ def _dse_bench(graph, spec, args: argparse.Namespace) -> int:
         print(f"FAIL: warm-sweep speedup {report.warm_speedup:.2f}x is "
               f"below the required {args.require_warm_speedup:.2f}x")
         code = 1
+    if args.require_hybrid_under_warm and not report.hybrid_under_warm:
+        hybrid = report.passes.get("hybrid", {}).get("elapsed_s", 0.0)
+        warm = report.passes.get("warm", {}).get("elapsed_s", 0.0)
+        print(f"FAIL: {report.wide_points}-point hybrid sweep "
+              f"({hybrid:.3f}s) did not beat the {report.points}-point "
+              f"warm exact sweep ({warm:.3f}s)")
+        code = 1
+    if args.require_frontier_match and not report.frontier_match:
+        print("FAIL: hybrid frontier differs from the exact sweep's "
+              "frontier on the wide grid")
+        code = 1
+    if args.require_estimator_error is not None:
+        accuracy = report.estimator_accuracy
+        worst = accuracy.get("max_rel_cycle_error", 1.0)
+        if worst > args.require_estimator_error:
+            print(f"FAIL: estimator max rel cycle error {worst:.4%} "
+                  f"exceeds {args.require_estimator_error:.2%}")
+            code = 1
     return code
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.estimate import cross_validate, validate_network
+
+    if args.all_zoo:
+        report = cross_validate(device=args.device, fraction=args.fraction,
+                                tolerance=args.max_error)
+        print(report.render())
+        return 0 if report.ok else 1
+    graph = resolve_graph(args, "estimate")
+    artifacts = api.build(graph, device=args.device, fraction=args.fraction,
+                          weights=None)
+    estimated = api.estimate(artifacts)
+    print(estimated.summary())
+    if args.validate:
+        row = validate_network(graph, device=args.device,
+                               fraction=args.fraction)
+        print(f"simulator: {row.simulated_cycles} cycles "
+              f"(rel error {row.rel_error:.4%}, counters "
+              f"{'match' if row.counters_match else 'DIFFER'})")
+        return 0 if row.rel_error <= args.max_error \
+            and row.counters_match else 1
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -475,6 +520,12 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--static-filter", action="store_true",
                      help="run the static verifier on each built design "
                           "and reject points with errors unsimulated")
+    dse.add_argument("--estimator", default="exact",
+                     choices=("exact", "analytic", "hybrid"),
+                     help="point evaluator: exact event simulation, the "
+                          "closed-form analytic model, or hybrid "
+                          "(analytic sweep + exact replay of the "
+                          "Pareto frontier and knee neighborhood)")
     dse.add_argument("--bench", action="store_true",
                      help="benchmark sweep throughput (baseline vs "
                           "memoized serial/parallel/warm) instead of "
@@ -488,9 +539,43 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--require-warm-speedup", type=float, default=None,
                      help="with --bench: fail unless the warm re-sweep "
                           "beats the baseline by this factor")
+    dse.add_argument("--wide-points", type=int, default=500,
+                     help="with --bench: minimum size of the widened "
+                          "estimator grid (0 skips the estimator regimes)")
+    dse.add_argument("--require-hybrid-under-warm", action="store_true",
+                     help="with --bench: fail unless the wide hybrid "
+                          "sweep finishes under the warm exact sweep "
+                          "of the base grid")
+    dse.add_argument("--require-frontier-match", action="store_true",
+                     help="with --bench: fail unless the hybrid frontier "
+                          "is byte-identical to the exact sweep's on "
+                          "the wide grid")
+    dse.add_argument("--require-estimator-error", type=float, default=None,
+                     help="with --bench: fail when the zoo-wide max "
+                          "relative cycle error exceeds this fraction")
     dse.add_argument("--seed", type=int, default=0,
                      help="seed for functional evaluation")
     dse.set_defaults(handler=cmd_dse)
+
+    estimate = commands.add_parser(
+        "estimate",
+        help="closed-form latency/energy report, no event simulation")
+    add_graph_source(estimate)
+    estimate.add_argument("--device", default="Z-7045",
+                          choices=sorted(DEVICES), help="target FPGA device")
+    estimate.add_argument("--fraction", type=float, default=0.3,
+                          help="resource budget as a fraction of the device")
+    estimate.add_argument("--validate", action="store_true",
+                          help="also run the event simulator and report "
+                               "the relative cycle error (non-zero exit "
+                               "above --max-error)")
+    estimate.add_argument("--all-zoo", action="store_true",
+                          help="cross-validate estimator vs simulator on "
+                               "every zoo network (non-zero exit when any "
+                               "net exceeds --max-error)")
+    estimate.add_argument("--max-error", type=float, default=0.05,
+                          help="tolerated max relative cycle error")
+    estimate.set_defaults(handler=cmd_estimate)
 
     bench = commands.add_parser(
         "bench",

@@ -19,13 +19,14 @@ Typical use::
 or from the command line: ``repro dse --script net.prototxt --jobs 4``.
 """
 
-from repro.dse.bench import DseBenchReport, run_dse_bench
+from repro.dse.bench import DseBenchReport, run_dse_bench, widen_spec
 from repro.dse.cache import CacheStats, DesignCache, default_cache_dir
-from repro.dse.engine import evaluate_point, run_sweep
+from repro.dse.engine import ESTIMATORS, evaluate_point, run_sweep
 from repro.dse.result import (
     PointResult,
     SweepResult,
     frontier_knee,
+    knee_neighborhood,
     pareto_frontier,
 )
 from repro.dse.spec import SweepPoint, SweepSpec, parse_qformat
@@ -34,6 +35,7 @@ __all__ = [
     "CacheStats",
     "DesignCache",
     "DseBenchReport",
+    "ESTIMATORS",
     "PointResult",
     "SweepPoint",
     "SweepSpec",
@@ -41,8 +43,10 @@ __all__ = [
     "default_cache_dir",
     "evaluate_point",
     "frontier_knee",
+    "knee_neighborhood",
     "pareto_frontier",
     "parse_qformat",
     "run_dse_bench",
     "run_sweep",
+    "widen_spec",
 ]

@@ -55,13 +55,14 @@ class DesignCache:
     @staticmethod
     def key(fingerprint: str, point: SweepPoint,
             functional: bool = False, seed: int = 0,
-            static_filter: bool = False) -> str:
+            static_filter: bool = False, estimator: str = "exact") -> str:
         """Content address of one evaluation.
 
         ``functional``/``seed`` are part of the key because a functional
         run carries a fidelity figure a timing-only run lacks.
-        ``static_filter`` joins the record only when set, so caches
-        written before the verifier existed stay valid for plain sweeps.
+        ``static_filter`` and a non-exact ``estimator`` join the record
+        only when set, so caches written before those modes existed
+        stay valid for plain exact sweeps.
         """
         record = {
             "schema": RESULT_SCHEMA,
@@ -72,6 +73,8 @@ class DesignCache:
         }
         if static_filter:
             record["static_filter"] = True
+        if estimator != "exact":
+            record["estimator"] = estimator
         canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

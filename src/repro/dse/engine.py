@@ -37,22 +37,56 @@ from dataclasses import replace
 import numpy as np
 
 from repro import api
+from repro.compiler.address import AddressFlowGenerator
+from repro.compiler.control import build_coordinator_program
+from repro.compiler.memmap import build_memory_map
+from repro.compiler.reduce import reduce_agus
+from repro.components.agu import AddressGenerationUnit, AGURole
 from repro.devices.device import budget_fraction, device_by_name
 from repro.dse.cache import DesignCache
-from repro.dse.result import PointResult, SweepResult
+from repro.dse.result import (
+    PointResult,
+    SweepResult,
+    frontier_knee,
+    knee_neighborhood,
+    pareto_frontier,
+)
 from repro.dse.spec import SweepPoint, SweepSpec
 from repro.errors import DeepBurningError
+from repro.estimate.model import AnalyticEstimator
 from repro.fixedpoint.format import QFormat
 from repro.frontend.graph import NetworkGraph
 from repro.nngen.generator import NNGen
-from repro.pipeline import BuildPipeline, default_pipeline
+from repro.pipeline import BuildPipeline, default_pipeline, stage_key
+
+#: Evaluation modes: the event simulator on compiled programs, the
+#: closed-form estimator on bare designs, or the analytic sweep with an
+#: exact replay of the Pareto frontier and knee neighborhood.
+ESTIMATORS = ("exact", "analytic", "hybrid")
+
+
+def _check_estimator(estimator: str, functional: bool,
+                     static_filter: bool) -> None:
+    if estimator not in ESTIMATORS:
+        raise DeepBurningError(
+            f"unknown estimator '{estimator}'; options: {ESTIMATORS}")
+    if estimator == "analytic" and functional:
+        raise DeepBurningError(
+            "the analytic estimator never executes the network; use "
+            "estimator='hybrid' to score fidelity on the replayed "
+            "frontier, or estimator='exact'")
+    if estimator != "exact" and static_filter:
+        raise DeepBurningError(
+            "the static filter needs a compiled program, which the "
+            "analytic estimator skips; use estimator='exact'")
 
 
 def evaluate_point(graph: NetworkGraph, point: SweepPoint,
                    functional: bool = False, seed: int = 0,
                    static_filter: bool = False,
-                   pipeline: BuildPipeline | None = None) -> PointResult:
-    """Run one point through the build→simulate facade.
+                   pipeline: BuildPipeline | None = None,
+                   estimator: str = "exact") -> PointResult:
+    """Run one point through the build→simulate (or estimate) facade.
 
     Any :class:`~repro.errors.DeepBurningError` — a budget that cannot
     fit the minimal datapath, an unsupported layer, a compile failure —
@@ -61,11 +95,20 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
     design runs the static verifier first; a design with error-severity
     findings becomes a ``rejected`` result without ever simulating.
 
+    ``estimator="analytic"`` evaluates the closed-form model
+    (:mod:`repro.estimate`) on the realized design alone — no control
+    program is compiled, no weights are built — which is what makes
+    thousand-point sweeps affordable.
+
     ``pipeline`` carries the stage cache shared across the sweep (the
     process-wide default when omitted); the result's ``stage_s`` records
-    the per-stage build time, 0.0 for memoized stages.
+    the per-stage build time, 0.0 for memoized stages, plus the
+    ``estimate_s``/``simulate_s`` evaluation time.
     """
+    _check_estimator(estimator, functional, static_filter)
     pipe = pipeline or default_pipeline()
+    if estimator == "analytic":
+        return _evaluate_analytic(graph, point, pipe)
     try:
         device = device_by_name(point.device)
         artifacts = api.build(
@@ -94,15 +137,19 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
                 )
         design = artifacts.design
         plan = pipe.plan_for(artifacts) if functional else None
+        sim_started = time.perf_counter()
         sim = api.simulator(artifacts, plan=plan).run(
             artifacts.random_input() if functional else None,
             functional=functional)
+        simulate_s = time.perf_counter() - sim_started
         accuracy = None
         if functional:
             reference = pipe.reference_output(artifacts)
             accuracy = _fidelity(np.asarray(sim.output, dtype=float),
                                  np.asarray(reference, dtype=float))
         used = design.resource_report()
+        stage_s = _stage_split(artifacts)
+        stage_s["simulate_s"] = simulate_s
         return PointResult(
             point=point,
             status="ok",
@@ -119,11 +166,99 @@ def evaluate_point(graph: NetworkGraph, point: SweepPoint,
             power_w=sim.energy.average_power_w,
             macs=sim.macs,
             accuracy=accuracy,
-            stage_s=_stage_split(artifacts),
+            estimator="exact",
+            stage_s=stage_s,
         )
     except DeepBurningError as error:
         return PointResult(point=point, status="infeasible",
                            reason=str(error))
+
+
+def _reduce_design(design: "api.AcceleratorDesign", design_key: str,
+                   pipe: BuildPipeline) -> float:
+    """Install the compile-time reduced AGUs without a full compile.
+
+    ``PointResult.lut``/``ff`` and the static-power term of the energy
+    model are read off the *compiled* design, whose template AGUs the
+    compiler has reduced to exactly the patterns the network exercises
+    (:func:`repro.compiler.reduce.reduce_agus`).  The analytic path
+    replays just that reduction — memory map, address plans,
+    coordinator tables — and memoizes the reduced AGU parameters per
+    design key, so every sweep point sharing a design pays once and
+    reports resources bit-identical to the exact path.  Re-installing
+    from memoized parameters (rather than memoizing the side effect)
+    keeps the result correct even if the design stage itself was
+    evicted and re-realised from a fresh template.
+    """
+    def build() -> dict[str, tuple[str, int, int, int, tuple[str, ...]]]:
+        memory_map = build_memory_map(design.graph, design.datapath.simd)
+        plans = AddressFlowGenerator(design, memory_map).plans()
+        coordinator = build_coordinator_program(design, plans)
+        reduced = reduce_agus(design, coordinator)
+        return {instance: (agu.role.value, agu.n_patterns,
+                           agu.address_width, agu.burst_words, agu.fields)
+                for instance, agu in reduced.items()}
+
+    params, seconds = pipe.cache.get_or_build(
+        "reduce", stage_key("reduce", design=design_key), build)
+    for instance, (role, n_patterns, width, burst, fields) in params.items():
+        current = design.components.get(instance)
+        if (isinstance(current, AddressGenerationUnit)
+                and current.n_patterns == n_patterns
+                and current.fields == tuple(fields)):
+            continue
+        design.components[instance] = AddressGenerationUnit(
+            instance, role=AGURole(role), n_patterns=n_patterns,
+            address_width=width, burst_words=burst, fields=tuple(fields))
+    return seconds
+
+
+def _evaluate_analytic(graph: NetworkGraph, point: SweepPoint,
+                       pipe: BuildPipeline) -> PointResult:
+    """The estimator path: realize the design, skip compile entirely.
+
+    The closed-form report depends only on the realized design, so it
+    is memoized in the pipeline's stage cache under the design key —
+    a warm re-sweep reads every estimate straight out of the cache.
+    The AGU-reduction pass runs first (also memoized per design) so
+    resource and static-power figures match the compiled design.
+    """
+    try:
+        device = device_by_name(point.device)
+        budget = budget_fraction(device, point.fraction)
+        design, design_key, nngen_s = pipe.design(
+            graph, pipe.fingerprint(graph), budget,
+            point.data_format, point.weight_format,
+            max_lanes=point.max_lanes, max_simd=point.max_simd,
+            fold_capacity_scale=point.fold_capacity_scale)
+        reduce_s = _reduce_design(design, design_key, pipe)
+        report, estimate_s = pipe.cache.get_or_build(
+            "estimate", stage_key("estimate", design=design_key),
+            lambda: AnalyticEstimator(design).report())
+        used = design.resource_report()
+        return PointResult(
+            point=point,
+            status="ok",
+            lanes=design.datapath.lanes,
+            simd=design.datapath.simd,
+            folds=len(design.folding),
+            dsp=used.dsp,
+            lut=used.lut,
+            ff=used.ff,
+            bram_bits=used.bram_bits,
+            cycles=report.cycles,
+            time_s=report.time_s,
+            energy_j=report.energy.total_j,
+            power_w=report.energy.average_power_w,
+            macs=report.macs,
+            accuracy=None,
+            estimator="analytic",
+            stage_s={"build_s": nngen_s + reduce_s, "nngen_s": nngen_s,
+                     "estimate_s": estimate_s},
+        )
+    except DeepBurningError as error:
+        return PointResult(point=point, status="infeasible",
+                           reason=str(error), estimator="analytic")
 
 
 def _stage_split(artifacts: api.BuildArtifacts) -> dict[str, float]:
@@ -165,12 +300,13 @@ def _prime_worker(payload: tuple | None = None) -> None:
     """
     global _WORKER_STATE
     if payload is not None:
-        graph, functional, seed, static_filter = payload
+        graph, functional, seed, static_filter, estimator = payload
         _WORKER_STATE = {
             "graph": graph,
             "functional": functional,
             "seed": seed,
             "static_filter": static_filter,
+            "estimator": estimator,
             "pipeline": BuildPipeline(),
         }
 
@@ -186,7 +322,8 @@ def _evaluate_chunk(
                                functional=state["functional"],
                                seed=state["seed"],
                                static_filter=state["static_filter"],
-                               pipeline=state["pipeline"]))
+                               pipeline=state["pipeline"],
+                               estimator=state.get("estimator", "exact")))
         for index, point in chunk
     ]
 
@@ -198,30 +335,47 @@ def _chunked(items: list, parts: int) -> list[list]:
 
 
 def _design_group_key(pipe: BuildPipeline, graph: NetworkGraph, fp: str,
-                      point: SweepPoint, budget_cache: dict) -> str:
+                      point: SweepPoint, memo: dict) -> str:
     """The content address of the realized design ``point`` maps to.
 
     Every canonical :class:`PointResult` field is a function of the
     realized design plus the sweep-wide (functional, seed,
-    static_filter) settings, so points sharing this key share one
-    evaluation.  Derivation costs one memoized datapath search; points
-    that fail before design realisation group only with exact
+    static_filter, estimator) settings, so points sharing this key
+    share one evaluation.  ``memo`` holds per-sweep lookaside tables
+    (budget, datapath config, design key) so a thousand-point grid
+    pays the hashing once per *distinct* configuration, not per point.
+    Points that fail before design realisation group only with exact
     duplicates (their error text may mention any raw knob).
     """
     try:
         NNGen.validate_knobs(max_lanes=point.max_lanes,
                              max_simd=point.max_simd,
                              fold_capacity_scale=point.fold_capacity_scale)
+        budgets = memo.setdefault("budget", {})
         budget_key = (point.device, point.fraction)
-        if budget_key not in budget_cache:
-            budget_cache[budget_key] = budget_fraction(
-                device_by_name(point.device), point.fraction)
-        budget = budget_cache[budget_key]
-        config, _ = pipe.datapath(graph, fp, budget, point.data_format,
-                                  point.weight_format)
+        budget = budgets.get(budget_key)
+        if budget is None:
+            budget = budget_fraction(device_by_name(point.device),
+                                     point.fraction)
+            budgets[budget_key] = budget
+        configs = memo.setdefault("config", {})
+        config_key = (point.device, point.fraction, point.data_bits,
+                      point.weight_bits)
+        config = configs.get(config_key)
+        if config is None:
+            config, _ = pipe.datapath(graph, fp, budget, point.data_format,
+                                      point.weight_format)
+            configs[config_key] = config
         config = NNGen.apply_caps(config, point.max_lanes, point.max_simd)
-        return "design:" + pipe.design_key(fp, budget, config,
-                                           point.fold_capacity_scale)
+        keys = memo.setdefault("key", {})
+        effective = (config_key, config.lanes, config.simd,
+                     point.fold_capacity_scale)
+        key = keys.get(effective)
+        if key is None:
+            key = "design:" + pipe.design_key(fp, budget, config,
+                                              point.fold_capacity_scale)
+            keys[effective] = key
+        return key
     except DeepBurningError:
         return "point:" + repr(point)
 
@@ -252,7 +406,8 @@ def _prime_parent(pipe: BuildPipeline, graph: NetworkGraph, fp: str,
 def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
               cache: DesignCache | None = None,
               pipeline: BuildPipeline | None = None,
-              use_pool: bool | None = None) -> SweepResult:
+              use_pool: bool | None = None,
+              estimator: str = "exact") -> SweepResult:
     """Evaluate every point of ``spec``, in parallel when ``jobs > 1``.
 
     Results keep the spec's point order, so a parallel sweep equals a
@@ -262,6 +417,13 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
     replicated (``deduped`` / ``design_shared`` in the outcome); fresh
     results are written back before the sweep returns.
 
+    ``estimator`` selects the evaluator: ``"exact"`` compiles and
+    event-simulates every design; ``"analytic"`` scores the closed-form
+    model on bare designs (no compile, no weights — 10-100x cheaper per
+    fresh design group); ``"hybrid"`` sweeps analytically and then
+    replays the Pareto frontier plus the knee neighborhood through the
+    exact simulator, so the reported frontier is simulator-accurate.
+
     ``use_pool=None`` (the default) clamps worker processes to the
     machine's cores — surplus ``jobs`` degrade to in-process evaluation
     instead of paying fork-and-pickle overhead for no parallelism.
@@ -270,8 +432,12 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
     """
     if jobs < 1:
         raise DeepBurningError(f"jobs must be >= 1, got {jobs}")
+    _check_estimator(estimator, spec.functional, spec.static_filter)
     started = time.perf_counter()
     pipe = pipeline or default_pipeline()
+    if estimator == "hybrid":
+        return _run_hybrid(graph, spec, jobs=jobs, cache=cache, pipe=pipe,
+                           use_pool=use_pool, started=started)
     points = spec.points()
     # Snapshot so a reused cache object reports per-sweep stats.  (The
     # cache defines __len__, so compare against None, never truthiness.)
@@ -287,7 +453,8 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
         if cache is not None:
             key = DesignCache.key(fingerprint, point,
                                   functional=spec.functional, seed=spec.seed,
-                                  static_filter=spec.static_filter)
+                                  static_filter=spec.static_filter,
+                                  estimator=estimator)
             keys[index] = key
             hit = cache.load(key)
             if hit is not None:
@@ -303,13 +470,13 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
     # Collapse pending points onto their realized-design groups: one
     # representative evaluates, the rest share its canonical result.
     pending_points = dict(pending)
-    budget_cache: dict = {}
+    group_memo: dict = {}
     group_rep: dict[str, int] = {}
     member_of: dict[int, int] = {}
     rep_indices: list[int] = []
     for index, point in pending:
         gkey = _design_group_key(pipe, graph, fingerprint, point,
-                                 budget_cache)
+                                 group_memo)
         rep = group_rep.get(gkey)
         if rep is None:
             group_rep[gkey] = index
@@ -318,6 +485,9 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
             member_of[index] = rep
 
     reps = [(index, pending_points[index]) for index in rep_indices]
+    # Size the stage LRU to the sweep's working set so a warm re-sweep
+    # actually hits (the default 32-entry bound thrashes on wide grids).
+    pipe.cache.reserve(2 * len(reps))
     workers = min(jobs, len(reps))
     if use_pool is None:
         workers = min(workers, os.cpu_count() or 1)
@@ -332,13 +502,13 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
             _WORKER_STATE = {
                 "graph": graph, "functional": spec.functional,
                 "seed": spec.seed, "static_filter": spec.static_filter,
-                "pipeline": pipe,
+                "estimator": estimator, "pipeline": pipe,
             }
         else:
             pool_kwargs = {
                 "initializer": _prime_worker,
                 "initargs": ((graph, spec.functional, spec.seed,
-                              spec.static_filter),),
+                              spec.static_filter, estimator),),
             }
         try:
             with ProcessPoolExecutor(max_workers=workers,
@@ -353,7 +523,8 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
         for index, point in reps:
             results[index] = evaluate_point(
                 graph, point, functional=spec.functional, seed=spec.seed,
-                static_filter=spec.static_filter, pipeline=pipe)
+                static_filter=spec.static_filter, pipeline=pipe,
+                estimator=estimator)
 
     # Fan shared evaluations back out.  Canonical fields are identical
     # by construction; stage timings are zeroed because shared points
@@ -378,4 +549,77 @@ def run_sweep(graph: NetworkGraph, spec: SweepSpec, jobs: int = 1,
         jobs=jobs,
         deduped=len(duplicates),
         design_shared=len(member_of),
+        estimator=estimator,
+    )
+
+
+def _run_hybrid(graph: NetworkGraph, spec: SweepSpec, jobs: int,
+                cache: DesignCache | None, pipe: BuildPipeline,
+                use_pool: bool | None, started: float) -> SweepResult:
+    """Analytic wide sweep, exact replay of the frontier + knee region.
+
+    The full grid is scored by the closed-form estimator; only the
+    Pareto frontier and the knee's nearest feasible neighbors — the
+    points a designer would actually pick — are re-evaluated through
+    the compile→simulate flow (honoring ``spec.functional``).  The
+    final frontier is recomputed over the spliced results, so every
+    reported frontier point carries simulator-exact figures.
+    """
+    analytic_spec = replace(spec, functional=False)
+    analytic = run_sweep(graph, analytic_spec, jobs=jobs, cache=cache,
+                         pipeline=pipe, use_pool=use_pool,
+                         estimator="analytic")
+    results = list(analytic.results)
+    frontier = pareto_frontier(results)
+    knee = frontier_knee(frontier)
+    on_frontier = {id(r) for r in frontier}
+    off_frontier = [r for r in results
+                    if r.feasible and id(r) not in on_frontier]
+    neighborhood = knee_neighborhood(off_frontier, knee)
+    index_of = {id(result): index for index, result in enumerate(results)}
+    replay = sorted(index_of[id(r)] for r in frontier + neighborhood)
+
+    fingerprint = pipe.fingerprint(graph)
+    hits = analytic.cache_hits
+    misses = analytic.cache_misses
+    # Replayed points sharing one realized design simulate once — the
+    # same sharing the exact sweep applies — and the representative's
+    # canonical result is replicated under each member's point.
+    group_memo: dict = {}
+    group_result: dict[str, PointResult] = {}
+    for index in replay:
+        point = results[index].point
+        key = None
+        if cache is not None:
+            key = DesignCache.key(fingerprint, point,
+                                  functional=spec.functional, seed=spec.seed,
+                                  estimator="exact")
+            hit = cache.load(key)
+            if hit is not None:
+                results[index] = hit
+                hits += 1
+                continue
+            misses += 1
+        gkey = _design_group_key(pipe, graph, fingerprint, point, group_memo)
+        shared = group_result.get(gkey)
+        if shared is not None:
+            results[index] = replace(shared, point=point, stage_s={})
+        else:
+            results[index] = evaluate_point(
+                graph, point, functional=spec.functional, seed=spec.seed,
+                pipeline=pipe, estimator="exact")
+            group_result[gkey] = results[index]
+        if cache is not None and key is not None:
+            cache.store(key, results[index])
+
+    return SweepResult(
+        results=results,
+        cache_hits=hits,
+        cache_misses=misses,
+        elapsed_s=time.perf_counter() - started,
+        jobs=jobs,
+        deduped=analytic.deduped,
+        design_shared=analytic.design_shared,
+        estimator="hybrid",
+        replayed=len(replay),
     )

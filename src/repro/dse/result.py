@@ -17,7 +17,8 @@ from repro.experiments.report import format_energy, format_time, render_table
 
 #: Result schema version, bumped whenever the JSON layout changes so a
 #: stale cache entry is treated as a miss rather than misread.
-RESULT_SCHEMA = 1
+#: 2: ``estimator`` provenance field (exact | analytic).
+RESULT_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -45,14 +46,18 @@ class PointResult:
     #: Output fidelity vs the float reference in [0, 1]; None when the
     #: sweep ran timing-only.
     accuracy: float | None = None
+    #: Which evaluator produced the timing/energy figures: ``"exact"``
+    #: (event simulator) or ``"analytic"`` (closed-form estimator).  A
+    #: hybrid sweep's replayed frontier points read ``"exact"``.
+    estimator: str = "exact"
     #: True when this result came out of the design cache.
     cached: bool = False
-    #: Where the evaluation's build time went: ``build_s`` total plus
-    #: the ``nngen_s``/``quantize_s``/``compile_s``/``plan_s`` split
-    #: (0.0 for pipeline-memoized stages, empty for cached or shared
-    #: results).  Diagnostic only — excluded from equality, JSON and the
-    #: design cache so cold/warm/serial/parallel sweeps stay
-    #: byte-identical.
+    #: Where the evaluation's time went: ``build_s`` total plus the
+    #: ``nngen_s``/``quantize_s``/``compile_s``/``plan_s`` build split
+    #: and the ``estimate_s``/``simulate_s`` evaluation split (0.0 for
+    #: pipeline-memoized stages, empty for cached or shared results).
+    #: Diagnostic only — excluded from equality, JSON and the design
+    #: cache so cold/warm/serial/parallel sweeps stay byte-identical.
     stage_s: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
@@ -78,6 +83,7 @@ class PointResult:
             "power_w": self.power_w,
             "macs": self.macs,
             "accuracy": self.accuracy,
+            "estimator": self.estimator,
         }
 
     @staticmethod
@@ -100,6 +106,7 @@ class PointResult:
             macs=int(data["macs"]),
             accuracy=(None if data.get("accuracy") is None
                       else float(data["accuracy"])),
+            estimator=str(data.get("estimator", "exact")),
             cached=cached,
         )
 
@@ -116,32 +123,25 @@ def pareto_frontier(
 
     A point is dominated when another feasible point is no worse on both
     axes and strictly better on at least one.  The frontier is returned
-    sorted by rising resource (so latency falls along it).
+    sorted by rising resource (so latency falls along it), with the
+    point label as a stable secondary key so coordinate ties resolve
+    the same way regardless of input order.
     """
     feasible = [r for r in results if r.feasible]
-    frontier = []
-    for candidate in feasible:
-        dominated = False
-        for other in feasible:
-            if other is candidate:
-                continue
-            if (latency(other) <= latency(candidate)
-                    and resource(other) <= resource(candidate)
-                    and (latency(other) < latency(candidate)
-                         or resource(other) < resource(candidate))):
-                dominated = True
-                break
-        if not dominated:
-            frontier.append(candidate)
-    # Deduplicate coordinate ties so the frontier is a proper staircase.
-    frontier.sort(key=lambda r: (resource(r), latency(r)))
-    unique: list[PointResult] = []
-    for result in frontier:
-        if unique and resource(unique[-1]) == resource(result) \
-                and latency(unique[-1]) == latency(result):
-            continue
-        unique.append(result)
-    return unique
+    # Plane sweep by rising (resource, latency, label): a point joins
+    # the staircase iff it is strictly faster than everything cheaper
+    # or equal in resource.  Equivalent to the quadratic all-pairs
+    # dominance check (plus its coordinate-tie dedupe, which the sort's
+    # label key resolves order-independently), but O(n log n) — wide
+    # analytic sweeps hand this thousands of points.
+    feasible.sort(key=lambda r: (resource(r), latency(r), r.point.label))
+    frontier: list[PointResult] = []
+    best_latency = float("inf")
+    for result in feasible:
+        if latency(result) < best_latency:
+            frontier.append(result)
+            best_latency = latency(result)
+    return frontier
 
 
 def frontier_knee(
@@ -149,7 +149,11 @@ def frontier_knee(
     latency: Callable[[PointResult], float] = lambda r: r.time_s,
     resource: Callable[[PointResult], float] = lambda r: r.lut,
 ) -> PointResult | None:
-    """The balanced point: nearest to the origin in normalized axes."""
+    """The balanced point: nearest to the origin in normalized axes.
+
+    Distance ties resolve on the point label, so analytic and exact
+    sweeps over equal frontiers always report the same knee.
+    """
     if not frontier:
         return None
     lat = [latency(r) for r in frontier]
@@ -157,13 +161,50 @@ def frontier_knee(
     lat_span = max(lat) - min(lat) or 1.0
     res_span = max(res) - min(res) or 1.0
     best = None
-    best_distance = float("inf")
+    best_rank: tuple[float, str] = (float("inf"), "")
     for result, l, c in zip(frontier, lat, res):
         distance = (((l - min(lat)) / lat_span) ** 2
                     + ((c - min(res)) / res_span) ** 2) ** 0.5
-        if distance < best_distance:
-            best, best_distance = result, distance
+        rank = (distance, result.point.label)
+        if rank < best_rank:
+            best, best_rank = result, rank
     return best
+
+
+def knee_neighborhood(
+    results: Sequence[PointResult],
+    knee: PointResult | None,
+    count: int = 2,
+    latency: Callable[[PointResult], float] = lambda r: r.time_s,
+    resource: Callable[[PointResult], float] = lambda r: r.lut,
+) -> list[PointResult]:
+    """The ``count`` feasible points nearest the knee, knee excluded.
+
+    Distances are measured in axes normalized over the feasible span
+    (the same scaling the knee selection uses) and ties resolve on the
+    point label, so the neighborhood is deterministic.  A hybrid sweep
+    replays these alongside the frontier: the near-optimal region stays
+    simulator-accurate even when a point sits just off the analytic
+    frontier.
+    """
+    if knee is None:
+        return []
+    feasible = [r for r in results if r.feasible and r is not knee]
+    if not feasible:
+        return []
+    lat = [latency(r) for r in feasible] + [latency(knee)]
+    res = [resource(r) for r in feasible] + [resource(knee)]
+    lat_span = max(lat) - min(lat) or 1.0
+    res_span = max(res) - min(res) or 1.0
+    ranked = sorted(
+        feasible,
+        key=lambda r: (
+            (((latency(r) - latency(knee)) / lat_span) ** 2
+             + ((resource(r) - resource(knee)) / res_span) ** 2) ** 0.5,
+            r.point.label,
+        ),
+    )
+    return ranked[:max(0, count)]
 
 
 @dataclass
@@ -182,6 +223,11 @@ class SweepResult:
     #: (same effective datapath under this budget) and shared its
     #: canonical metrics instead of rebuilding.
     design_shared: int = 0
+    #: Which evaluator the sweep ran: "exact", "analytic" or "hybrid".
+    estimator: str = "exact"
+    #: Hybrid only: points re-evaluated through the exact simulator
+    #: (the Pareto frontier plus the knee neighborhood).
+    replayed: int = 0
 
     @property
     def feasible(self) -> list[PointResult]:
@@ -217,13 +263,16 @@ class SweepResult:
         return summary
 
     def stage_split(self) -> dict[str, float]:
-        """Total seconds spent per build stage across evaluated points.
+        """Total seconds spent per stage across evaluated points.
 
         Memoized stages contribute 0.0 and cached/shared results carry
-        no timings, so the split shows exactly where fresh work went.
+        no timings, so the split shows exactly where fresh work went —
+        including the ``estimate_s``/``simulate_s`` evaluation split
+        that tells a hybrid sweep's analytic time from its replay time.
         """
         split = {"build_s": 0.0, "nngen_s": 0.0, "quantize_s": 0.0,
-                 "compile_s": 0.0, "plan_s": 0.0}
+                 "compile_s": 0.0, "plan_s": 0.0, "estimate_s": 0.0,
+                 "simulate_s": 0.0}
         for result in self.results:
             for stage, seconds in result.stage_s.items():
                 split[stage] = split.get(stage, 0.0) + seconds
@@ -234,7 +283,11 @@ class SweepResult:
         detail = " ".join(
             f"{stage.removesuffix('_s')} {split[stage]:.3f}s"
             for stage in ("nngen_s", "quantize_s", "compile_s", "plan_s"))
-        return f"build stages: {split['build_s']:.3f}s total ({detail})"
+        evaluate = " ".join(
+            f"{stage.removesuffix('_s')} {split[stage]:.3f}s"
+            for stage in ("estimate_s", "simulate_s"))
+        return (f"build stages: {split['build_s']:.3f}s total ({detail}); "
+                f"evaluation: {evaluate}")
 
     def render(self, title: str = "design space") -> str:
         """The report table plus cache and frontier summaries."""
@@ -284,6 +337,12 @@ class SweepResult:
                 row.append("")
             rows.append(row)
         lines = [render_table(headers, rows, title=title)]
+        if self.estimator != "exact":
+            note = f"estimator: {self.estimator}"
+            if self.estimator == "hybrid":
+                note += (f" ({self.replayed} frontier/knee points replayed "
+                         "through the exact simulator)")
+            lines.append(note)
         lines.append(self.cache_summary())
         if has_stages:
             lines.append(self.stage_summary())

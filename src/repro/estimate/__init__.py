@@ -1,0 +1,42 @@
+"""Closed-form latency/energy estimation of generated accelerators.
+
+The event simulator (:mod:`repro.sim.accel`) replays one double-buffered
+load/compute pipeline event by event.  That pipeline has a closed form:
+with one main AGU, load *i* starts when load *i-1* finished, and the
+shared datapath computes fold *i* as soon as its operands are on chip
+and the previous fold retired.  :class:`~repro.estimate.model.
+AnalyticEstimator` evaluates that recurrence directly from the realized
+design — fold schedule, AGU access-pattern arithmetic and DRAM traffic
+accounting — without compiling a control program or touching weights,
+which is what lets the design-space explorer sweep thousands of points
+(``repro dse --estimator analytic|hybrid``) at a fraction of the
+simulator's cost.
+
+:func:`~repro.estimate.validate.cross_validate` checks the model against
+the event simulator across the zoo, mirroring the static-vs-dynamic
+verifier cross-validation.
+"""
+
+from repro.estimate.model import (
+    AnalyticEstimator,
+    EstimateReport,
+    PhaseEstimate,
+    estimate_design,
+)
+from repro.estimate.validate import (
+    NetValidation,
+    ValidationReport,
+    cross_validate,
+    validate_network,
+)
+
+__all__ = [
+    "AnalyticEstimator",
+    "EstimateReport",
+    "NetValidation",
+    "PhaseEstimate",
+    "ValidationReport",
+    "cross_validate",
+    "estimate_design",
+    "validate_network",
+]

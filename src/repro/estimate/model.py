@@ -1,0 +1,312 @@
+"""The analytic performance model.
+
+Latency
+    The simulator's event pipeline reduces to a recurrence.  With one
+    main AGU, ``load_finish[i] = load_finish[i-1] + load_cycles[i]``
+    (the first load starts after the host invocation overhead); the
+    shared datapath gives ``compute_start[i] = max(load_finish[i],
+    compute_finish[i-1])`` and ``compute_finish[i] = compute_start[i] +
+    compute_cycles[i]``.  Total cycles are the last fold's finish time.
+
+Traffic
+    ``load_cycles`` needs the fold's DRAM footprint and burst count —
+    exactly what the address generator
+    (:class:`~repro.compiler.address.AddressFlowGenerator`) derives,
+    and its access-pattern footprints are pure arithmetic over the
+    :class:`~repro.nngen.design.FoldPhase` fields, the blob shapes and
+    the Method-1 tile side.  This module mirrors that arithmetic
+    without building pattern tables, so no control program (and hence
+    no compile stage) is needed.
+
+Compute
+    ``compute_cycles`` reuses the simulator's own per-fold datapath
+    model (:func:`~repro.sim.datapath.compute_beats` /
+    :func:`~repro.sim.datapath.buffer_stream_beats`), which is already
+    a function of the design and the fold alone.
+
+Energy
+    The same traffic counts drive the simulator's activity-based
+    :class:`~repro.sim.power.EnergyModel`, so the energy breakdown has
+    the same shape and coefficients as a simulated run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.layout import choose_tile_side
+from repro.frontend.graph import NetworkGraph
+from repro.frontend.layers import LayerKind, LayerSpec
+from repro.nngen.design import AcceleratorDesign, FoldPhase
+from repro.sim.datapath import buffer_stream_beats, compute_beats
+from repro.sim.memory import DRAMModel
+from repro.sim.power import EnergyModel, EnergyReport
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """Estimated timing of one fold phase (mirrors ``PhaseTrace``)."""
+
+    layer: str
+    phase_index: int
+    load_cycles: int
+    compute_cycles: int
+    start_cycle: float
+    end_cycle: float
+    macs: int = 0
+
+
+@dataclass
+class EstimateReport:
+    """Analytic counterpart of :class:`~repro.sim.accel.SimulationResult`.
+
+    Same cycle/energy/traffic fields and the same per-layer reporting
+    helpers, so callers (the DSE engine, the CLI) can consume either
+    interchangeably; there is no functional output — the model never
+    executes the network.
+    """
+
+    cycles: int
+    time_s: float
+    energy: EnergyReport
+    phases: list[PhaseEstimate] = field(default_factory=list)
+    dram_words: int = 0
+    macs: int = 0
+
+    def layer_cycles(self) -> dict[str, float]:
+        """Busy cycles attributed to each layer (compute view)."""
+        per_layer: dict[str, float] = {}
+        for phase in self.phases:
+            per_layer[phase.layer] = per_layer.get(phase.layer, 0.0) \
+                + phase.compute_cycles
+        return per_layer
+
+    def layer_report(self) -> str:
+        """Per-layer breakdown: folds, cycles, load/compute balance."""
+        per_layer: dict[str, dict[str, float]] = {}
+        for phase in self.phases:
+            entry = per_layer.setdefault(phase.layer, {
+                "folds": 0, "compute": 0.0, "load": 0.0})
+            entry["folds"] += 1
+            entry["compute"] += phase.compute_cycles
+            entry["load"] += phase.load_cycles
+        lines = ["layer            folds  compute    load       bound"]
+        for layer, entry in per_layer.items():
+            bound = "memory" if entry["load"] > entry["compute"] \
+                else "compute"
+            lines.append(
+                f"{layer:15s}  {entry['folds']:5.0f}  {entry['compute']:9.0f}"
+                f"  {entry['load']:9.0f}  {bound:8s}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        return (
+            f"{self.cycles} cycles = {self.time_s * 1e3:.3f} ms "
+            f"(estimated), {self.macs} MACs, {self.dram_words} DRAM words, "
+            f"energy {self.energy}"
+        )
+
+
+@dataclass(frozen=True)
+class _PhaseTraffic:
+    """DRAM/SRAM footprint of one fold, at datapath word granularity."""
+
+    dram_read_words: int
+    dram_write_words: int
+    bursts: int
+    sram_read_words: int
+
+
+@dataclass(frozen=True)
+class _LayerContext:
+    """Per-layer constants the traffic arithmetic reuses across folds."""
+
+    spec: LayerSpec
+    in_size: int = 0
+    window_words: int = 0
+    out_width: int = 0
+    eltwise_words: tuple[int, ...] = ()
+
+
+class AnalyticEstimator:
+    """Closed-form latency/energy model of one realized design.
+
+    Needs only the :class:`~repro.nngen.design.AcceleratorDesign` (fold
+    schedule, blob shapes, datapath, budget device) — no compiled
+    program, no weights.  Construction precomputes per-layer constants;
+    :meth:`report` runs the recurrence over the fold schedule.
+    """
+
+    def __init__(self, design: AcceleratorDesign) -> None:
+        self.design = design
+        self.device = design.budget.device
+        self.dram = DRAMModel.for_device(self.device)
+        self.word_bytes = -(-design.datapath.data_width // 8)
+        self._layers: dict[str, _LayerContext] = {}
+
+    # --- per-layer constants ------------------------------------------
+
+    def _consumer_geometry(self, graph: NetworkGraph,
+                           blob: str) -> tuple[int, int]:
+        """(kernel, stride) of the window sweep consuming ``blob`` —
+        the memory map's tiling rule (first windowed consumer wins)."""
+        for spec in graph.layers:
+            if blob in spec.bottoms and (spec.kind.is_convolution
+                                         or spec.kind is LayerKind.POOLING):
+                return spec.kernel_size, spec.stride
+        return 1, 1
+
+    def _context(self, layer: str) -> _LayerContext:
+        context = self._layers.get(layer)
+        if context is not None:
+            return context
+        design = self.design
+        spec = design.graph.layer(layer)
+        if spec.kind.is_convolution:
+            # The data AGU walks Method-1 tiles of the input blob; the
+            # tile side follows the layout rule the memory map applied.
+            in_shape = design.shapes[spec.bottoms[0]]
+            kernel, stride = self._consumer_geometry(design.graph,
+                                                     spec.bottoms[0])
+            side, _ = choose_tile_side(max(1, kernel), max(1, stride),
+                                       port_width=design.datapath.simd)
+            side = max(1, min(side, in_shape.height, in_shape.width))
+            k = spec.kernel_size
+            window_words = ((-(-k // side)) ** 2 * side * side) \
+                if side > 1 else k * k
+            context = _LayerContext(
+                spec=spec,
+                window_words=window_words,
+                out_width=design.shapes[spec.tops[0]].width,
+            )
+        elif spec.kind in (LayerKind.INNER_PRODUCT, LayerKind.RECURRENT,
+                           LayerKind.ASSOCIATIVE):
+            context = _LayerContext(
+                spec=spec, in_size=design.shapes[spec.bottoms[0]].size)
+        elif spec.kind is LayerKind.ELTWISE:
+            context = _LayerContext(
+                spec=spec,
+                eltwise_words=tuple(design.shapes[blob].size
+                                    for blob in spec.bottoms))
+        else:
+            context = _LayerContext(spec=spec)
+        self._layers[layer] = context
+        return context
+
+    # --- per-fold traffic ---------------------------------------------
+
+    def phase_traffic(self, phase: FoldPhase) -> _PhaseTraffic:
+        """The fold's DRAM footprint, main-AGU burst count and on-chip
+        read volume — mirroring the address generator's patterns."""
+        context = self._context(phase.layer)
+        spec = context.spec
+        lanes = self.design.datapath.lanes
+        reads = writes = bursts = sram = 0
+        if spec.kind.is_convolution:
+            depth = max(1, phase.in_ch_count)
+            channels = max(1, phase.out_ch_count)
+            per_map_band = phase.input_words // depth
+            reads += max(1, per_map_band) * depth
+            bursts += 1
+            k = spec.kernel_size
+            slice_depth = phase.in_ch_count * k * k
+            reads += slice_depth * channels
+            bursts += 1
+            if not phase.partial:
+                per_channel_out = phase.output_words // channels
+                writes += max(1, per_channel_out) * channels
+                bursts += 1
+            positions = phase.row_count * context.out_width
+            sram += context.window_words * depth * max(1, positions)
+            sram += slice_depth * max(1, min(phase.out_ch_count, lanes))
+        elif spec.kind in (LayerKind.INNER_PRODUCT, LayerKind.RECURRENT,
+                           LayerKind.ASSOCIATIVE):
+            depth = phase.in_count
+            outputs = phase.out_count
+            fetch_depth = min(depth, max(0, context.in_size - phase.in_start))
+            if fetch_depth > 0:
+                reads += fetch_depth
+                bursts += 1
+            reads += depth * outputs
+            bursts += 1
+            if not phase.partial:
+                writes += outputs
+                bursts += 1
+            waves = -(-outputs // lanes)
+            sram += depth * waves + depth * outputs
+        elif spec.kind is LayerKind.ELTWISE:
+            for words in context.eltwise_words:
+                reads += words
+                bursts += 1
+                sram += words
+            if spec.tops and phase.output_words:
+                writes += phase.output_words
+                bursts += 1
+        else:
+            if spec.bottoms and phase.input_words:
+                reads += phase.input_words
+                bursts += 1
+                sram += phase.input_words
+            if spec.tops and phase.output_words:
+                writes += phase.output_words
+                bursts += 1
+        return _PhaseTraffic(dram_read_words=reads, dram_write_words=writes,
+                             bursts=bursts, sram_read_words=sram)
+
+    def phase_load_cycles(self, phase: FoldPhase) -> int:
+        traffic = self.phase_traffic(phase)
+        words = traffic.dram_read_words + traffic.dram_write_words
+        return self.dram.burst_cycles(words * self.word_bytes,
+                                      bursts=max(1, traffic.bursts))
+
+    def phase_compute_cycles(self, phase: FoldPhase) -> int:
+        return max(compute_beats(self.design, phase),
+                   buffer_stream_beats(self.design, phase))
+
+    # --- the recurrence -----------------------------------------------
+
+    def report(self) -> EstimateReport:
+        """Evaluate the pipeline recurrence over the fold schedule."""
+        energy_model = EnergyModel(self.device, self.design,
+                                   word_bytes=self.word_bytes)
+        phases: list[PhaseEstimate] = []
+        load_finish = float(self.device.invocation_overhead_cycles)
+        compute_finish = 0.0
+        for phase in self.design.folding.phases:
+            traffic = self.phase_traffic(phase)
+            words = traffic.dram_read_words + traffic.dram_write_words
+            load_cycles = self.dram.burst_cycles(
+                words * self.word_bytes, bursts=max(1, traffic.bursts))
+            compute_cycles = self.phase_compute_cycles(phase)
+            load_finish += load_cycles
+            start = max(load_finish, compute_finish)
+            compute_finish = start + compute_cycles
+            energy_model.count_phase(
+                macs=phase.macs,
+                sram_words=traffic.sram_read_words + phase.output_words,
+                dram_words=words,
+            )
+            phases.append(PhaseEstimate(
+                layer=phase.layer,
+                phase_index=phase.phase_index,
+                load_cycles=load_cycles,
+                compute_cycles=compute_cycles,
+                start_cycle=start,
+                end_cycle=compute_finish,
+                macs=phase.macs,
+            ))
+        cycles = int(round(compute_finish))
+        return EstimateReport(
+            cycles=cycles,
+            time_s=cycles / self.device.clock_hz,
+            energy=energy_model.report(cycles),
+            phases=phases,
+            dram_words=energy_model.dram_words,
+            macs=energy_model.macs,
+        )
+
+
+def estimate_design(design: AcceleratorDesign) -> EstimateReport:
+    """One-call form: analytic latency/energy report of a design."""
+    return AnalyticEstimator(design).report()

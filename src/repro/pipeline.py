@@ -44,6 +44,7 @@ import hashlib
 import json
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, Callable
@@ -143,6 +144,19 @@ class StageCache:
                 store.popitem(last=False)
             return value, elapsed
 
+    def reserve(self, entries: int) -> None:
+        """Raise the per-stage LRU bound to at least ``entries``.
+
+        Wide design-space sweeps touch hundreds of distinct designs;
+        a 32-entry LRU would thrash (every warm pass re-realising what
+        the cold pass already built).  The sweep engine reserves its
+        working-set size up front; the bound never shrinks, so a later
+        small sweep cannot evict a bigger one's warm entries.
+        """
+        with self._lock:
+            if entries > self.max_entries:
+                self.max_entries = entries
+
     def clear(self) -> None:
         with self._lock:
             self._stores.clear()
@@ -163,6 +177,11 @@ class BuildPipeline:
 
     def __init__(self, cache: StageCache | None = None) -> None:
         self.cache = cache or StageCache()
+        # Live-object fingerprint memo: graph hashing costs ~0.3 ms and
+        # a sweep asks for the same graph's digest once per point.  The
+        # weakref guard makes an id() collision (new graph at a dead
+        # graph's address) a recompute, never a wrong answer.
+        self._fingerprints: dict[int, tuple[Any, str]] = {}
 
     # --- generic memoization ------------------------------------------
 
@@ -177,7 +196,22 @@ class BuildPipeline:
     # --- individual stages --------------------------------------------
 
     def fingerprint(self, graph: NetworkGraph) -> str:
-        return graph.fingerprint()
+        """Memoized :meth:`NetworkGraph.fingerprint` of a live graph.
+
+        The pipeline already assumes a graph's structure is frozen for
+        the lifetime of its stage entries (every stage is keyed on this
+        digest), so caching the digest per live object is free.
+        """
+        entry = self._fingerprints.get(id(graph))
+        if entry is not None and entry[0]() is graph:
+            return entry[1]
+        fp = graph.fingerprint()
+        if len(self._fingerprints) >= 16:
+            self._fingerprints = {
+                key: value for key, value in self._fingerprints.items()
+                if value[0]() is not None}
+        self._fingerprints[id(graph)] = (weakref.ref(graph), fp)
+        return fp
 
     def shapes(self, graph: NetworkGraph, fp: str):
         value, _ = self.cache.get_or_build(

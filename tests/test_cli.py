@@ -147,7 +147,11 @@ class TestDse:
         parallel = capsys.readouterr().out
 
         def rows(text):
-            return [line for line in text.splitlines()
+            import re
+            # The per-point build-time column is wall clock — mask it,
+            # like stage_s is excluded from PointResult equality.
+            return [re.sub(r"\d+\.\d+s", "_", line)
+                    for line in text.splitlines()
                     if "swept" not in line and "jobs=" not in line]
         assert rows(serial) == rows(parallel)
 
@@ -162,6 +166,29 @@ class TestDse:
                      "--no-cache", "--functional"])
         assert code == 0
         assert "fidelity" in capsys.readouterr().out
+
+    def test_estimator_flag_reaches_the_report(self, script_file, capsys):
+        code = main(["dse", "--script", script_file,
+                     "--fractions", "0.1,0.2,0.4", "--no-cache",
+                     "--estimator", "hybrid"])
+        assert code == 0
+        assert "hybrid" in capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_estimate_prints_summary(self, script_file, capsys):
+        code = main(["estimate", "--script", script_file,
+                     "--device", "Z-7020"])
+        assert code == 0
+        assert "estimated" in capsys.readouterr().out
+
+    def test_validate_reports_simulator_agreement(self, script_file,
+                                                  capsys):
+        code = main(["estimate", "--script", script_file, "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulator:" in out
+        assert "counters match" in out
 
 
 class TestBench:

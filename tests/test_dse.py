@@ -6,14 +6,17 @@ import os
 import pytest
 
 from repro.dse import (
+    ESTIMATORS,
     DesignCache,
     PointResult,
     SweepPoint,
     SweepSpec,
     frontier_knee,
+    knee_neighborhood,
     pareto_frontier,
     parse_qformat,
     run_sweep,
+    widen_spec,
 )
 from repro.dse.engine import evaluate_point
 from repro.errors import DeepBurningError
@@ -289,3 +292,119 @@ class TestStaticFilter:
         point = SweepPoint(fraction=0.3)
         assert DesignCache.key("fp", point) != \
             DesignCache.key("fp", point, static_filter=True)
+
+
+def _pt(fraction: float, time_s: float, lut: int) -> PointResult:
+    return PointResult(point=SweepPoint(fraction=fraction), status="ok",
+                       time_s=time_s, lut=lut)
+
+
+class TestEstimatorModes:
+    """Analytic and hybrid evaluation through the sweep engine."""
+
+    AXES = dict(device="Z-7020", fractions=(0.1, 0.2, 0.3, 0.4),
+                max_lanes=(0, 8))
+
+    def test_estimators_export(self):
+        assert ESTIMATORS == ("exact", "analytic", "hybrid")
+
+    def test_analytic_matches_exact_on_every_field(self, graph):
+        """Same canonical record per point; only the provenance differs."""
+        exact = run_sweep(graph, SweepSpec(**self.AXES), jobs=1)
+        analytic = run_sweep(graph, SweepSpec(**self.AXES), jobs=1,
+                             estimator="analytic")
+        assert analytic.estimator == "analytic"
+        for e, a in zip(exact.results, analytic.results):
+            assert a.estimator == "analytic"
+            assert a.to_json() == dict(e.to_json(), estimator="analytic")
+
+    def test_hybrid_frontier_bit_identical_to_exact(self, graph):
+        spec = SweepSpec(**self.AXES)
+        exact = run_sweep(graph, spec, jobs=1)
+        hybrid = run_sweep(graph, spec, jobs=1, estimator="hybrid")
+        assert hybrid.estimator == "hybrid"
+        assert 0 < hybrid.replayed <= len(spec.points())
+        assert ([r.to_json() for r in hybrid.frontier()]
+                == [r.to_json() for r in exact.frontier()])
+        for result in hybrid.frontier():
+            assert result.estimator == "exact"
+
+    def test_stage_split_names_the_evaluator(self, graph):
+        exact = evaluate_point(graph, SweepPoint(fraction=0.3))
+        analytic = evaluate_point(graph, SweepPoint(fraction=0.3),
+                                  estimator="analytic")
+        assert "simulate_s" in exact.stage_s
+        assert "estimate_s" in analytic.stage_s
+        assert "simulate_s" not in analytic.stage_s
+
+    def test_unknown_estimator_rejected(self, graph):
+        with pytest.raises(DeepBurningError, match="unknown estimator"):
+            evaluate_point(graph, SweepPoint(fraction=0.3),
+                           estimator="magic")
+
+    def test_analytic_with_functional_rejected(self, graph):
+        with pytest.raises(DeepBurningError, match="never executes"):
+            run_sweep(graph, SweepSpec(fractions=(0.3,), functional=True),
+                      jobs=1, estimator="analytic")
+
+    def test_static_filter_requires_exact(self, graph):
+        for estimator in ("analytic", "hybrid"):
+            with pytest.raises(DeepBurningError):
+                run_sweep(graph,
+                          SweepSpec(fractions=(0.3,), static_filter=True),
+                          jobs=1, estimator=estimator)
+
+    def test_cache_key_distinguishes_estimators(self):
+        point = SweepPoint(fraction=0.3)
+        assert DesignCache.key("fp", point) != \
+            DesignCache.key("fp", point, estimator="analytic")
+
+    def test_analytic_cache_entries_do_not_serve_exact_sweeps(
+            self, graph, tmp_path):
+        cache = DesignCache(str(tmp_path))
+        spec = SweepSpec(fractions=(0.3,))
+        run_sweep(graph, spec, jobs=1, cache=cache, estimator="analytic")
+        sweep = run_sweep(graph, spec, jobs=1, cache=cache)
+        (result,) = sweep.results
+        assert not result.cached and result.estimator == "exact"
+
+    def test_widen_spec_extends_the_grid(self):
+        spec = SweepSpec(fractions=(0.1, 0.3), functional=True)
+        wide = widen_spec(spec, min_points=100)
+        assert not wide.functional and not wide.static_filter
+        assert set(spec.fractions) <= set(wide.fractions)
+        assert len(wide.points()) >= 100
+
+
+class TestKneeDeterminism:
+    def test_knee_tie_resolves_by_label(self):
+        """Two points equidistant from the normalized origin: the
+        lexicographically smaller label wins, whatever the order."""
+        a = _pt(0.2, time_s=1.0, lut=400)   # normalized (0, 1)
+        b = _pt(0.4, time_s=4.0, lut=100)   # normalized (1, 0)
+        assert frontier_knee([a, b]) is a
+        assert frontier_knee([b, a]) is a
+
+    def test_neighborhood_excludes_knee_and_sorts_by_distance(self):
+        near = _pt(0.1, time_s=2.0, lut=300)
+        knee = _pt(0.2, time_s=2.0, lut=400)
+        far = _pt(0.4, time_s=8.0, lut=900)
+        hood = knee_neighborhood([near, knee, far], knee, count=2)
+        assert hood == [near, far]
+        assert knee not in hood
+
+    def test_neighborhood_tie_resolves_by_label(self):
+        knee = _pt(0.3, time_s=2.0, lut=400)
+        left = _pt(0.2, time_s=1.0, lut=500)
+        right = _pt(0.4, time_s=3.0, lut=300)
+        assert knee_neighborhood([right, knee, left], knee, count=1) == \
+            knee_neighborhood([left, knee, right], knee, count=1) == [left]
+
+    def test_frontier_independent_of_input_order(self):
+        import random
+        points = [_pt(round(0.05 * i, 2), time_s=float((i * 7) % 11 + 1),
+                      lut=100 * ((i * 3) % 13 + 1)) for i in range(1, 13)]
+        baseline = pareto_frontier(points)
+        shuffled = points[:]
+        random.Random(7).shuffle(shuffled)
+        assert pareto_frontier(shuffled) == baseline

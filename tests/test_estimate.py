@@ -1,0 +1,137 @@
+"""Tests for the analytic latency/energy estimator (repro.estimate)."""
+
+import pytest
+
+from repro import api
+from repro.estimate import (
+    AnalyticEstimator,
+    cross_validate,
+    estimate_design,
+    validate_network,
+)
+from repro.estimate.validate import zoo_networks
+from repro.pipeline import BuildPipeline
+from repro.zoo.models import benchmark_graph
+
+#: Zoo nets covering every datapath shape the estimator models: plain
+#: dense, conv+pool+LRN, depthwise/eltwise (modern), recurrent.
+SPOT_CHECK_NETS = ("mnist", "cifar", "mobilenet_tiny", "resnet_tiny",
+                   "hopfield")
+
+
+@pytest.fixture(scope="module")
+def mnist_artifacts():
+    return api.build(benchmark_graph("mnist"), device="Z-7045",
+                     fraction=0.3, weights=None)
+
+
+class TestEstimateReport:
+    def test_matches_simulator_exactly_on_mnist(self, mnist_artifacts):
+        sim = api.simulate(mnist_artifacts, functional=False)
+        est = api.estimate(mnist_artifacts)
+        assert est.cycles == sim.cycles
+        assert est.time_s == sim.time_s
+        assert est.macs == sim.macs
+        assert est.dram_words == sim.dram_words
+        assert est.energy.total_j == sim.energy.total_j
+        assert est.energy.average_power_w == sim.energy.average_power_w
+
+    def test_phase_trace_mirrors_simulator(self, mnist_artifacts):
+        sim = api.simulate(mnist_artifacts, functional=False)
+        est = api.estimate(mnist_artifacts)
+        assert len(est.phases) == len(sim.phase_traces)
+        for phase, trace in zip(est.phases, sim.phase_traces):
+            assert phase.layer == trace.layer
+            assert phase.phase_index == trace.phase_index
+            assert phase.load_cycles == trace.load_cycles
+            assert phase.compute_cycles == trace.compute_cycles
+            assert phase.start_cycle == trace.start_cycle
+            assert phase.end_cycle == trace.end_cycle
+            assert phase.macs == trace.macs
+
+    def test_deterministic(self, mnist_artifacts):
+        first = api.estimate(mnist_artifacts)
+        second = api.estimate(mnist_artifacts)
+        assert first.cycles == second.cycles
+        assert first.phases == second.phases
+        assert first.energy.total_j == second.energy.total_j
+
+    def test_layer_helpers_match_simulator(self, mnist_artifacts):
+        sim = api.simulate(mnist_artifacts, functional=False)
+        est = api.estimate(mnist_artifacts)
+        assert est.layer_cycles() == sim.layer_cycles()
+        assert "bound" in est.layer_report()
+        assert "estimated" in est.summary()
+
+    def test_estimate_design_facade(self, mnist_artifacts):
+        direct = estimate_design(mnist_artifacts.design)
+        via_api = api.estimate(mnist_artifacts)
+        assert direct.cycles == via_api.cycles
+
+    def test_estimator_object_reusable(self, mnist_artifacts):
+        estimator = AnalyticEstimator(mnist_artifacts.design)
+        assert estimator.report().cycles == estimator.report().cycles
+
+
+class TestCrossValidation:
+    def test_zoo_networks_cover_the_registry(self):
+        names = zoo_networks()
+        assert len(names) >= 12
+        for net in SPOT_CHECK_NETS:
+            assert net in names
+
+    def test_all_zoo_nets_within_tolerance(self):
+        """The CI gate: ≤5% relative cycle error and matching MAC/DRAM
+        counters on every zoo net, modern depthwise/eltwise included."""
+        report = cross_validate(tolerance=0.05)
+        assert len(report.rows) == len(zoo_networks())
+        assert report.ok, report.render()
+        assert report.max_rel_error <= 0.05
+        for row in report.rows:
+            assert row.counters_match, row.network
+
+    def test_spot_nets_match_exactly(self):
+        pipe = BuildPipeline()
+        for net in SPOT_CHECK_NETS:
+            row = validate_network(net, pipeline=pipe)
+            assert row.rel_error == 0.0, net
+            assert row.estimated_cycles == row.simulated_cycles
+
+    def test_report_json_shape(self):
+        report = cross_validate(networks=["mnist"], tolerance=0.05)
+        data = report.to_json()
+        assert data["ok"] is True
+        assert data["tolerance"] == 0.05
+        assert set(data["per_net"]) == {"mnist"}
+        assert data["max_rel_cycle_error"] == data["mean_rel_cycle_error"]
+
+    def test_render_mentions_pass(self):
+        report = cross_validate(networks=["mnist"])
+        assert "PASS" in report.render()
+
+
+class TestFoldScaleProperties:
+    """Monotonicity in the fold-capacity scale.
+
+    Shrinking the scale tightens per-fold capacity, so the schedule
+    can only get deeper (more folds) — and the estimate must keep
+    tracking the simulator exactly at every depth.  Total *cycles* are
+    not strictly monotone in the scale (the fold quantization can
+    trade a shorter pipeline for worse load/compute overlap), which is
+    a property of the schedule itself, not of the estimator.
+    """
+
+    SCALES = (0.5, 0.75, 1.0)
+
+    def test_folds_monotone_and_cycles_exact(self):
+        graph = benchmark_graph("mnist")
+        folds = []
+        for scale in self.SCALES:
+            artifacts = api.build(graph, device="Z-7045", fraction=0.3,
+                                  weights=None, fold_capacity_scale=scale)
+            folds.append(len(artifacts.design.folding))
+            sim = api.simulate(artifacts, functional=False)
+            est = api.estimate(artifacts)
+            assert est.cycles == sim.cycles, f"scale {scale}"
+        assert folds == sorted(folds, reverse=True)
+        assert folds[0] > folds[-1]

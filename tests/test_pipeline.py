@@ -255,7 +255,8 @@ class TestSweepSharing:
 class TestDseBench:
     def test_bench_smoke_is_bit_identical(self, mnist):
         spec = SweepSpec(fractions=(0.1, 0.3), functional=True)
-        report = run_dse_bench(mnist, spec, jobs=2)
+        report = run_dse_bench(mnist, spec, jobs=2,
+                               validate_networks=["mnist"])
         assert report.bit_identical
         assert report.points == 2
         payload = report.to_json()
@@ -263,6 +264,31 @@ class TestDseBench:
             assert payload["passes"][name]["points_per_s"] > 0.0
         assert "speedup" in payload and "stage_split_s" in payload
         assert "points/s" in report.render()
+
+    def test_wide_estimator_regimes(self, mnist):
+        spec = SweepSpec(fractions=(0.1, 0.3), functional=True)
+        report = run_dse_bench(mnist, spec, jobs=1,
+                               validate_networks=["mnist"])
+        payload = report.to_json()
+        assert payload["schema"] == 2
+        for name in ("analytic_cold", "analytic_warm", "hybrid_cold",
+                     "hybrid", "exact_wide"):
+            assert payload["passes"][name]["points_per_s"] > 0.0
+        assert report.wide_points >= 500
+        assert 0 < report.hybrid_replayed <= report.wide_points
+        assert report.frontier_match
+        assert report.estimator_accuracy["ok"]
+        assert report.estimator_accuracy["max_rel_cycle_error"] <= 0.05
+        assert "frontier identical to exact: yes" in report.render()
+
+    def test_wide_regimes_can_be_disabled(self, mnist):
+        spec = SweepSpec(fractions=(0.1,))
+        report = run_dse_bench(mnist, spec, jobs=1, wide_min_points=0)
+        payload = report.to_json()
+        assert "hybrid" not in payload["passes"]
+        assert report.wide_points == 0
+        assert not report.estimator_accuracy
+        assert "wide grid" not in report.render()
 
     def test_bench_report_round_trips_to_disk(self, mnist, tmp_path):
         import json
