@@ -184,16 +184,20 @@ def build(
 def simulator(
     artifacts: BuildArtifacts,
     plan: ExecutionPlan | Callable[[], ExecutionPlan] | None = None,
+    optimize: str = "fused",
 ) -> AcceleratorSimulator:
     """A fresh simulator over the artifacts' program and weights.
 
     ``plan`` injects a pre-built (typically pipeline-memoized)
     :class:`~repro.sim.plan.ExecutionPlan` — or a lazy provider for one
     — so the session skips weight packing; the serving runtime shares
-    one plan across its worker sessions this way.
+    one plan across its worker sessions this way.  ``optimize`` selects
+    the plan mode (``"fused"`` or ``"naive"``) when the simulator has
+    to build its own plan.
     """
     return AcceleratorSimulator(artifacts.program,
-                                weights=artifacts.weights, plan=plan)
+                                weights=artifacts.weights, plan=plan,
+                                optimize=optimize)
 
 
 def simulate(

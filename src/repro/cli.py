@@ -268,12 +268,6 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.runtime import run_bench
 
-    graph = ""
-    if args.graph or args.script:
-        # bench defaults --model to mnist, so a file source wins rather
-        # than tripping the both-given guard in the shared resolver.
-        source = argparse.Namespace(**{**vars(args), "model": ""})
-        graph = resolve_graph(source, "bench")
     batch_sizes = None
     if args.batch_sizes:
         try:
@@ -284,6 +278,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"--batch-sizes wants comma-separated integers, "
                 f"got '{args.batch_sizes}'"
             ) from None
+    if args.models:
+        return _bench_suite(args, batch_sizes)
+    graph = ""
+    if args.graph or args.script:
+        # bench defaults --model to mnist, so a file source wins rather
+        # than tripping the both-given guard in the shared resolver.
+        source = argparse.Namespace(**{**vars(args), "model": ""})
+        graph = resolve_graph(source, "bench")
     report = run_bench(
         args.model,
         script=graph,
@@ -310,6 +312,49 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{args.require_speedup:.2f}x")
         return 1
     return 0
+
+
+def _bench_suite(args: argparse.Namespace,
+                 batch_sizes: list[int] | None) -> int:
+    """``repro bench --models a,b``: the fused-vs-naive suite path."""
+    from repro.runtime import run_bench_suite
+
+    if args.graph or args.script:
+        raise DeepBurningError(
+            "--models runs zoo networks only; drop --graph/--script")
+    suite = run_bench_suite(
+        _model_list(args.models),
+        requests=args.requests,
+        workers=args.workers,
+        max_batch_size=args.batch_size,
+        batch_sizes=batch_sizes,
+        max_queue_depth=args.queue_depth,
+        batch_timeout_s=args.batch_timeout,
+        timeout_s=args.timeout,
+        device=args.device,
+        fraction=args.fraction,
+        seed=args.seed,
+        out=args.out,
+    )
+    print(suite.render())
+    if args.out:
+        print(f"wrote {args.out}")
+    status = 0
+    if not suite.all_bit_identical:
+        mismatched = [name for name, entry in suite.models.items()
+                      if not entry["comparison"]["bit_identical"]]
+        print(f"FAIL: fused plan outputs differ from naive for "
+              f"{', '.join(sorted(mismatched))}")
+        status = 1
+    if args.require_fused_speedup is not None:
+        for name in sorted(suite.models):
+            speedup = suite.fused_speedup(name)
+            if speedup < args.require_fused_speedup:
+                print(f"FAIL: '{name}' fused speedup {speedup:.2f}x is "
+                      f"below the required "
+                      f"{args.require_fused_speedup:.2f}x")
+                status = 1
+    return status
 
 
 def _model_list(text: str) -> list[str]:
@@ -594,6 +639,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--require-speedup", type=float, default=None,
                        help="exit non-zero unless the best batched pass "
                             "beats the sequential loop by this factor")
+    bench.add_argument("--models", default="",
+                       help="comma-separated zoo networks; switches to the "
+                            "fused-vs-naive suite (schema-2 report) with "
+                            "one fused and one naive regime per model plus "
+                            "a bit-identity check")
+    bench.add_argument("--require-fused-speedup", type=float, default=None,
+                       help="with --models: exit non-zero unless every "
+                            "model's best fused-vs-naive requests/s ratio "
+                            "meets this factor (bit mismatches always "
+                            "fail)")
     bench.add_argument("--queue-depth", type=int, default=256,
                        help="bounded request-queue capacity")
     bench.add_argument("--batch-timeout", type=float, default=0.002,

@@ -14,15 +14,24 @@ from repro.errors import QuantizationError
 from repro.fixedpoint.format import QFormat
 
 
-def quantize_to_ints(values: np.ndarray, fmt: QFormat) -> np.ndarray:
+def quantize_to_ints(values: np.ndarray, fmt: QFormat,
+                     out: np.ndarray | None = None) -> np.ndarray:
     """Quantize float ``values`` to raw integers in ``fmt``.
 
     Rounds to nearest (ties to even, numpy's default) and saturates to the
     representable range, which is what the accelerator's input stage does.
+    ``out`` receives the result in place (an ``int64`` array of the same
+    shape, e.g. an arena buffer) instead of a fresh allocation.
     """
     values = np.asarray(values, dtype=np.float64)
     scaled = np.rint(values / fmt.scale)
-    return np.clip(scaled, fmt.min_int, fmt.max_int).astype(np.int64)
+    np.clip(scaled, fmt.min_int, fmt.max_int, out=scaled)
+    if out is not None:
+        # ``scaled`` holds exact integer-valued floats after rint/clip,
+        # so the truncating cast below equals ``astype(np.int64)``.
+        np.copyto(out, scaled, casting="unsafe")
+        return out
+    return scaled.astype(np.int64)
 
 
 def quantize(values: np.ndarray, fmt: QFormat) -> np.ndarray:
@@ -51,14 +60,30 @@ def accumulator_format(data_fmt: QFormat, weight_fmt: QFormat) -> QFormat:
     return QFormat(min(40, 62 - fraction), fraction)
 
 
-def requantize(raw: np.ndarray, src: QFormat, dst: QFormat) -> np.ndarray:
+def requantize(raw: np.ndarray, src: QFormat, dst: QFormat,
+               out: np.ndarray | None = None) -> np.ndarray:
     """Convert raw integers from format ``src`` to format ``dst``.
 
     Implements the shift-round-saturate stage between the wide
-    accumulator and the narrow inter-layer connection box.
+    accumulator and the narrow inter-layer connection box.  ``out``
+    receives the result in place (an ``int64`` array of the same shape —
+    aliasing ``raw`` is fine) instead of a fresh allocation.
     """
     raw = np.asarray(raw, dtype=np.int64)
     shift = src.fraction_bits - dst.fraction_bits
+    if out is not None:
+        # Temp-free path: stage the shifted value in ``out`` itself
+        # (identical arithmetic to the allocating path below).
+        if shift > 0:
+            rounding = np.int64(1) << np.int64(shift - 1)
+            np.add(raw, rounding, out=out)
+            np.right_shift(out, np.int64(shift), out=out)
+        elif shift < 0:
+            np.left_shift(raw, np.int64(-shift), out=out)
+        elif out is not raw:
+            np.copyto(out, raw)
+        np.clip(out, dst.min_int, dst.max_int, out=out)
+        return out
     if shift > 0:
         # Round-half-up on the bits that are dropped, as the shifting
         # latch in the connection box does.

@@ -50,10 +50,18 @@ class ModelSpec:
     max_simd: int = 0
     fold_capacity_scale: float = 1.0
     seed: int = 0
+    #: Plan optimization mode for the served model — ``"fused"`` or
+    #: ``"naive"``.  Part of the content address: the two modes build
+    #: distinct execution plans, so they must not share an entry.
+    optimize: str = "fused"
 
     def __post_init__(self) -> None:
         if not self.model and not self.script:
             raise GatewayError("a ModelSpec needs a zoo model or a script")
+        if self.optimize not in ("fused", "naive"):
+            raise GatewayError(
+                f"optimize must be 'fused' or 'naive', got "
+                f"{self.optimize!r}")
 
     @property
     def display_name(self) -> str:
@@ -141,6 +149,7 @@ class ModelRegistry:
             simd=spec.max_simd,
             fold_capacity_scale=spec.fold_capacity_scale,
             seed=spec.seed,
+            optimize=spec.optimize,
         )
 
     def get(self, spec: ModelSpec, pin: bool = False) -> RegistryEntry:
@@ -163,6 +172,7 @@ class ModelRegistry:
             started = time.perf_counter()
             model = CompiledModel.build(
                 spec.graph(), name=spec.display_name,
+                optimize=spec.optimize,
                 pipeline=self._resolved_pipeline(), **spec.build_kwargs())
             entry = RegistryEntry(
                 key=key, spec=spec, model=model,

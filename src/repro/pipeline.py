@@ -461,13 +461,15 @@ class BuildPipeline:
 
     # --- downstream stages --------------------------------------------
 
-    def plan_for(self, artifacts):
+    def plan_for(self, artifacts, optimize: str = "fused"):
         """The memoized :class:`~repro.sim.plan.ExecutionPlan`.
 
-        Keyed on (design, seed) when the artifacts' weights came from
-        the seeded init stage; artifacts carrying explicit trained
-        weights get a private, unmemoized plan (their values are not
-        content-addressable by seed).
+        Keyed on (design, seed, optimize) when the artifacts' weights
+        came from the seeded init stage; artifacts carrying explicit
+        trained weights get a private, unmemoized plan (their values
+        are not content-addressable by seed).  ``optimize`` selects the
+        plan mode (``"fused"`` or ``"naive"``) — distinct modes over
+        one design are distinct cache entries.
         """
         from repro.sim.quantized import QuantizedExecutor
 
@@ -478,7 +480,7 @@ class BuildPipeline:
         def build():
             executor = QuantizedExecutor.from_program(
                 artifacts.program, artifacts.weights,
-                quantized_weights=qweights)
+                quantized_weights=qweights, plan_optimize=optimize)
             return executor.plan()
 
         qweights = None
@@ -491,7 +493,7 @@ class BuildPipeline:
             plan, plan_s = self.cache.get_or_build(
                 "plan",
                 stage_key("plan", design=keys["design"],
-                          seed=artifacts.seed),
+                          seed=artifacts.seed, optimize=optimize),
                 build)
             if artifacts.stage_seconds is not None:
                 artifacts.stage_seconds["plan_s"] = plan_s + q_s

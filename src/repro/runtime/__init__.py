@@ -23,7 +23,13 @@ Typical use::
 """
 
 from repro.runtime.batcher import MicroBatcher
-from repro.runtime.bench import BenchReport, run_bench
+from repro.runtime.bench import (
+    BenchReport,
+    BenchSuite,
+    load_bench_report,
+    run_bench,
+    run_bench_suite,
+)
 from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.runtime.model import CompiledModel
 from repro.runtime.server import (
@@ -35,6 +41,7 @@ from repro.runtime.server import (
 
 __all__ = [
     "BenchReport",
+    "BenchSuite",
     "CompiledModel",
     "Counter",
     "Gauge",
@@ -45,5 +52,7 @@ __all__ = [
     "MicroBatcher",
     "PendingRequest",
     "RequestTimeout",
+    "load_bench_report",
     "run_bench",
+    "run_bench_suite",
 ]

@@ -17,11 +17,19 @@ from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass, field
+
+import numpy as np
 
 from repro.errors import QueueFullError, ServingError
 from repro.runtime.model import CompiledModel
 from repro.runtime.server import InferenceServer
+
+#: ``batch_sweep``/``runtime`` fields that are counts; historical
+#: reports stored them as floats (histogram maxima), so the loader
+#: normalizes them back to integers.
+_COUNT_FIELDS = ("max_batch_size_seen", "max_queue_depth_seen", "batches")
 
 
 @dataclass
@@ -36,12 +44,20 @@ class BenchReport:
     max_batch_size: int
     functional: bool
     seed: int
+    #: plan optimization regime this report measured ("fused"/"naive").
+    optimize: str = "fused"
     #: simulated per-request accelerator cost (input-independent).
     simulated_cycles: int = 0
     simulated_time_s: float = 0.0
     sequential: dict = field(default_factory=dict)
     runtime: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+    #: :meth:`ExecutionPlan.stats` snapshot taken after the serving
+    #: passes (fused steps, level widths, arena high-water mark).
+    plan: dict = field(default_factory=dict)
+    #: tracemalloc peak over one warm ``max_batch_size`` flush — the
+    #: honest allocation footprint of the regime's hot path.
+    peak_alloc_bytes: int = 0
     #: per-batch-size runtime passes (``--batch-sizes``), keyed by the
     #: flush size as a string; each entry carries the same fields as
     #: ``runtime`` plus ``speedup_vs_sequential``.
@@ -108,7 +124,8 @@ class BenchReport:
     def render(self) -> str:
         lines = [
             f"serving benchmark: '{self.model}' on {self.device} "
-            f"@ {self.fraction:.0%}, {self.requests} requests",
+            f"@ {self.fraction:.0%}, {self.requests} requests "
+            f"[{self.optimize} plan]",
             f"  simulated accelerator latency: {self.simulated_cycles} "
             f"cycles = {self.simulated_time_s * 1e3:.3f} ms/request",
             f"  sequential loop:  {self.sequential['requests_per_s']:8.1f} "
@@ -133,6 +150,17 @@ class BenchReport:
             lines.append(
                 f"  best batched speedup: {self.best_batched_speedup:.2f}x "
                 f"(sweep best at batch<= {self.best_batched_size})")
+        if self.plan:
+            lines.append(
+                f"  plan: {self.plan.get('fused_steps', 0)}/"
+                f"{self.plan.get('total_steps', 0)} steps fused, "
+                f"{self.plan.get('levels', 0)} levels "
+                f"(width {self.plan.get('max_level_width', 0)}), "
+                f"peak arena {self.plan.get('peak_arena_bytes', 0)} B")
+        if self.peak_alloc_bytes:
+            lines.append(
+                f"  peak allocation per flush: "
+                f"{self.peak_alloc_bytes / 1024:.1f} KiB")
         if self.verifier:
             passes = self.verifier.get("passes", {})
             errors = sum(entry.get("errors", 0) for entry in passes.values())
@@ -208,11 +236,66 @@ def _runtime_pass(model: CompiledModel, stream, *, workers: int,
         "latency_mean_s": latency.mean,
         "latency_max_s": latency.max,
         "mean_batch_size": batch_size.mean,
-        "max_batch_size_seen": batch_size.max,
-        "batches": batch_size.count,
-        "max_queue_depth_seen": queue_depth.max,
+        # Counts are ints; histogram maxima come back as floats.
+        "max_batch_size_seen": int(batch_size.max),
+        "batches": int(batch_size.count),
+        "max_queue_depth_seen": int(queue_depth.max),
     }
     return runtime, server.metrics.snapshot()
+
+
+def _normalize_counts(entry: dict) -> dict:
+    """Coerce count-valued fields to ints (old reports stored floats)."""
+    for name in _COUNT_FIELDS:
+        if name in entry and isinstance(entry[name], float):
+            entry[name] = int(entry[name])
+    return entry
+
+
+def load_bench_report(path: str) -> dict:
+    """Read a ``BENCH_runtime.json`` payload, normalizing old reports.
+
+    Schema-1 reports stored count-valued runtime fields
+    (``max_batch_size_seen``, ``max_queue_depth_seen``, ``batches``) as
+    floats like ``16.0``; this loader coerces them to ints wherever
+    they appear (headline ``runtime``, ``batch_sweep`` entries, and the
+    per-model regimes of a schema-2 suite).
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    reports = []
+    if payload.get("schema", 1) >= 2:
+        for entry in payload.get("models", {}).values():
+            for regime in ("fused", "naive"):
+                if regime in entry:
+                    reports.append(entry[regime])
+    else:
+        reports.append(payload)
+    for report in reports:
+        _normalize_counts(report.get("runtime", {}))
+        for swept in report.get("batch_sweep", {}).values():
+            _normalize_counts(swept)
+    return payload
+
+
+def _peak_alloc_probe(model: CompiledModel, stream,
+                      batch: int) -> int:
+    """tracemalloc peak over one warm flush of ``batch`` requests.
+
+    Warms the session (and, for a fused plan, its buffer arena) first
+    so the probe sees steady-state serving allocation, not one-time
+    plan construction.
+    """
+    session = model.warm_session(functional=True)
+    inputs = stream[:max(1, batch)]
+    session.run_batch(inputs, functional=True)
+    tracemalloc.start()
+    try:
+        session.run_batch(inputs, functional=True)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
 
 
 def run_bench(
@@ -230,6 +313,7 @@ def run_bench(
     fraction: float = 0.3,
     functional: bool = True,
     seed: int = 0,
+    optimize: str = "fused",
     out: str = "BENCH_runtime.json",
 ) -> BenchReport:
     """Measure sequential vs batched serving and write the JSON report.
@@ -239,13 +323,17 @@ def run_bench(
     ``batch_sizes`` adds one extra runtime pass per flush size and
     records each under ``batch_sweep`` in the report; the headline
     ``runtime`` numbers still come from ``max_batch_size``.
+    ``optimize`` selects the execution-plan regime (``"fused"`` or
+    ``"naive"``) the serving passes run under.
     """
     if script:
         compiled = CompiledModel.build(script, device=device,
-                                       fraction=fraction, seed=seed)
+                                       fraction=fraction, seed=seed,
+                                       optimize=optimize)
     else:
         compiled = CompiledModel.from_zoo(model, device=device,
-                                          fraction=fraction, seed=seed)
+                                          fraction=fraction, seed=seed,
+                                          optimize=optimize)
     stream = compiled.random_requests(requests, seed=seed + 1)
     probe = compiled.new_session().run(stream[0], functional=functional)
 
@@ -280,6 +368,11 @@ def run_bench(
         swept["speedup_vs_sequential"] = (
             swept["requests_per_s"] / base_rate if base_rate else 0.0)
         batch_sweep[str(size)] = swept
+    plan_stats: dict = {}
+    peak_alloc = 0
+    if functional and compiled.execution_plan is not None:
+        peak_alloc = _peak_alloc_probe(compiled, stream, max_batch_size)
+        plan_stats = compiled.execution_plan.stats()
     report = BenchReport(
         model=compiled.name,
         device=device,
@@ -289,14 +382,212 @@ def run_bench(
         max_batch_size=max_batch_size,
         functional=functional,
         seed=seed,
+        optimize=optimize,
         simulated_cycles=probe.cycles,
         simulated_time_s=probe.time_s,
         sequential=sequential,
         runtime=runtime,
         metrics=metrics,
+        plan=plan_stats,
+        peak_alloc_bytes=peak_alloc,
         batch_sweep=batch_sweep,
         verifier=verifier,
     )
     if out:
         report.write(out)
     return report
+
+
+# --- fused-vs-naive suite (schema 2) ----------------------------------
+
+
+@dataclass
+class BenchSuite:
+    """A multi-model, fused-vs-naive serving benchmark (schema 2).
+
+    Every model runs the full :func:`run_bench` measurement twice —
+    once per plan regime — plus a bit-identity check: the fused plan
+    must produce integer-identical outputs to the naive plan over the
+    shared request stream, or the suite refuses to report a speedup at
+    all.
+    """
+
+    schema: int
+    requests: int
+    workers: int
+    max_batch_size: int
+    device: str
+    fraction: float
+    seed: int
+    #: model name -> {"fused": report payload, "naive": report payload,
+    #: "comparison": {...}}.
+    models: dict = field(default_factory=dict)
+
+    def comparison(self, model: str) -> dict:
+        return self.models[model]["comparison"]
+
+    @property
+    def all_bit_identical(self) -> bool:
+        return all(entry["comparison"]["bit_identical"]
+                   for entry in self.models.values())
+
+    def fused_speedup(self, model: str) -> float:
+        """Best fused-vs-naive requests/s ratio over matching passes."""
+        return self.comparison(model)["best_fused_speedup"]
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"serving benchmark suite (schema {self.schema}): "
+            f"{len(self.models)} models on {self.device} "
+            f"@ {self.fraction:.0%}, {self.requests} requests, "
+            f"batch<= {self.max_batch_size}",
+            f"  {'model':<16s} {'naive req/s':>12s} {'fused req/s':>12s} "
+            f"{'speedup':>8s} {'fused steps':>12s} {'arena KiB':>10s} "
+            f"{'alloc naive->fused KiB':>23s}  bit-exact",
+        ]
+        for name, entry in sorted(self.models.items()):
+            comp = entry["comparison"]
+            fused, naive = entry["fused"], entry["naive"]
+            plan = fused.get("plan", {})
+            lines.append(
+                f"  {name:<16s} "
+                f"{naive['runtime']['requests_per_s']:12.1f} "
+                f"{fused['runtime']['requests_per_s']:12.1f} "
+                f"{comp['best_fused_speedup']:7.2f}x "
+                f"{plan.get('fused_steps', 0):5d}/"
+                f"{plan.get('total_steps', 0):<6d} "
+                f"{plan.get('peak_arena_bytes', 0) / 1024:10.1f} "
+                f"{naive.get('peak_alloc_bytes', 0) / 1024:11.1f}->"
+                f"{fused.get('peak_alloc_bytes', 0) / 1024:<10.1f} "
+                f"{'yes' if comp['bit_identical'] else 'NO'}")
+        return "\n".join(lines)
+
+
+def _regime_rates(report: BenchReport) -> dict[str, float]:
+    """requests/s per pass, keyed by flush size (headline included)."""
+    rates = {str(report.max_batch_size):
+             report.runtime.get("requests_per_s", 0.0)}
+    for size, entry in report.batch_sweep.items():
+        rates.setdefault(size, entry.get("requests_per_s", 0.0))
+    return rates
+
+
+def _bit_identity_check(fused: CompiledModel, naive: CompiledModel,
+                        stream, batch: int) -> bool:
+    """Integer-exact output comparison, fused plan vs naive plan.
+
+    Chunks the stream into serving-sized batches and compares the
+    dequantized outputs exactly — both regimes quantize identically, so
+    the floats must match bit for bit.
+    """
+    batch = max(1, batch)
+    for start in range(0, len(stream), batch):
+        chunk = stream[start:start + batch]
+        fused_out = fused.run_batch(chunk, functional=True)
+        naive_out = naive.run_batch(chunk, functional=True)
+        for a, b in zip(fused_out, naive_out):
+            if not np.array_equal(a.outputs["__output__"],
+                                  b.outputs["__output__"]):
+                return False
+    return True
+
+
+def run_bench_suite(
+    models: list[str],
+    *,
+    requests: int = 64,
+    workers: int = 4,
+    max_batch_size: int = 8,
+    batch_sizes: list[int] | None = None,
+    max_queue_depth: int = 256,
+    batch_timeout_s: float = 0.002,
+    timeout_s: float | None = None,
+    device: str = "Z-7045",
+    fraction: float = 0.3,
+    seed: int = 0,
+    out: str = "BENCH_runtime.json",
+) -> BenchSuite:
+    """Fused-vs-naive serving benchmark over several zoo models.
+
+    For every model the full :func:`run_bench` measurement runs under
+    both plan regimes, then a bit-identity pass replays the stream
+    through both compiled models and compares outputs exactly.  The
+    suite is written as a schema-2 ``BENCH_runtime.json`` (see
+    ``docs/file_formats.md``).
+    """
+    if not models:
+        raise ServingError("the bench suite needs at least one model")
+    suite = BenchSuite(
+        schema=2,
+        requests=requests,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        device=device,
+        fraction=fraction,
+        seed=seed,
+    )
+    for name in models:
+        reports: dict[str, BenchReport] = {}
+        for optimize in ("fused", "naive"):
+            reports[optimize] = run_bench(
+                name,
+                requests=requests,
+                workers=workers,
+                max_batch_size=max_batch_size,
+                batch_sizes=batch_sizes,
+                max_queue_depth=max_queue_depth,
+                batch_timeout_s=batch_timeout_s,
+                timeout_s=timeout_s,
+                device=device,
+                fraction=fraction,
+                functional=True,
+                seed=seed,
+                optimize=optimize,
+                out="",
+            )
+        fused_model = CompiledModel.from_zoo(
+            name, device=device, fraction=fraction, seed=seed,
+            optimize="fused")
+        naive_model = CompiledModel.from_zoo(
+            name, device=device, fraction=fraction, seed=seed,
+            optimize="naive")
+        stream = fused_model.random_requests(
+            min(requests, 4 * max(1, max_batch_size)), seed=seed + 1)
+        identical = _bit_identity_check(fused_model, naive_model, stream,
+                                        max_batch_size)
+        fused_rates = _regime_rates(reports["fused"])
+        naive_rates = _regime_rates(reports["naive"])
+        ratios = {
+            size: fused_rates[size] / naive_rates[size]
+            for size in fused_rates
+            if size in naive_rates and naive_rates[size] > 0.0
+        }
+        headline = str(max_batch_size)
+        comparison = {
+            "bit_identical": identical,
+            "fused_speedup": ratios.get(headline, 0.0),
+            "best_fused_speedup": max(ratios.values()) if ratios else 0.0,
+            "fused_speedup_by_batch": ratios,
+            "peak_alloc_bytes_fused": reports["fused"].peak_alloc_bytes,
+            "peak_alloc_bytes_naive": reports["naive"].peak_alloc_bytes,
+            "peak_arena_bytes": reports["fused"].plan.get(
+                "peak_arena_bytes", 0),
+        }
+        fused_payload = json.loads(reports["fused"].to_json())
+        naive_payload = json.loads(reports["naive"].to_json())
+        suite.models[name] = {
+            "fused": fused_payload,
+            "naive": naive_payload,
+            "comparison": comparison,
+        }
+    if out:
+        suite.write(out)
+    return suite

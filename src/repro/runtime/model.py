@@ -27,15 +27,21 @@ class CompiledModel:
 
     artifacts: api.BuildArtifacts
     name: str = ""
+    #: Plan optimization mode — ``"fused"`` (epilogue fusion + buffer
+    #: arena + branch-parallel levels, the serving hot path) or
+    #: ``"naive"`` (one step per layer, sequential; the baseline the
+    #: runtime benchmark compares against).
+    optimize: str = "fused"
     _local: threading.local = field(default_factory=threading.local,
                                     repr=False, compare=False)
 
     @classmethod
     def build(cls, script_or_graph, name: str = "",
-              **build_kwargs) -> "CompiledModel":
+              optimize: str = "fused", **build_kwargs) -> "CompiledModel":
         """Run :func:`repro.api.build` and wrap the result."""
         artifacts = api.build(script_or_graph, **build_kwargs)
-        return cls(artifacts=artifacts, name=name or artifacts.graph.name)
+        return cls(artifacts=artifacts, name=name or artifacts.graph.name,
+                   optimize=optimize)
 
     @classmethod
     def from_zoo(cls, benchmark: str, **build_kwargs) -> "CompiledModel":
@@ -63,7 +69,8 @@ class CompiledModel:
         if self.artifacts.weights is None:
             return None
         from repro.pipeline import default_pipeline
-        return default_pipeline().plan_for(self.artifacts)
+        return default_pipeline().plan_for(self.artifacts,
+                                           optimize=self.optimize)
 
     def new_session(self) -> AcceleratorSimulator:
         """A fresh simulator session (one per worker thread).
@@ -76,7 +83,8 @@ class CompiledModel:
         plan = None
         if self.artifacts.weights is not None:
             plan = lambda: self.execution_plan  # noqa: E731 — lazy share
-        return api.simulator(self.artifacts, plan=plan)
+        return api.simulator(self.artifacts, plan=plan,
+                             optimize=self.optimize)
 
     def session(self) -> AcceleratorSimulator:
         """The calling thread's private session, created on first use."""

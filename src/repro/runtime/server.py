@@ -165,6 +165,7 @@ class InferenceServer:
         )
         if warm:
             self._warm_sessions()
+            self._publish_plan_stats()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-runtime-batcher",
             daemon=True,
@@ -188,6 +189,27 @@ class InferenceServer:
         futures = [self._pool.submit(warm) for _ in range(self.workers)]
         for future in futures:
             future.result()
+
+    def _publish_plan_stats(self) -> None:
+        """Mirror the shared plan's optimizer stats into gauges.
+
+        ``plan_peak_arena_bytes`` is refreshed after every batch as
+        well — the arena high-water mark only exists once a fused flush
+        has actually run.
+        """
+        if not self.functional:
+            return
+        artifacts = getattr(self.model, "artifacts", None)
+        if artifacts is None or artifacts.weights is None:
+            return
+        plan = self.model.execution_plan
+        if plan is None:
+            return
+        stats = plan.stats()
+        self.metrics.gauge("plan_total_steps").set(stats["total_steps"])
+        self.metrics.gauge("plan_fused_steps").set(stats["fused_steps"])
+        self.metrics.gauge("plan_peak_arena_bytes").set(
+            stats["peak_arena_bytes"])
 
     def stop(self) -> None:
         """Drain the queue, run everything in flight, release workers."""
@@ -302,6 +324,7 @@ class InferenceServer:
             return
         for request, result in zip(live, results):
             self._complete_result(request, result, len(batch))
+        self._publish_plan_stats()
 
     def _serve_one(self, session, request: _Request,
                    batch_size: int) -> None:

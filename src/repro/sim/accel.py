@@ -117,10 +117,12 @@ class AcceleratorSimulator:
         self, program: ControlProgram,
         weights: dict[str, dict[str, np.ndarray]] | None = None,
         plan: ExecutionPlan | Callable[[], ExecutionPlan] | None = None,
+        optimize: str = "fused",
     ) -> None:
         self.program = program
         self.design = program.design
         self.weights = weights
+        self.optimize = optimize
         self.device = self.design.budget.device
         self.dram = DRAMModel.for_device(self.device)
         self._word_bytes = -(-self.design.datapath.data_width // 8)
@@ -153,8 +155,8 @@ class AcceleratorSimulator:
         if self.weights is None:
             raise SimulationError("functional run needs the trained weights")
         if self._executor is None:
-            self._executor = QuantizedExecutor.from_program(self.program,
-                                                            self.weights)
+            self._executor = QuantizedExecutor.from_program(
+                self.program, self.weights, plan_optimize=self.optimize)
             if callable(self._shared_plan):
                 self._executor._plan_source = self._shared_plan
             elif self._shared_plan is not None:

@@ -52,6 +52,10 @@ class QuantizedExecutor:
     #: the memoizing pipeline passes them in so repeated executors over
     #: one network skip re-quantization.  ``None`` quantizes here.
     quantized_weights: dict[str, dict[str, np.ndarray]] | None = None
+    #: Plan optimization mode handed to :meth:`ExecutionPlan.build` —
+    #: ``"fused"`` (epilogue fusion + buffer arena + branch-parallel
+    #: levels) or ``"naive"`` (one step per layer, sequential).
+    plan_optimize: str = "fused"
 
     def __post_init__(self) -> None:
         self._shapes = infer_shapes(self.graph)
@@ -102,6 +106,7 @@ class QuantizedExecutor:
         program: ControlProgram,
         weights: dict[str, dict[str, np.ndarray]],
         quantized_weights: dict[str, dict[str, np.ndarray]] | None = None,
+        plan_optimize: str = "fused",
     ) -> "QuantizedExecutor":
         return QuantizedExecutor(
             graph=program.design.graph,
@@ -111,6 +116,7 @@ class QuantizedExecutor:
             or program.design.datapath.weight_format,
             luts=dict(program.luts),
             quantized_weights=quantized_weights,
+            plan_optimize=plan_optimize,
         )
 
     def reset_state(self) -> None:
@@ -135,6 +141,7 @@ class QuantizedExecutor:
                 self.blob_formats,
                 self.weight_format,
                 self._lut,
+                optimize=self.plan_optimize,
             )
         return self._plan
 
@@ -208,24 +215,29 @@ class QuantizedExecutor:
         return stacked
 
     def forward_batch_raw(
-            self, batch: "list[np.ndarray] | np.ndarray") -> dict[str, np.ndarray]:
+            self, batch: "list[np.ndarray] | np.ndarray", *,
+            keep: str = "all") -> dict[str, np.ndarray]:
         """Vectorized forward propagation over a batch of inputs.
 
         ``batch`` is a list of per-request tensors or one stacked
         ``(N, ...)`` array.  Returns raw integer blobs with a leading
         batch axis, integer-exact against ``N`` independent
-        :meth:`forward_raw` calls.  Recurrent state entries written by
-        this path carry the batch dimension; call :meth:`reset_state`
-        between batches (the simulator does) so every request starts
-        from clean state.
+        :meth:`forward_raw` calls.  ``keep="output"`` returns only the
+        network output blob, which lets a fused plan serve every
+        intermediate from its buffer arena (the serving hot path).
+        Recurrent state entries written by this path carry the batch
+        dimension; call :meth:`reset_state` between batches (the
+        simulator does) so every request starts from clean state.
         """
         return self.plan().forward_batch_raw(self.stack_batch(batch),
-                                             self.state)
+                                             self.state, keep=keep)
 
     def forward_batch(self, batch: "list[np.ndarray] | np.ndarray", *,
                       all_blobs: bool = False) -> dict[str, np.ndarray]:
         """Batched forward propagation; lazily dequantized blobs."""
-        return self._dequantized(self.forward_batch_raw(batch), all_blobs)
+        keep = "all" if all_blobs else "output"
+        return self._dequantized(self.forward_batch_raw(batch, keep=keep),
+                                 all_blobs)
 
     def _dequantized(self, raw: dict[str, np.ndarray],
                      all_blobs: bool) -> dict[str, np.ndarray]:
